@@ -1,0 +1,70 @@
+"""Ablation (DESIGN.md §5.3): blocking-to-nonblocking conversion in
+the offload engine.
+
+Paper §3.3: the engine converts blocking calls into nonblocking +
+completion-flag polling "so the blocking MPI call of one application
+thread does not delay the progress of the calls of other threads".
+This benchmark submits a receive that stays unmatched for a while and
+measures how long an *independent* operation submitted afterwards
+takes — with conversion (the real engine) it completes immediately;
+a block-in-place engine would stall it behind the slow receive.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.core import offloaded
+from repro.mpisim import THREAD_MULTIPLE, World
+
+STALL = 0.1  # how long the blocking recv stays unmatched
+
+
+def _independent_op_latency() -> float:
+    """Latency of an op enqueued behind a stuck blocking recv."""
+    result = {}
+
+    def prog(comm):
+        with offloaded(comm) as oc:
+            peer = 1 - comm.rank
+            if comm.rank == 0:
+                latency = {}
+
+                def blocked_thread():
+                    # blocking recv whose send arrives only after STALL
+                    buf = np.empty(1)
+                    oc.recv(buf, peer, tag=1)
+
+                t = threading.Thread(target=blocked_thread)
+                t.start()
+                time.sleep(0.01)  # ensure the recv is in the engine
+                # an independent operation must not wait for it
+                t0 = time.perf_counter()
+                oc.send(np.array([2.0]), peer, tag=2)
+                latency["indep"] = time.perf_counter() - t0
+                t.join()
+                result.update(latency)
+            else:
+                buf = np.empty(1)
+                oc.recv(buf, peer, tag=2)  # the independent op's peer
+                time.sleep(STALL)
+                oc.send(np.array([1.0]), peer, tag=1)  # unblocks rank 0
+        return result.get("indep")
+
+    res = World(2, thread_level=THREAD_MULTIPLE).run(prog, timeout=60)
+    return res[0]
+
+
+def test_blocking_conversion_keeps_engine_responsive(benchmark):
+    latency = benchmark.pedantic(
+        _independent_op_latency, iterations=1, rounds=1
+    )
+    print(f"\n  independent op latency behind a stuck recv: "
+          f"{latency * 1e3:.2f} ms (stall was {STALL * 1e3:.0f} ms)")
+    # with conversion, the independent op is NOT serialized behind the
+    # 100 ms stall
+    assert latency < STALL / 2
+    benchmark.extra_info["independent_latency_ms"] = round(latency * 1e3, 2)

@@ -1,0 +1,50 @@
+"""Ablation: the eager/rendezvous threshold drives Figure 4's shape.
+
+Figure 4's hump (baseline isend cost rising, then collapsing) is not a
+calibration artifact: it is caused by the protocol switch.  Sweep the
+threshold in the machine model and verify the hump's cliff tracks it —
+a causal check on the mechanism.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.simtime.machine import ENDEAVOR_XEON
+from repro.simtime.workloads.micro import isend_overhead
+from repro.util.units import KIB
+
+
+def _cliff_location(threshold_bytes: int) -> int:
+    """Largest power-of-two size whose isend cost is still copy-heavy."""
+    machine = dataclasses.replace(
+        ENDEAVOR_XEON, eager_threshold=threshold_bytes
+    )
+    sizes = [2**k for k in range(10, 23)]  # 1 KB .. 4 MB
+    costs = {s: isend_overhead(machine, "baseline", s) for s in sizes}
+    # the cliff: cost(s) >> cost(next size)
+    cliff = None
+    for a, b in zip(sizes, sizes[1:]):
+        if costs[a] > 4 * costs[b]:
+            cliff = a
+    assert cliff is not None, costs
+    return cliff
+
+
+def test_fig4_cliff_tracks_eager_threshold(benchmark):
+    def sweep():
+        return {
+            thr: _cliff_location(thr)
+            for thr in (32 * KIB, 128 * KIB, 512 * KIB)
+        }
+
+    cliffs = benchmark.pedantic(sweep, iterations=1, rounds=1)
+    print()
+    for thr, cliff in cliffs.items():
+        print(f"  threshold {thr >> 10:4d} KB -> cost cliff at "
+              f"{cliff >> 10:4d} KB")
+        # the last copy-heavy size IS the threshold
+        assert cliff == thr, (thr, cliff)
+    benchmark.extra_info.update(
+        {f"thr_{k >> 10}KB": v >> 10 for k, v in cliffs.items()}
+    )

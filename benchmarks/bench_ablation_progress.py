@@ -1,0 +1,58 @@
+"""Ablation (DESIGN.md §5.1): how much of the rendezvous transfer lands
+inside ``wait`` with vs without asynchronous progress.
+
+Runs the simulated overlap experiment at a fixed compute budget across
+all approaches and reports each one's wait time — the direct measure of
+the stall the offload thread removes.
+"""
+
+from __future__ import annotations
+
+from repro.simtime.engine import Simulator
+from repro.simtime.machine import ENDEAVOR_XEON
+from repro.simtime.mpi_model import SimCluster
+from repro.simtime.progress_modes import APPROACHES
+from repro.util.units import MIB
+
+NBYTES = 2 * MIB
+COMPUTE = 1e-3  # plenty to hide the transfer, if progress exists
+
+
+def _wait_time(approach_name: str) -> float:
+    sim = Simulator()
+    cluster = SimCluster(sim, ENDEAVOR_XEON, APPROACHES[approach_name], 2)
+    out = {}
+
+    def program(rank):
+        mpi = cluster.ranks[rank]
+        peer = 1 - rank
+        rreq = yield from mpi.irecv(peer, NBYTES, tag=1)
+        sreq = yield from mpi.isend(peer, NBYTES, tag=1)
+        yield COMPUTE
+        t0 = sim.now
+        yield from mpi.wait_all([rreq, sreq])
+        out[rank] = sim.now - t0
+
+    procs = [sim.process(program(r)) for r in range(2)]
+    sim.run(sim.all_of(procs))
+    return out[0]
+
+
+def test_wait_with_vs_without_progress(benchmark):
+    waits = benchmark.pedantic(
+        lambda: {a: _wait_time(a) for a in APPROACHES},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    for name, w in waits.items():
+        print(f"  {name:10s} wait = {w * 1e6:9.2f} us")
+    # no-progress approaches pay (nearly) the whole transfer in wait
+    transfer = NBYTES / ENDEAVOR_XEON.net_bandwidth
+    assert waits["baseline"] > transfer * 0.8
+    # continuous-progress approaches hide (nearly) all of it
+    for name in ("offload", "comm-self", "corespec"):
+        assert waits[name] < transfer * 0.1, name
+    benchmark.extra_info.update(
+        {k: round(v * 1e6, 2) for k, v in waits.items()}
+    )

@@ -1,0 +1,8 @@
+"""Regenerate Figure 2 — point-to-point compute/communication overlap.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig02(regenerate):
+    regenerate("fig02")

@@ -1,0 +1,8 @@
+"""Regenerate Figure 3 — nonblocking-collective overlap at 8B and 16KB.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig03(regenerate):
+    regenerate("fig03")

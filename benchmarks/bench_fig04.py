@@ -1,0 +1,8 @@
+"""Regenerate Figure 4 — MPI_Isend issue time vs message size.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig04(regenerate):
+    regenerate("fig04")

@@ -1,0 +1,8 @@
+"""Regenerate Figure 5 — nonblocking collective issue latency.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig05(regenerate):
+    regenerate("fig05")

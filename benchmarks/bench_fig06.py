@@ -1,0 +1,8 @@
+"""Regenerate Figure 6 — OSU multithreaded latency, 2/4/8 thread pairs.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig06(regenerate):
+    regenerate("fig06")

@@ -1,0 +1,8 @@
+"""Regenerate Figure 7 — OSU latency and bandwidth on Endeavor Xeon.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig07(regenerate):
+    regenerate("fig07")

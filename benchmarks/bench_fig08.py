@@ -1,0 +1,8 @@
+"""Regenerate Figure 8 — OSU latency and bandwidth on Xeon Phi.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig08(regenerate):
+    regenerate("fig08")

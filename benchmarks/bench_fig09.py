@@ -1,0 +1,8 @@
+"""Regenerate Figure 9 — Wilson-Dslash strong scaling, Endeavor and Edison.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig09(regenerate):
+    regenerate("fig09")

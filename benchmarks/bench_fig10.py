@@ -1,0 +1,8 @@
+"""Regenerate Figure 10 — Wilson-Dslash timing split-up.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig10(regenerate):
+    regenerate("fig10")

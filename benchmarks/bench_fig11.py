@@ -1,0 +1,8 @@
+"""Regenerate Figure 11 — full QCD solver performance.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig11(regenerate):
+    regenerate("fig11")

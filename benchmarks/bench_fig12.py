@@ -1,0 +1,8 @@
+"""Regenerate Figure 12 — Dslash with MPI_THREAD_MULTIPLE thread groups.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig12(regenerate):
+    regenerate("fig12")

@@ -1,0 +1,8 @@
+"""Regenerate Figure 13 — 1-D FFT weak scaling, Xeon and Xeon Phi.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig13(regenerate):
+    regenerate("fig13")

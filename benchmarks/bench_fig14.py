@@ -1,0 +1,8 @@
+"""Regenerate Figure 14 — hybrid-parallel CNN training throughput.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_fig14(regenerate):
+    regenerate("fig14")

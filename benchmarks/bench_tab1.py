@@ -1,0 +1,8 @@
+"""Regenerate Table 1 — QCD Dslash per-iteration time breakdown.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_tab1(regenerate):
+    regenerate("tab1")

@@ -1,0 +1,8 @@
+"""Regenerate Table 2 — FFT per-iteration time breakdown on Xeon Phi.
+
+See DESIGN.md section 4 for the experiment index entry and
+EXPERIMENTS.md for paper-vs-measured records.
+"""
+
+def test_tab2(regenerate):
+    regenerate("tab2")

@@ -1,0 +1,47 @@
+"""Benchmark harness helpers.
+
+Each ``bench_*`` file regenerates one paper table/figure via its
+experiment module and asserts the paper's qualitative claims.  Runs
+are single-shot (``pedantic``): the quantity of interest is the
+artifact itself, not Python-level timing jitter.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+@pytest.fixture(autouse=True, scope="session")
+def fine_gil_slices():
+    """Functional benchmarks need finer GIL slices (see DESIGN.md)."""
+    prev = sys.getswitchinterval()
+    sys.setswitchinterval(1e-4)
+    yield
+    sys.setswitchinterval(prev)
+
+
+@pytest.fixture
+def regenerate(benchmark):
+    """Run an experiment under the benchmark fixture, print its table,
+    and run its qualitative checks."""
+
+    def _run(exp_id: str, fast: bool = True):
+        from repro.experiments import load
+
+        mod = load(exp_id)
+        table = benchmark.pedantic(
+            lambda: mod.run(fast=fast), iterations=1, rounds=1
+        )
+        print()
+        print(table.render())
+        mod.check(table)
+        benchmark.extra_info["rows"] = len(table.rows)
+        return table
+
+    return _run

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Distributed 1-D FFT demo (paper §5.2).
+
+Computes the same transform three ways and validates all of them
+against numpy:
+
+1. the classic three-all-to-all transpose algorithm;
+2. the low-communication single-transpose algorithm with segmented,
+   pipelined exchange (the SOI-style structure) under baseline;
+3. the same pipeline under the offload engine, where the segmented
+   all-to-alls genuinely overlap with the cross-rank DFT compute.
+
+Run:  python examples/fft_pipeline.py
+"""
+
+import sys
+
+import numpy as np
+
+from repro.apps.fft import (
+    block_to_cyclic,
+    gather_lowcomm_output,
+    local_block,
+    lowcomm_fft,
+    transpose_fft,
+)
+from repro.core import offloaded
+from repro.mpisim import THREAD_MULTIPLE, World
+from repro.util.rng import seeded_rng
+
+N = 4096
+NRANKS = 4
+SEGMENTS = 8
+
+
+def make_signal():
+    rng = seeded_rng("fft-demo")
+    return rng.standard_normal(N) + 1j * rng.standard_normal(N)
+
+
+SIGNAL = make_signal()
+REFERENCE = np.fft.fft(SIGNAL)
+
+
+def check(rank, name, ok):
+    if rank == 0:
+        print(f"  {name:44s} {'OK' if ok else 'MISMATCH'}")
+    if not ok:
+        raise AssertionError(name)
+
+
+def program(comm):
+    mine = local_block(SIGNAL, comm.rank, comm.size)
+    l = N // comm.size
+
+    # 1. ordered three-transpose algorithm
+    out = transpose_fft(comm, mine)
+    check(
+        comm.rank,
+        "three-transpose FFT (ordered output)",
+        np.allclose(out, REFERENCE[comm.rank * l : (comm.rank + 1) * l],
+                    atol=1e-8),
+    )
+
+    # 2. low-communication pipeline, baseline
+    cyc = block_to_cyclic(comm, mine)
+    g, layout = lowcomm_fft(comm, cyc, segments=SEGMENTS)
+    full = gather_lowcomm_output(comm, g, layout)
+    if comm.rank == 0:
+        check(0, f"low-comm FFT, {SEGMENTS} segments (baseline)",
+              np.allclose(full, REFERENCE, atol=1e-8))
+
+    # 3. the same pipeline through the offload engine
+    with offloaded(comm) as oc:
+        cyc2 = block_to_cyclic(oc, mine)
+        g2, layout2 = lowcomm_fft(oc, cyc2, segments=SEGMENTS)
+        full2 = gather_lowcomm_output(oc, g2, layout2)
+        stats = oc.engine.stats()
+    if comm.rank == 0:
+        check(0, f"low-comm FFT, {SEGMENTS} segments (offloaded)",
+              np.allclose(full2, REFERENCE, atol=1e-8))
+        print(f"\n  offload engine processed {stats['commands_processed']} "
+              f"commands with {stats['progress_sweeps']} progress sweeps")
+        print(f"  output layout: rank m holds X[d*L + m*(L/P) + c'] — "
+              f"e.g. rank 1 element (0,0) is X[{layout.global_index(1, 0, 0)}]")
+    return True
+
+
+def main():
+    sys.setswitchinterval(1e-4)
+    print(f"distributed FFT of {N} points over {NRANKS} ranks\n")
+    World(NRANKS, thread_level=THREAD_MULTIPLE).run(program, timeout=120)
+    print("\nall transforms match numpy.fft.fft")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure of the paper's evaluation.
+
+Prints the same rows/series the paper reports, using the calibrated
+performance simulator, and runs each artifact's qualitative checks
+(who wins, by roughly what factor, where the crossovers fall).
+
+Run:  python examples/paper_figures.py            # fast sweeps
+      python examples/paper_figures.py --full     # paper-scale sweeps
+      python examples/paper_figures.py fig09      # one artifact
+"""
+
+import sys
+import time
+
+from repro.experiments import REGISTRY, load
+
+
+def main(argv):
+    fast = "--full" not in argv
+    wanted = [a for a in argv if a in REGISTRY] or list(REGISTRY)
+    print(
+        f"regenerating {len(wanted)} artifact(s) "
+        f"({'fast' if fast else 'full'} sweeps)\n"
+    )
+    failures = []
+    for exp_id in wanted:
+        mod = load(exp_id)
+        t0 = time.perf_counter()
+        table = mod.run(fast=fast)
+        elapsed = time.perf_counter() - t0
+        print(table.render())
+        try:
+            mod.check(table)
+            print(f"-> {exp_id}: qualitative checks PASS "
+                  f"({elapsed:.1f}s)\n")
+        except AssertionError as exc:
+            failures.append(exp_id)
+            print(f"-> {exp_id}: CHECK FAILED: {exc}\n")
+    if failures:
+        print(f"FAILED artifacts: {failures}")
+        return 1
+    print(f"all {len(wanted)} artifacts reproduce the paper's "
+          "qualitative claims")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,5 @@
+"""Legacy setup shim: `python setup.py develop` works offline
+(the modern `pip install -e .` path needs the `wheel` package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro — reproduction of "Improving concurrency and asynchrony in
+multithreaded MPI applications using software offloading" (SC '15).
+
+Layers (see DESIGN.md for the full inventory):
+
+* :mod:`repro.lockfree` — the CAS-based command queue and request-slot
+  free list of the paper's Section 3.
+* :mod:`repro.mpisim` — a functional in-process MPI (ranks as threads)
+  with real eager/rendezvous protocols and an explicit progress engine.
+* :mod:`repro.core` — **the paper's contribution**: the offload engine,
+  the interposed communicator, and the comparison approaches
+  (comm-self, iprobe, thread groups).
+* :mod:`repro.simtime` — a discrete-event performance simulator that
+  regenerates every table and figure of the paper's evaluation.
+* :mod:`repro.apps` — the three evaluation applications (QCD
+  Wilson-Dslash + solvers, distributed FFT, hybrid-parallel CNN).
+* :mod:`repro.bench` / :mod:`repro.experiments` — microbenchmarks and
+  per-artifact experiment drivers.
+
+Quickstart::
+
+    import numpy as np
+    from repro.mpisim import World
+    from repro.core import offloaded
+
+    def program(comm):
+        with offloaded(comm) as oc:       # the paper's offload, §3
+            total = oc.allreduce(np.array([float(oc.rank)]))
+            return float(total[0])
+
+    print(World(4).run(program))          # [6.0, 6.0, 6.0, 6.0]
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

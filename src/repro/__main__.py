@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m repro``.
+
+Subcommands:
+
+* ``list`` — show every reproducible paper artifact;
+* ``run <artifact>...`` — regenerate artifacts (``--full`` for
+  paper-scale sweeps); no names = all 15;
+* ``report [--full] [-o FILE]`` — regenerate everything and write a
+  markdown reproduction report;
+* ``info`` — version and layer summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def _cmd_list() -> int:
+    from repro.experiments import REGISTRY, load
+
+    print(f"{len(REGISTRY)} reproducible artifacts:\n")
+    for exp_id, path in REGISTRY.items():
+        doc = (load(exp_id).__doc__ or "").strip().splitlines()[0]
+        print(f"  {exp_id:6s} {doc}")
+    print("\nregenerate with: python -m repro run <id> [--full]")
+    return 0
+
+
+def _cmd_run(names: list[str], full: bool) -> int:
+    from repro.experiments import REGISTRY, load
+
+    wanted = names or list(REGISTRY)
+    unknown = [n for n in wanted if n not in REGISTRY]
+    if unknown:
+        print(f"unknown artifact(s): {unknown}; try 'python -m repro list'")
+        return 2
+    failures = []
+    for exp_id in wanted:
+        mod = load(exp_id)
+        t0 = time.perf_counter()
+        table = mod.run(fast=not full)
+        print(table.render())
+        try:
+            mod.check(table)
+            print(f"-> {exp_id}: checks PASS "
+                  f"({time.perf_counter() - t0:.1f}s)\n")
+        except AssertionError as exc:
+            failures.append(exp_id)
+            print(f"-> {exp_id}: CHECK FAILED: {exc}\n")
+    if failures:
+        print(f"failed: {failures}")
+        return 1
+    return 0
+
+
+def _cmd_report(out_path: str | None, full: bool) -> int:
+    from repro.experiments.report import generate_report
+
+    text = generate_report(fast=not full)
+    if out_path:
+        with open(out_path, "w") as fh:
+            fh.write(text)
+        print(f"report written to {out_path}")
+    else:
+        print(text)
+    return 0 if "FAILED" not in text else 1
+
+
+def _cmd_info() -> int:
+    import repro
+
+    print(f"repro {repro.__version__}")
+    print((repro.__doc__ or "").strip())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SC'15 MPI software-offloading reproduction",
+    )
+    sub = parser.add_subparsers(dest="cmd")
+    sub.add_parser("list", help="list reproducible paper artifacts")
+    runp = sub.add_parser("run", help="regenerate artifacts")
+    runp.add_argument("names", nargs="*", help="artifact ids (default all)")
+    runp.add_argument(
+        "--full", action="store_true", help="paper-scale sweeps"
+    )
+    rep = sub.add_parser("report", help="write a markdown report")
+    rep.add_argument("-o", "--output", default=None)
+    rep.add_argument("--full", action="store_true")
+    sub.add_parser("info", help="version and layout")
+    args = parser.parse_args(argv)
+    if args.cmd == "list":
+        return _cmd_list()
+    if args.cmd == "run":
+        return _cmd_run(args.names, args.full)
+    if args.cmd == "report":
+        return _cmd_report(args.output, args.full)
+    if args.cmd == "info":
+        return _cmd_info()
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""The paper's three evaluation applications, reimplemented.
+
+* :mod:`repro.apps.qcd` — Lattice QCD: a 4-D Wilson-Dslash operator
+  with halo exchange, plus CG and BiCGStab solvers (paper §5.1).
+* :mod:`repro.apps.fft` — distributed 1-D FFT: the classic
+  three-transpose algorithm and a low-communication single-transpose
+  pipeline in the spirit of SOI FFT (paper §5.2).
+* :mod:`repro.apps.cnn` — convolutional-network training with data-,
+  model- and hybrid-parallel gradient/activation exchange (paper §5.3).
+
+Each runs *functionally* on :mod:`repro.mpisim` (numerics validated in
+the test suite) and has a matching performance driver in
+:mod:`repro.simtime.workloads`.
+"""

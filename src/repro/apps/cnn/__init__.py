@@ -1,0 +1,47 @@
+"""CNN training with data-, model-, and hybrid-parallel exchange
+(paper §5.3).
+
+A small-but-real convolutional network (conv / relu / pool / dense /
+softmax with exact backprop, finite-difference-checked) trained with
+minibatch SGD.  Three distribution strategies mirror the paper:
+
+* **data parallel** — the minibatch is sharded across ranks; weight
+  gradients are allreduced, one nonblocking allreduce per layer posted
+  as backpropagation produces it (the overlap opportunity the paper
+  exploits for convolutional layers);
+* **model parallel** — fully connected layers are partitioned by
+  output neuron; activations/gradients are exchanged between stages
+  with synchronized collectives;
+* **hybrid** — data parallelism for conv layers + model parallelism
+  for dense layers, with the batch-gathering boundary exchange
+  between them (Krizhevsky's scheme [22], which the paper studies).
+"""
+
+from repro.apps.cnn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    MaxPool2,
+    ReLU,
+    SoftmaxCrossEntropy,
+)
+from repro.apps.cnn.network import Sequential, sgd_step
+from repro.apps.cnn.data import synthetic_batch
+from repro.apps.cnn.parallel import (
+    DataParallelTrainer,
+    HybridParallelTrainer,
+)
+
+__all__ = [
+    "Conv2D",
+    "Dense",
+    "Flatten",
+    "MaxPool2",
+    "ReLU",
+    "SoftmaxCrossEntropy",
+    "Sequential",
+    "sgd_step",
+    "synthetic_batch",
+    "DataParallelTrainer",
+    "HybridParallelTrainer",
+]

@@ -1,0 +1,205 @@
+"""Neural-network layers with exact backpropagation.
+
+All layers implement ``forward(x)`` and ``backward(grad_out)`` (which
+must be called after ``forward``; it returns the gradient with respect
+to the input and fills ``grads`` for parameters).  Data layout is
+``(B, C, H, W)`` for images and ``(B, F)`` for features.  Convolutions
+use im2col + matmul — the vectorized formulation the HPC guides
+recommend over site loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+
+
+class Layer:
+    """Base layer: stateless unless it has ``params``/``grads``."""
+
+    #: parameter name -> array; subclasses fill these
+    params: dict[str, np.ndarray]
+    grads: dict[str, np.ndarray]
+
+    def __init__(self) -> None:
+        self.params = {}
+        self.grads = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def param_count(self) -> int:
+        return sum(p.size for p in self.params.values())
+
+
+class ReLU(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out * self._mask
+
+
+class Flatten(Layer):
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(self._shape)
+
+
+def _im2col(x: np.ndarray, k: int, pad: int) -> np.ndarray:
+    """(B,C,H,W) -> (B, H*W, C*k*k) patch matrix (stride 1)."""
+    b, c, h, w = x.shape
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    # Gather k*k shifted views; stack along a new patch axis.
+    cols = np.empty((b, c, k * k, h, w), dtype=x.dtype)
+    for i in range(k):
+        for j in range(k):
+            cols[:, :, i * k + j] = xp[:, :, i : i + h, j : j + w]
+    # -> (B, H*W, C*k*k)
+    return (
+        cols.transpose(0, 3, 4, 1, 2).reshape(b, h * w, c * k * k)
+    )
+
+
+def _col2im(
+    cols: np.ndarray, shape: tuple[int, int, int, int], k: int, pad: int
+) -> np.ndarray:
+    """Adjoint of :func:`_im2col` (scatter-add patches back)."""
+    b, c, h, w = shape
+    grad = np.zeros((b, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    cols = cols.reshape(b, h, w, c, k * k).transpose(0, 3, 4, 1, 2)
+    for i in range(k):
+        for j in range(k):
+            grad[:, :, i : i + h, j : j + w] += cols[:, :, i * k + j]
+    if pad:
+        grad = grad[:, :, pad:-pad, pad:-pad]
+    return grad
+
+
+class Conv2D(Layer):
+    """k×k stride-1 same-padding convolution."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel: int = 3,
+        seed: object = "conv",
+    ) -> None:
+        super().__init__()
+        if kernel % 2 == 0:
+            raise ValueError("kernel must be odd (same padding)")
+        self.cin = in_channels
+        self.cout = out_channels
+        self.k = kernel
+        self.pad = kernel // 2
+        rng = seeded_rng("cnn", seed, in_channels, out_channels)
+        fan_in = in_channels * kernel * kernel
+        self.params["w"] = rng.standard_normal(
+            (out_channels, fan_in)
+        ) * np.sqrt(2.0 / fan_in)
+        self.params["b"] = np.zeros(out_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._xshape = x.shape
+        b, c, h, w = x.shape
+        if c != self.cin:
+            raise ValueError(f"expected {self.cin} channels, got {c}")
+        self._cols = _im2col(x, self.k, self.pad)
+        out = self._cols @ self.params["w"].T + self.params["b"]
+        return out.reshape(b, h, w, self.cout).transpose(0, 3, 1, 2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        b, _, h, w = self._xshape
+        g = grad_out.transpose(0, 2, 3, 1).reshape(b, h * w, self.cout)
+        self.grads["w"] = np.einsum("bpo,bpf->of", g, self._cols)
+        self.grads["b"] = g.sum(axis=(0, 1))
+        gcols = g @ self.params["w"]
+        return _col2im(gcols, self._xshape, self.k, self.pad)
+
+    def flops(self, h: int, w: int, batch: int) -> float:
+        """Forward multiply-add count (used by the performance model)."""
+        return 2.0 * batch * h * w * self.cout * self.cin * self.k**2
+
+
+class MaxPool2(Layer):
+    """2×2 max pooling with stride 2."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        b, c, h, w = x.shape
+        if h % 2 or w % 2:
+            raise ValueError("spatial dims must be even for 2x2 pooling")
+        self._xshape = x.shape
+        xr = x.reshape(b, c, h // 2, 2, w // 2, 2)
+        windows = xr.transpose(0, 1, 2, 4, 3, 5).reshape(
+            b, c, h // 2, w // 2, 4
+        )
+        self._argmax = windows.argmax(axis=-1)
+        return windows.max(axis=-1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        b, c, h, w = self._xshape
+        grad_windows = np.zeros(
+            (b, c, h // 2, w // 2, 4), dtype=grad_out.dtype
+        )
+        np.put_along_axis(
+            grad_windows, self._argmax[..., None], grad_out[..., None], -1
+        )
+        return (
+            grad_windows.reshape(b, c, h // 2, w // 2, 2, 2)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(b, c, h, w)
+        )
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W^T + b``."""
+
+    def __init__(
+        self, in_features: int, out_features: int, seed: object = "dense"
+    ) -> None:
+        super().__init__()
+        self.fin = in_features
+        self.fout = out_features
+        rng = seeded_rng("cnn", seed, in_features, out_features)
+        self.params["w"] = rng.standard_normal(
+            (out_features, in_features)
+        ) * np.sqrt(2.0 / in_features)
+        self.params["b"] = np.zeros(out_features)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.params["w"].T + self.params["b"]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self.grads["w"] = grad_out.T @ self._x
+        self.grads["b"] = grad_out.sum(axis=0)
+        return grad_out @ self.params["w"]
+
+
+class SoftmaxCrossEntropy:
+    """Fused softmax + cross-entropy loss (mean over the batch)."""
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        self._probs = exp / exp.sum(axis=1, keepdims=True)
+        self._labels = labels
+        b = logits.shape[0]
+        nll = -np.log(self._probs[np.arange(b), labels] + 1e-300)
+        return float(nll.mean())
+
+    def backward(self) -> np.ndarray:
+        """d(loss)/d(logits); already divided by the batch size."""
+        b = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(b), self._labels] -= 1.0
+        return grad / b

@@ -1,0 +1,99 @@
+"""Sequential network container and the SGD update."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.apps.cnn.layers import Layer, SoftmaxCrossEntropy
+
+
+class Sequential:
+    """A stack of layers with a softmax cross-entropy head."""
+
+    def __init__(self, layers: Iterable[Layer]) -> None:
+        self.layers = list(layers)
+        self.loss_fn = SoftmaxCrossEntropy()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def loss(self, x: np.ndarray, labels: np.ndarray) -> float:
+        return self.loss_fn.forward(self.forward(x), labels)
+
+    def backward(self) -> np.ndarray:
+        """Full backward pass after :meth:`loss`; returns input grad."""
+        grad = self.loss_fn.backward()
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def backward_layers(self):
+        """Generator yielding ``(layer, grad_in)`` from last to first.
+
+        Lets a data-parallel trainer post each layer's gradient
+        allreduce *while earlier layers are still backpropagating* —
+        the paper's conv-layer overlap opportunity (§5.3).
+        """
+        grad = self.loss_fn.backward()
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+            yield layer, grad
+
+    def parameters(self):
+        """Iterate ``(layer, name, param)`` triples."""
+        for layer in self.layers:
+            for name, p in layer.params.items():
+                yield layer, name, p
+
+    def param_count(self) -> int:
+        return sum(layer.param_count() for layer in self.layers)
+
+    def state(self) -> list[np.ndarray]:
+        return [p.copy() for _, _, p in self.parameters()]
+
+    def load_state(self, state: list[np.ndarray]) -> None:
+        for (layer, name, p), saved in zip(self.parameters(), state):
+            layer.params[name] = saved.copy()
+
+
+def sgd_step(model: Sequential, lr: float) -> None:
+    """In-place vanilla SGD using each layer's stored ``grads``."""
+    for layer in model.layers:
+        for name in layer.params:
+            layer.params[name] -= lr * layer.grads[name]
+
+
+class MomentumSGD:
+    """SGD with classical momentum (the optimizer CNN training of the
+    paper's era actually used)."""
+
+    def __init__(self, model: Sequential, lr: float, momentum: float = 0.9):
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.model = model
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update from each layer's stored ``grads``."""
+        for i, layer in enumerate(self.model.layers):
+            for name in layer.params:
+                key = (i, name)
+                v = self._velocity.get(key)
+                if v is None:
+                    v = np.zeros_like(layer.params[name])
+                v *= self.momentum
+                v -= self.lr * layer.grads[name]
+                self._velocity[key] = v
+                layer.params[name] += v
+
+
+def accuracy(model: Sequential, x: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of correctly classified samples."""
+    logits = model.forward(x)
+    return float((logits.argmax(axis=1) == labels).mean())

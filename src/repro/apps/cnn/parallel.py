@@ -1,0 +1,217 @@
+"""Distributed CNN training strategies (paper §5.3).
+
+Both trainers consume the *global* minibatch on every rank (the
+synthetic generator is deterministic) and shard it internally, so a
+P-rank run is numerically identical to the serial run — which the test
+suite asserts.  Communication maps one-to-one onto the paper's
+description:
+
+* data parallel: per-layer weight-gradient allreduce, posted layer by
+  layer during backpropagation (overlappable);
+* hybrid: conv layers data-parallel; dense layers model-parallel with
+  batch-allgather at the conv/fc boundary, activation allgathers
+  forward and activation-gradient allreduces backward (the
+  "synchronized all-to-all exchanges" of §5.3).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.apps.cnn.layers import Dense, Layer, ReLU, SoftmaxCrossEntropy
+from repro.apps.cnn.network import Sequential, sgd_step
+
+
+def _contig(a: np.ndarray) -> np.ndarray:
+    return np.ascontiguousarray(a)
+
+
+class DataParallelTrainer:
+    """Replicated model; sharded batch; allreduced gradients."""
+
+    def __init__(
+        self,
+        comm: Any,
+        model: Sequential,
+        lr: float = 0.05,
+        overlap: bool = True,
+    ) -> None:
+        self.comm = comm
+        self.model = model
+        self.lr = lr
+        #: post per-layer nonblocking allreduces during backprop
+        self.overlap = overlap
+
+    def _shard(self, arr: np.ndarray) -> np.ndarray:
+        b = arr.shape[0]
+        p = self.comm.size
+        if b % p:
+            raise ValueError(f"batch {b} not divisible by {p} ranks")
+        bs = b // p
+        return _contig(arr[self.comm.rank * bs : (self.comm.rank + 1) * bs])
+
+    def train_step(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> float:
+        """One SGD step on the global batch; returns the global loss."""
+        x = self._shard(images)
+        y = self._shard(labels)
+        local_loss = self.model.loss(x, y)
+        p = self.comm.size
+        if self.overlap:
+            handles = []
+            # Backprop layer by layer; each layer's gradient reduction is
+            # in flight while earlier layers still compute (Listing-1
+            # style overlap; with software offload this truly overlaps).
+            for layer, _ in self.model.backward_layers():
+                for name, g in layer.grads.items():
+                    recv = np.empty_like(g)
+                    h = self.comm.iallreduce(_contig(g), recv)
+                    handles.append((layer, name, recv, h))
+            for layer, name, recv, h in handles:
+                h.wait()
+                layer.grads[name] = recv / p
+        else:
+            self.model.backward()
+            for layer in self.model.layers:
+                for name, g in layer.grads.items():
+                    layer.grads[name] = self.comm.allreduce(_contig(g)) / p
+        sgd_step(self.model, self.lr)
+        out = self.comm.allreduce(np.array([local_loss]))
+        return float(out[0]) / p
+
+
+class HybridParallelTrainer:
+    """Data-parallel conv stack + model-parallel dense stack.
+
+    ``fc_dims`` is the full dense spec ``[F, H1, ..., classes]``; every
+    hidden/output width must be divisible by the rank count.  Each rank
+    holds the full conv weights and a row slice of every dense weight
+    matrix, positioned so that the concatenation across ranks equals
+    the serial model with the same seeds.
+    """
+
+    def __init__(
+        self,
+        comm: Any,
+        conv_layers: Sequence[Layer],
+        fc_dims: Sequence[int],
+        lr: float = 0.05,
+        seed: object = "hybrid",
+    ) -> None:
+        if len(fc_dims) < 2:
+            raise ValueError("fc_dims needs at least input and output")
+        self.comm = comm
+        self.lr = lr
+        self.conv = list(conv_layers)
+        p = comm.size
+        self.fc_slices: list[Dense] = []
+        self.relus: list[ReLU] = []
+        for i in range(len(fc_dims) - 1):
+            fin, fout = fc_dims[i], fc_dims[i + 1]
+            if fout % p:
+                raise ValueError(
+                    f"dense width {fout} not divisible by {p} ranks"
+                )
+            # Build the *full* layer deterministically, keep our slice —
+            # guarantees P-rank == serial numerics.
+            full = Dense(fin, fout, seed=(seed, i))
+            sl = slice(comm.rank * (fout // p), (comm.rank + 1) * (fout // p))
+            mine = Dense(fin, fout // p, seed=(seed, i))
+            mine.params["w"] = full.params["w"][sl].copy()
+            mine.params["b"] = full.params["b"][sl].copy()
+            self.fc_slices.append(mine)
+            if i < len(fc_dims) - 2:
+                self.relus.append(ReLU())
+        self.loss_fn = SoftmaxCrossEntropy()
+        self.fc_dims = tuple(fc_dims)
+
+    # -- collective helpers ------------------------------------------------
+
+    def _allgather_batch(self, shard: np.ndarray) -> np.ndarray:
+        """(bs, F) shards -> (B, F) full batch (conv/fc boundary)."""
+        got = self.comm.allgather(_contig(shard))
+        return got.reshape(-1, shard.shape[1])
+
+    def _allgather_cols(self, local: np.ndarray) -> np.ndarray:
+        """(B, out/P) neuron slices -> (B, out) full activations."""
+        got = self.comm.allgather(_contig(local))  # (P, B, out/P)
+        return _contig(got.transpose(1, 0, 2).reshape(local.shape[0], -1))
+
+    # -- training ---------------------------------------------------------------
+
+    def train_step(
+        self, images: np.ndarray, labels: np.ndarray
+    ) -> float:
+        comm = self.comm
+        p = comm.size
+        b = images.shape[0]
+        if b % p:
+            raise ValueError(f"batch {b} not divisible by {p} ranks")
+        bs = b // p
+        r = comm.rank
+        x = _contig(images[r * bs : (r + 1) * bs])
+
+        # ---- forward: conv (data parallel, shard) -------------------------
+        a = x
+        for layer in self.conv:
+            a = layer.forward(a)
+        if a.ndim != 2:
+            raise ValueError("conv stack must end flattened (B, F)")
+        # ---- boundary: gather the full batch of features ------------------
+        feats = self._allgather_batch(a)
+        # ---- forward: dense (model parallel, full batch) ------------------
+        act = feats
+        for i, dense in enumerate(self.fc_slices):
+            out_full = self._allgather_cols(dense.forward(act))
+            if i < len(self.relus):
+                out_full = self.relus[i].forward(out_full)
+            act = out_full
+        loss = self.loss_fn.forward(act, labels)
+
+        # ---- backward: dense ------------------------------------------------
+        g = self.loss_fn.backward()  # (B, classes), replicated
+        for i in reversed(range(len(self.fc_slices))):
+            dense = self.fc_slices[i]
+            out_p = dense.fout
+            g_loc = _contig(g[:, r * out_p : (r + 1) * out_p])
+            g_partial = dense.backward(g_loc)
+            # activation-gradient exchange: sum partial input grads
+            g = comm.allreduce(_contig(g_partial))
+            if i > 0:
+                g = self.relus[i - 1].backward(g)
+
+        # ---- boundary backward: my shard's feature gradients ---------------
+        g_shard = _contig(g[r * bs : (r + 1) * bs])
+        # ---- backward: conv + gradient allreduce (data parallel) ------------
+        handles = []
+        grad = g_shard
+        for layer in reversed(self.conv):
+            grad = layer.backward(grad)
+            for name, gv in layer.grads.items():
+                recv = np.empty_like(gv)
+                h = comm.iallreduce(_contig(gv), recv)
+                handles.append((layer, name, recv, h))
+        for layer, name, recv, h in handles:
+            h.wait()
+            # shard losses are already /B, so partial grads just SUM.
+            layer.grads[name] = recv
+
+        # ---- update ------------------------------------------------------------
+        for layer in self.conv:
+            for name in layer.params:
+                layer.params[name] -= self.lr * layer.grads[name]
+        for dense in self.fc_slices:
+            for name in dense.params:
+                dense.params[name] -= self.lr * dense.grads[name]
+        return loss
+
+    # -- test/inspection helpers ---------------------------------------------
+
+    def gather_fc_weights(self, index: int) -> np.ndarray:
+        """Reassemble the full weight matrix of dense layer ``index``."""
+        mine = self.fc_slices[index].params["w"]
+        got = self.comm.allgather(_contig(mine))
+        return got.reshape(-1, mine.shape[1])

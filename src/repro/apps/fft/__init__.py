@@ -1,0 +1,38 @@
+"""Distributed 1-D FFT (paper §5.2).
+
+Two algorithms over the substrate:
+
+* :func:`transpose_fft` — the classic Cooley-Tukey factorization with
+  **three all-to-all exchanges** (block-distributed, ordered output);
+  "used by virtually all high-performance FFT implementations" per the
+  paper.
+* :func:`lowcomm_fft` — a low-communication variant with **one**
+  all-to-all, more local computation, and segmented pipelining of
+  compute with communication — the structural role SOI FFT [32] plays
+  in the paper (output in a documented permuted layout).
+
+Local transforms use this package's own vectorized radix-2 kernel
+(:func:`fft1d`), validated against ``numpy.fft``.
+"""
+
+from repro.apps.fft.serial import fft1d, ifft1d, fft_flops
+from repro.apps.fft.distributed import (
+    transpose_fft,
+    lowcomm_fft,
+    LowCommLayout,
+    block_to_cyclic,
+    local_block,
+    gather_lowcomm_output,
+)
+
+__all__ = [
+    "fft1d",
+    "ifft1d",
+    "fft_flops",
+    "transpose_fft",
+    "lowcomm_fft",
+    "LowCommLayout",
+    "block_to_cyclic",
+    "local_block",
+    "gather_lowcomm_output",
+]

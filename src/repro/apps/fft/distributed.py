@@ -1,0 +1,173 @@
+"""Distributed 1-D FFT algorithms over the substrate.
+
+Definitions (P ranks, L elements per rank, N = P·L, P must divide L):
+
+* **block** layout — rank p holds x[pL : (p+1)L];
+* **cyclic** layout — rank q holds x[q], x[q+P], x[q+2P], …;
+* **lowcomm** output layout — see :class:`LowCommLayout`.
+
+:func:`transpose_fft` is the classic three-all-to-all algorithm
+(block in, ordered block out).  :func:`lowcomm_fft` performs one
+all-to-all plus a short dense cross-rank DFT (more local computation),
+with that single exchange *segmented and pipelined* against the
+computation — the communication structure the paper's SOI FFT [32]
+uses to overlap all-to-all with compute.
+
+Both work with plain and offloaded communicators: they only call
+``alltoall`` / ``ialltoall`` and request ``wait``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.apps.fft.serial import dft_matrix, fft1d
+
+
+def _check(comm: Any, local_len: int) -> tuple[int, int]:
+    p = comm.size
+    if local_len % p:
+        raise ValueError(
+            f"local length {local_len} must be divisible by {p} ranks"
+        )
+    n = p * local_len
+    if n & (n - 1):
+        raise ValueError(f"global length {n} must be a power of two")
+    return p, local_len
+
+
+def local_block(x_global: np.ndarray, rank: int, nranks: int) -> np.ndarray:
+    """Rank ``rank``'s block of a (test-side) global array."""
+    n = x_global.shape[0]
+    l = n // nranks
+    return np.ascontiguousarray(x_global[rank * l : (rank + 1) * l])
+
+
+def block_to_cyclic(comm: Any, x_local: np.ndarray) -> np.ndarray:
+    """First transpose: block layout -> cyclic layout (one all-to-all)."""
+    p, l = _check(comm, x_local.shape[0])
+    if p == 1:
+        return x_local.copy()
+    send = np.ascontiguousarray(x_local.reshape(l // p, p).T)
+    recv = np.empty_like(send)
+    comm.alltoall(send, recv)
+    return recv.reshape(l)
+
+
+def _twiddle(q: int, l: int, n: int) -> np.ndarray:
+    return np.exp(-2j * np.pi * q * np.arange(l) / n)
+
+
+@dataclass(frozen=True)
+class LowCommLayout:
+    """Output layout of :func:`lowcomm_fft`.
+
+    Rank ``m`` holds a ``(P, L//P)`` array ``G`` with
+    ``G[d, c'] == X[d*L + m*(L//P) + c']``.
+    """
+
+    nranks: int
+    local_len: int
+
+    def global_index(self, rank: int, d: int, c_prime: int) -> int:
+        chunk = self.local_len // self.nranks
+        return d * self.local_len + rank * chunk + c_prime
+
+    def scatter_indices(self, rank: int) -> np.ndarray:
+        """Global spectrum indices of rank ``rank``'s flattened output."""
+        chunk = self.local_len // self.nranks
+        d = np.repeat(np.arange(self.nranks), chunk)
+        c = np.tile(np.arange(chunk), self.nranks)
+        return d * self.local_len + rank * chunk + c
+
+
+def lowcomm_fft(
+    comm: Any,
+    x_cyclic: np.ndarray,
+    segments: int = 1,
+) -> tuple[np.ndarray, LowCommLayout]:
+    """Single-transpose FFT with segmented, pipelined exchange.
+
+    Input in cyclic layout; returns ``(G, layout)`` where ``G`` is the
+    rank's ``(P, L//P)`` output tile (see :class:`LowCommLayout`).
+
+    The all-to-all is split into ``segments`` column chunks; segment
+    ``s+1``'s exchange is posted before segment ``s``'s short DFT runs,
+    so with asynchronous progress the exchange hides behind compute —
+    the paper's SOI pipelining (§5.2).
+    """
+    p, l = _check(comm, x_cyclic.shape[0])
+    n = p * l
+    q = comm.rank
+    # Step 1: one local FFT of length L over this rank's cyclic samples.
+    z = fft1d(x_cyclic)
+    # Step 2: twiddle.
+    z *= _twiddle(q, l, n)
+    if p == 1:
+        return z.reshape(1, l).copy(), LowCommLayout(1, l)
+    cols = l // p
+    if not 1 <= segments <= cols:
+        raise ValueError(f"segments must be in [1, {cols}]")
+    z_mat = z.reshape(p, cols)  # row m = chunk destined for rank m
+    w = dft_matrix(p)
+    g = np.empty((p, cols), dtype=np.complex128)
+    # Segment boundaries over the c' columns.
+    edges = np.linspace(0, cols, segments + 1, dtype=int)
+    sends: list[np.ndarray] = []
+    recvs: list[np.ndarray] = []
+    reqs: list[Any] = []
+    for s in range(segments):
+        lo, hi = edges[s], edges[s + 1]
+        sends.append(np.ascontiguousarray(z_mat[:, lo:hi]))
+        recvs.append(np.empty((p, hi - lo), dtype=np.complex128))
+        reqs.append(None)
+
+    def post(s: int) -> None:
+        reqs[s] = comm.ialltoall(sends[s], recvs[s])
+
+    post(0)
+    for s in range(segments):
+        if s + 1 < segments:
+            post(s + 1)  # exchange of next segment overlaps this DFT
+        reqs[s].wait()
+        lo, hi = edges[s], edges[s + 1]
+        # Step 3: short cross-rank DFT (the extra computation).
+        g[:, lo:hi] = w @ recvs[s]
+    return g, LowCommLayout(p, l)
+
+
+def transpose_fft(comm: Any, x_block: np.ndarray) -> np.ndarray:
+    """Ordered distributed FFT: three all-to-all exchanges.
+
+    Block layout in, block layout out (rank p returns X[pL:(p+1)L]).
+    """
+    p, l = _check(comm, x_block.shape[0])
+    if p == 1:
+        return fft1d(x_block)
+    # Exchange 1: block -> cyclic.
+    x_cyc = block_to_cyclic(comm, x_block)
+    # Exchange 2 (inside): single-transpose core, unsegmented.
+    g, _layout = lowcomm_fft(comm, x_cyc, segments=1)
+    # Exchange 3: lowcomm layout -> ordered block layout.
+    recv = np.empty_like(g)
+    comm.alltoall(np.ascontiguousarray(g), recv)
+    # recv[m, c'] = X[rank*L + m*(L//P) + c']  ->  flatten in (m, c').
+    return recv.reshape(l)
+
+
+def gather_lowcomm_output(
+    comm: Any, g: np.ndarray, layout: LowCommLayout, root: int = 0
+) -> np.ndarray | None:
+    """Assemble the full ordered spectrum at ``root`` (test helper)."""
+    flat = np.ascontiguousarray(g.reshape(-1))
+    gathered = comm.gather(flat, root=root)
+    if comm.rank != root:
+        return None
+    n = layout.nranks * layout.local_len
+    out = np.empty(n, dtype=np.complex128)
+    for r in range(comm.size):
+        out[layout.scatter_indices(r)] = gathered[r]
+    return out

@@ -1,0 +1,160 @@
+"""Even-odd (red-black) preconditioning for the Wilson solver.
+
+Production lattice-QCD codes (including the paper's QPhiX lineage)
+rarely solve ``M x = b`` directly: they exploit that Wilson-Dslash only
+couples sites of opposite parity, so in the even/odd ordering
+
+.. math::
+
+   M = \\begin{pmatrix} I & -\\kappa D_{eo} \\\\
+                        -\\kappa D_{oe} & I \\end{pmatrix},
+
+and the Schur complement
+
+.. math::
+
+   \\hat M \\;=\\; I - \\kappa^2 D_{eo} D_{oe}
+
+acts on even sites only, is far better conditioned (eigenvalues are
+squared toward 1), and halves the solve's iteration count.  After
+solving :math:`\\hat M x_e = b_e + \\kappa D_{eo} b_o`, the odd half is
+reconstructed directly: :math:`x_o = b_o + \\kappa D_{oe} x_e`.
+
+The parity of a site uses *global* coordinates, so the decomposition is
+parity-consistent across ranks.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.apps.qcd.dslash import DslashOperator
+from repro.apps.qcd.fields import spinor_dot, spinor_norm2
+from repro.apps.qcd.lattice import LatticeGeometry
+from repro.apps.qcd.solvers import SolverResult
+from repro.util.timing import TimeBreakdown
+
+
+def parity_mask(
+    geom: LatticeGeometry, rank: int, parity: int
+) -> np.ndarray:
+    """Boolean mask of local sites with global parity ``parity``.
+
+    Shape ``local_dims + (1, 1)`` so it broadcasts over spin/color.
+    """
+    if parity not in (0, 1):
+        raise ValueError("parity must be 0 (even) or 1 (odd)")
+    origin = geom.local_origin(rank)
+    grids = np.meshgrid(
+        *[np.arange(o, o + l) for o, l in zip(origin, geom.local_dims)],
+        indexing="ij",
+    )
+    total = sum(grids)
+    return ((total % 2) == parity)[..., None, None]
+
+
+class EvenOddWilsonOperator:
+    """Schur-preconditioned Wilson operator ``M̂ = I − κ² D_eo D_oe``."""
+
+    def __init__(
+        self,
+        geom: LatticeGeometry,
+        comm: Any,
+        gauge: np.ndarray,
+        kappa: float = 0.1,
+    ) -> None:
+        if not 0 < kappa < 0.125:
+            raise ValueError("kappa must be in (0, 1/8)")
+        self.geom = geom
+        self.comm = comm
+        self.kappa = kappa
+        self.dslash = DslashOperator(geom, comm, gauge)
+        self.even = parity_mask(geom, comm.rank, 0)
+        self.odd = parity_mask(geom, comm.rank, 1)
+
+    # -- parity-restricted hops --------------------------------------------
+
+    def _d_oe(self, x_even: np.ndarray, sign: int = 1) -> np.ndarray:
+        """Odd result of D applied to an even-supported field."""
+        return self.dslash.apply(x_even, sign=sign) * self.odd
+
+    def _d_eo(self, x_odd: np.ndarray, sign: int = 1) -> np.ndarray:
+        """Even result of D applied to an odd-supported field."""
+        return self.dslash.apply(x_odd, sign=sign) * self.even
+
+    # -- the preconditioned operator ------------------------------------------
+
+    def apply_hat(self, x_even: np.ndarray) -> np.ndarray:
+        """M̂ x on the even sublattice."""
+        return x_even - self.kappa**2 * self._d_eo(self._d_oe(x_even))
+
+    def apply_hat_dagger(self, x_even: np.ndarray) -> np.ndarray:
+        """M̂† x (adjoint of the hop chain, built from D†)."""
+        inner = self.dslash.apply(x_even, sign=-1) * self.odd
+        outer = self.dslash.apply(inner, sign=-1) * self.even
+        return x_even - self.kappa**2 * outer
+
+    # -- full solve ---------------------------------------------------------------
+
+    def solve(
+        self,
+        b: np.ndarray,
+        tol: float = 1e-8,
+        max_iter: int = 500,
+    ) -> SolverResult:
+        """Solve the *full* system ``M x = b`` via the Schur complement.
+
+        CG on the normal equations of M̂ (even sites), then direct
+        reconstruction of the odd sites.  The returned residual is for
+        the original full-lattice system.
+        """
+        comm = self.comm
+        timings = TimeBreakdown()
+        kappa = self.kappa
+        b_e = b * self.even
+        b_o = b * self.odd
+        # preconditioned right-hand side (even support)
+        rhs_hat = b_e + kappa * self._d_eo(b_o)
+        # CGNE on M̂: M̂† M̂ x_e = M̂† rhs
+        matvecs = 2  # the two hops in rhs construction count one apply..
+        rhs = self.apply_hat_dagger(rhs_hat)
+        matvecs += 2
+        x_e = np.zeros_like(b)
+        r = rhs.copy()
+        p = r.copy()
+        rr = spinor_norm2(comm, r)
+        target = tol * tol * max(spinor_norm2(comm, rhs), 1e-300)
+        converged = rr <= target
+        it = 0
+        while not converged and it < max_iter:
+            it += 1
+            ap = self.apply_hat_dagger(self.apply_hat(p))
+            matvecs += 4
+            p_ap = spinor_dot(comm, p, ap).real
+            if p_ap <= 0:
+                break
+            alpha = rr / p_ap
+            x_e += alpha * p
+            r -= alpha * ap
+            rr_new = spinor_norm2(comm, r)
+            if rr_new <= target:
+                converged = True
+                break
+            p *= rr_new / rr
+            p += r
+            rr = rr_new
+        # reconstruct the odd half
+        x_o = b_o + kappa * self._d_oe(x_e)
+        x = x_e + x_o
+        # full-system residual
+        mx = x - kappa * self.dslash.apply(x, timings=timings)
+        matvecs += 1
+        resid = np.sqrt(
+            spinor_norm2(comm, mx - b) / max(spinor_norm2(comm, b), 1e-300)
+        )
+        return SolverResult(
+            x, it, float(resid), converged and resid < 10 * tol, matvecs,
+            timings,
+        )

@@ -1,0 +1,86 @@
+"""Spinor and gauge fields on the local sublattice.
+
+Layouts (C-contiguous, axes x,y,z,t leading):
+
+* spinor:  ``(lx, ly, lz, lt, 4, 3)`` complex — 4 spin, 3 color;
+* gauge:   ``(lx, ly, lz, lt, 4, 3, 3)`` complex — one 3×3 link matrix
+  per site per direction μ ∈ {x,y,z,t}.
+
+Random gauge links are drawn as Haar-ish unitary matrices (QR of a
+complex Gaussian); unitarity is what the Dslash adjoint identity needs,
+and tests verify it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.qcd.lattice import LatticeGeometry
+from repro.util.rng import seeded_rng
+
+
+def spinor_shape(geom: LatticeGeometry) -> tuple[int, ...]:
+    return geom.local_dims + (4, 3)
+
+
+def gauge_shape(geom: LatticeGeometry) -> tuple[int, ...]:
+    return geom.local_dims + (4, 3, 3)
+
+
+def random_spinor_field(
+    geom: LatticeGeometry, rank: int, seed: object = "spinor"
+) -> np.ndarray:
+    """Deterministic per-rank random spinor field."""
+    rng = seeded_rng("qcd", seed, rank)
+    shape = spinor_shape(geom)
+    return (
+        rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    ) / np.sqrt(2.0)
+
+
+def random_gauge_field(
+    geom: LatticeGeometry, rank: int, seed: object = "gauge"
+) -> np.ndarray:
+    """Unitary random links (U(3); the SU(3) phase is irrelevant to the
+    operator structure being reproduced)."""
+    rng = seeded_rng("qcd", seed, rank)
+    shape = gauge_shape(geom)
+    z = rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+    flat = z.reshape(-1, 3, 3)
+    q, r = np.linalg.qr(flat)
+    # Fix the QR phase ambiguity so the distribution is uniform.
+    d = np.diagonal(r, axis1=-2, axis2=-1).copy()
+    d /= np.abs(d)
+    q = q * d[:, None, :]
+    return np.ascontiguousarray(q.reshape(shape))
+
+
+def unit_gauge_field(geom: LatticeGeometry) -> np.ndarray:
+    """Free-field links (identity matrices); Dslash then reduces to a
+    pure finite-difference stencil — handy for exact tests."""
+    u = np.zeros(gauge_shape(geom), dtype=np.complex128)
+    u[..., 0, 0] = 1.0
+    u[..., 1, 1] = 1.0
+    u[..., 2, 2] = 1.0
+    return u
+
+
+def spinor_dot(comm, a: np.ndarray, b: np.ndarray) -> complex:
+    """Global inner product ⟨a, b⟩ = Σ conj(a)·b (allreduce)."""
+    local = np.vdot(a, b)
+    buf = np.array([local], dtype=np.complex128)
+    out = comm.allreduce(buf)
+    return complex(out[0])
+
+
+def spinor_norm2(comm, a: np.ndarray) -> float:
+    """Global squared 2-norm (allreduce)."""
+    local = float(np.vdot(a, a).real)
+    buf = np.array([local])
+    out = comm.allreduce(buf)
+    return float(out[0])
+
+
+def axpy(alpha: complex, x: np.ndarray, y: np.ndarray) -> None:
+    """y += alpha * x, in place (level-1 BLAS of the solvers)."""
+    y += alpha * x

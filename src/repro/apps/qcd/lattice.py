@@ -1,0 +1,161 @@
+"""4-D lattice geometry and domain decomposition.
+
+Paper §5.1: "we consider the set of MPI processes as running on a four
+dimensional virtual processor grid (Px, Py, Pz, Pt) ... MPI ranks run
+lexicographically through our virtual processor grid, partitioning on
+the largest dimension followed by the other three (first T, then Z,
+followed by Y and finally X)."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+import operator
+
+#: dimension order used for partitioning preference (paper: T,Z,Y,X)
+_PARTITION_ORDER = (3, 2, 1, 0)  # indices into (X, Y, Z, T)
+
+DIM_NAMES = ("x", "y", "z", "t")
+
+
+def _prod(values) -> int:
+    return reduce(operator.mul, values, 1)
+
+
+@dataclass(frozen=True)
+class LatticeGeometry:
+    """Global lattice, process grid, and this rank's place in it."""
+
+    global_dims: tuple[int, int, int, int]
+    proc_grid: tuple[int, int, int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.global_dims) != 4 or len(self.proc_grid) != 4:
+            raise ValueError("lattice and grid must be 4-dimensional")
+        for g, p in zip(self.global_dims, self.proc_grid):
+            if p <= 0 or g <= 0:
+                raise ValueError("dimensions must be positive")
+            if g % p:
+                raise ValueError(
+                    f"global extent {g} not divisible by grid extent {p}"
+                )
+            if g // p < 2 and p > 1:
+                raise ValueError(
+                    "local extent along a decomposed dimension must be >= 2 "
+                    "(halo exchange needs distinct faces)"
+                )
+
+    # ------------------------------------------------------------ construction
+
+    @classmethod
+    def partition(
+        cls, global_dims: tuple[int, int, int, int], nranks: int
+    ) -> "LatticeGeometry":
+        """Choose a process grid for ``nranks`` (a power of two).
+
+        Factors of two are assigned greedily to the dimension with the
+        largest current *local* extent, preferring T, then Z, Y, X on
+        ties — the paper's partitioning rule.
+        """
+        if nranks <= 0 or nranks & (nranks - 1):
+            raise ValueError("nranks must be a positive power of two")
+        grid = [1, 1, 1, 1]
+        local = list(global_dims)
+        remaining = nranks
+        while remaining > 1:
+            best = None
+            for d in _PARTITION_ORDER:
+                if local[d] % 2 == 0 and local[d] >= 4:
+                    if best is None or local[d] > local[best]:
+                        best = d
+            if best is None:
+                raise ValueError(
+                    f"cannot partition lattice {global_dims} over "
+                    f"{nranks} ranks"
+                )
+            grid[best] *= 2
+            local[best] //= 2
+            remaining //= 2
+        return cls(tuple(global_dims), tuple(grid))
+
+    # ------------------------------------------------------------- volumes
+
+    @property
+    def nranks(self) -> int:
+        return _prod(self.proc_grid)
+
+    @property
+    def local_dims(self) -> tuple[int, int, int, int]:
+        return tuple(
+            g // p for g, p in zip(self.global_dims, self.proc_grid)
+        )
+
+    @property
+    def global_volume(self) -> int:
+        return _prod(self.global_dims)
+
+    @property
+    def local_volume(self) -> int:
+        return _prod(self.local_dims)
+
+    def face_sites(self, dim: int) -> int:
+        """Sites on one face perpendicular to ``dim``."""
+        return self.local_volume // self.local_dims[dim]
+
+    def decomposed_dims(self) -> tuple[int, ...]:
+        """Dimensions actually split across ranks (needing halo
+        exchange; the others wrap locally)."""
+        return tuple(d for d in range(4) if self.proc_grid[d] > 1)
+
+    def halo_bytes(self, dim: int, itemsize: int = 16) -> int:
+        """Bytes in one direction's face message.
+
+        The paper's implementation exchanges *projected* half-spinors:
+        2 spin × 3 color complex values per site.
+        """
+        return self.face_sites(dim) * 2 * 3 * itemsize
+
+    # ------------------------------------------------------------ rank algebra
+
+    def coords_of(self, rank: int) -> tuple[int, int, int, int]:
+        """Process-grid coordinates of ``rank`` (X fastest)."""
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} outside grid")
+        px = rank % self.proc_grid[0]
+        rest = rank // self.proc_grid[0]
+        py = rest % self.proc_grid[1]
+        rest //= self.proc_grid[1]
+        pz = rest % self.proc_grid[2]
+        pt = rest // self.proc_grid[2]
+        return (px, py, pz, pt)
+
+    def rank_of(self, coords: tuple[int, int, int, int]) -> int:
+        px, py, pz, pt = (
+            c % p for c, p in zip(coords, self.proc_grid)
+        )
+        return ((pt * self.proc_grid[2] + pz) * self.proc_grid[1] + py) * (
+            self.proc_grid[0]
+        ) + px
+
+    def neighbor(self, rank: int, dim: int, direction: int) -> int:
+        """Rank of the periodic neighbor along ``dim`` (+1/-1)."""
+        if direction not in (1, -1):
+            raise ValueError("direction must be +1 or -1")
+        coords = list(self.coords_of(rank))
+        coords[dim] += direction
+        return self.rank_of(tuple(coords))
+
+    def local_origin(self, rank: int) -> tuple[int, int, int, int]:
+        """Global coordinates of this rank's first local site."""
+        return tuple(
+            c * l for c, l in zip(self.coords_of(rank), self.local_dims)
+        )
+
+    # ------------------------------------------------------------ descriptions
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        g = "x".join(map(str, self.global_dims))
+        p = "x".join(map(str, self.proc_grid))
+        l = "x".join(map(str, self.local_dims))
+        return f"lattice {g} on grid {p} (local {l})"

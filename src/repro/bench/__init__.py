@@ -1,0 +1,39 @@
+"""Functional microbenchmarks on the threaded substrate.
+
+These run the *real* code — mpisim's matching engine, the actual
+offload thread, the actual comm-self progress thread — and measure
+wall-clock behaviour.  They demonstrate the paper's mechanisms
+functionally (e.g. rendezvous transfers completing during compute
+only when a progress context exists); the *figures'* absolute numbers
+come from :mod:`repro.simtime.workloads`, since Python wall-clock
+microbenchmarks of a GIL-shared thread pool cannot reproduce
+nanosecond-scale hardware effects.
+"""
+
+from repro.bench.harness import ApproachName, run_on_approach
+from repro.bench.overlap import overlap_benchmark, OverlapSample
+from repro.bench.osu import (
+    osu_latency_benchmark,
+    osu_bandwidth_benchmark,
+    osu_multithreaded_latency,
+)
+from repro.bench.call_overhead import isend_overhead_benchmark
+from repro.bench.app_compare import (
+    DslashSplit,
+    compare_dslash_splits,
+    dslash_split,
+)
+
+__all__ = [
+    "ApproachName",
+    "run_on_approach",
+    "overlap_benchmark",
+    "OverlapSample",
+    "osu_latency_benchmark",
+    "osu_bandwidth_benchmark",
+    "osu_multithreaded_latency",
+    "isend_overhead_benchmark",
+    "DslashSplit",
+    "dslash_split",
+    "compare_dslash_splits",
+]

@@ -1,0 +1,47 @@
+"""Functional nonblocking-call-overhead benchmark (§4.2, Figure 4).
+
+Measures the time an application thread spends *inside* ``isend`` —
+for the offload approach that is one lock-free enqueue regardless of
+message size; for direct approaches it includes the eager copy below
+the threshold.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.bench.harness import ApproachName, run_on_approach
+
+
+def isend_overhead_benchmark(
+    approach: ApproachName,
+    nbytes: int,
+    iters: int = 30,
+    eager_threshold: int | None = None,
+) -> float:
+    """Mean seconds spent issuing one ``isend`` (rank 0's view)."""
+
+    def program(comm):
+        peer = 1 - comm.rank
+        send = np.zeros(nbytes, dtype=np.uint8)
+        recv = np.empty(nbytes, dtype=np.uint8)
+        comm.barrier()
+        post_total = 0.0
+        for i in range(iters):
+            if comm.rank == 0:
+                t0 = time.perf_counter()
+                req = comm.isend(send, peer, tag=i)
+                post_total += time.perf_counter() - t0
+                req.wait()
+                comm.recv(recv, peer, tag=1000 + i)
+            else:
+                comm.recv(recv, peer, tag=i)
+                comm.send(send, peer, tag=1000 + i)
+        return post_total / iters
+
+    results = run_on_approach(
+        approach, 2, program, eager_threshold=eager_threshold
+    )
+    return results[0]

@@ -1,0 +1,77 @@
+"""Run a rank program under any of the paper's approaches.
+
+``run_on_approach`` wraps a user function so that the same benchmark
+body executes under *baseline* (plain communicator), *comm-self*
+(plain communicator + progress thread), or *offload* (interposed
+communicator + offload engine), exactly like the paper's unmodified-
+application methodology (§3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Literal
+
+from repro.core.commself import CommSelfProgressThread
+from repro.core.interpose import offloaded
+from repro.mpisim.constants import THREAD_FUNNELED, THREAD_MULTIPLE
+from repro.mpisim.world import World
+
+ApproachName = Literal["baseline", "comm-self", "offload"]
+
+APPROACH_NAMES: tuple[ApproachName, ...] = (
+    "baseline",
+    "comm-self",
+    "offload",
+)
+
+
+def thread_level_for(approach: ApproachName, nthreads: int = 1):
+    """The MPI thread level the approach requires (§2.2/§3.3)."""
+    if approach == "comm-self" or nthreads > 1:
+        return THREAD_MULTIPLE
+    return THREAD_FUNNELED
+
+
+def run_on_approach(
+    approach: ApproachName,
+    nranks: int,
+    fn: Callable[..., Any],
+    *args: Any,
+    nthreads: int = 1,
+    eager_threshold: int | None = None,
+    timeout: float = 120.0,
+) -> list[Any]:
+    """Execute ``fn(comm, *args)`` on every rank under ``approach``.
+
+    ``fn`` receives a communicator-like object; it never needs to know
+    which approach is active.
+    """
+    if approach not in APPROACH_NAMES:
+        raise ValueError(f"unknown approach {approach!r}")
+    kwargs = {}
+    if eager_threshold is not None:
+        kwargs["eager_threshold"] = eager_threshold
+    world = World(
+        nranks, thread_level=thread_level_for(approach, nthreads), **kwargs
+    )
+
+    def rank_program(comm, *fargs):
+        if approach == "baseline":
+            return fn(comm, *fargs)
+        if approach == "comm-self":
+            with CommSelfProgressThread(comm):
+                return fn(comm, *fargs)
+        with offloaded(comm) as ocomm:
+            return fn(ocomm, *fargs)
+
+    # CPython's default 5 ms GIL switch interval starves dedicated
+    # progress threads on benchmark timescales; a fine interval lets
+    # them behave like the extra hardware thread they model.
+    import sys
+
+    prev = sys.getswitchinterval()
+    sys.setswitchinterval(5e-5)
+    try:
+        return world.run(rank_program, *args, timeout=timeout)
+    finally:
+        sys.setswitchinterval(prev)

@@ -1,0 +1,120 @@
+"""Functional OSU-style latency / bandwidth / multithreaded benchmarks
+(§4.4, §4.5) on the threaded substrate."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro.bench.harness import ApproachName, run_on_approach
+from repro.core.thread_groups import ThreadGroupRunner, make_thread_comms
+
+
+def osu_latency_benchmark(
+    approach: ApproachName,
+    nbytes: int,
+    iters: int = 50,
+    warmup: int = 5,
+) -> float:
+    """One-way latency (half the ping-pong round trip), seconds."""
+
+    def program(comm):
+        peer = 1 - comm.rank
+        send = np.zeros(nbytes, dtype=np.uint8)
+        recv = np.empty(nbytes, dtype=np.uint8)
+        comm.barrier()
+        t0 = None
+        for i in range(warmup + iters):
+            if i == warmup:
+                t0 = time.perf_counter()
+            if comm.rank == 0:
+                comm.send(send, peer, tag=1)
+                comm.recv(recv, peer, tag=2)
+            else:
+                comm.recv(recv, peer, tag=1)
+                comm.send(send, peer, tag=2)
+        assert t0 is not None
+        return (time.perf_counter() - t0) / iters / 2.0
+
+    return run_on_approach(approach, 2, program)[0]
+
+
+def osu_bandwidth_benchmark(
+    approach: ApproachName,
+    nbytes: int,
+    window: int = 16,
+    iters: int = 5,
+) -> float:
+    """Unidirectional bandwidth (B/s): window of isends, then an ack."""
+
+    def program(comm):
+        peer = 1 - comm.rank
+        bufs = [np.zeros(nbytes, dtype=np.uint8) for _ in range(window)]
+        rbufs = [np.empty(nbytes, dtype=np.uint8) for _ in range(window)]
+        ack = np.zeros(1, dtype=np.uint8)
+        comm.barrier()
+        t0 = time.perf_counter()
+        for it in range(iters):
+            if comm.rank == 0:
+                reqs = [
+                    comm.isend(bufs[i], peer, tag=it * 1000 + i)
+                    for i in range(window)
+                ]
+                for r in reqs:
+                    r.wait()
+                comm.recv(ack, peer, tag=it * 1000 + 999)
+            else:
+                reqs = [
+                    comm.irecv(rbufs[i], peer, tag=it * 1000 + i)
+                    for i in range(window)
+                ]
+                for r in reqs:
+                    r.wait()
+                comm.send(ack, peer, tag=it * 1000 + 999)
+        elapsed = time.perf_counter() - t0
+        return iters * window * nbytes / elapsed
+
+    return run_on_approach(approach, 2, program)[0]
+
+
+def osu_multithreaded_latency(
+    approach: ApproachName,
+    nbytes: int,
+    nthreads: int,
+    iters: int = 20,
+) -> float:
+    """§4.4 multithreaded OSU latency: ``nthreads`` thread pairs per
+    rank run concurrent ping-pongs; returns the mean one-way latency.
+
+    Under *baseline*/*comm-self* the threads contend on the library
+    lock (``MPI_THREAD_MULTIPLE``); under *offload* they enqueue onto
+    the lock-free command queue.
+    """
+
+    def program(comm):
+        comms = make_thread_comms(comm, nthreads)
+        peer = 1 - comm.rank
+        lat = [0.0] * nthreads
+        barrier = threading.Barrier(nthreads)
+
+        def worker(tid: int, tcomm):
+            send = np.zeros(nbytes, dtype=np.uint8)
+            recv = np.empty(nbytes, dtype=np.uint8)
+            barrier.wait()
+            t0 = time.perf_counter()
+            for i in range(iters):
+                if comm.rank == 0:
+                    tcomm.send(send, peer, tag=i)
+                    tcomm.recv(recv, peer, tag=i)
+                else:
+                    tcomm.recv(recv, peer, tag=i)
+                    tcomm.send(send, peer, tag=i)
+            lat[tid] = (time.perf_counter() - t0) / iters / 2.0
+            return lat[tid]
+
+        results = ThreadGroupRunner(comms).run(worker)
+        return sum(results) / len(results)
+
+    return run_on_approach(approach, 2, program, nthreads=nthreads)[0]

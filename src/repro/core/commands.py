@@ -1,0 +1,118 @@
+"""Command records: the wire format between app threads and the
+offload thread.
+
+Paper §3.1: "our library serializes the call parameters into a
+call-specific structure and inserts this information into the command
+queue."  Ranks share an address space, so buffers travel by reference —
+no extra copies (also §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.lockfree.atomics import AtomicFlag
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.communicator import Communicator
+    from repro.mpisim.reduce_ops import ReduceOp
+
+
+class CommandKind(Enum):
+    """Every MPI operation the offload engine accepts."""
+
+    ISEND = auto()
+    IRECV = auto()
+    # blocking p2p (converted to nonblocking by the engine, §3.3)
+    SEND = auto()
+    RECV = auto()
+    IPROBE = auto()
+    # collectives with nonblocking equivalents: engine issues the
+    # I-variant and tracks it like any other in-flight request
+    BARRIER = auto()
+    BCAST = auto()
+    ALLREDUCE = auto()
+    GATHER = auto()
+    ALLTOALL = auto()
+    # collectives lacking a nonblocking equivalent in the substrate:
+    # the engine runs these inline (the paper's acknowledged
+    # MPI_WIN_FENCE-style shortcoming, §3.3).  Progress on other
+    # in-flight operations still occurs because the blocking wait pumps
+    # the same progress engine.
+    REDUCE = auto()
+    SCATTER = auto()
+    ALLGATHER = auto()
+    REDUCE_SCATTER = auto()
+    SCAN = auto()
+    # nonblocking collectives requested by the app
+    IBARRIER = auto()
+    IBCAST = auto()
+    IALLREDUCE = auto()
+    IGATHER = auto()
+    IALLTOALL = auto()
+    # generic inline call on the offload thread (dup/split/teardown);
+    # the functional analogue of offloading any remaining MPI entry point
+    CALL = auto()
+    # engine control
+    FLUSH = auto()
+    SHUTDOWN = auto()
+
+
+#: Command kinds that return an OffloadRequest handle to the caller.
+NONBLOCKING_KINDS = frozenset(
+    {
+        CommandKind.ISEND,
+        CommandKind.IRECV,
+        CommandKind.IBARRIER,
+        CommandKind.IBCAST,
+        CommandKind.IALLREDUCE,
+        CommandKind.IGATHER,
+        CommandKind.IALLTOALL,
+    }
+)
+
+#: Collectives the engine must execute inline (no I-variant available).
+INLINE_KINDS = frozenset(
+    {
+        CommandKind.REDUCE,
+        CommandKind.SCATTER,
+        CommandKind.ALLGATHER,
+        CommandKind.REDUCE_SCATTER,
+        CommandKind.SCAN,
+    }
+)
+
+
+@dataclass(slots=True)
+class Command:
+    """One serialized MPI call.
+
+    ``done`` is the completion flag the issuing thread may spin on
+    (blocking calls); ``slot`` is the request-pool index for
+    nonblocking calls (so the engine can publish the inner request and
+    completion there instead).
+    """
+
+    kind: CommandKind
+    comm: "Communicator | None" = None
+    buf: np.ndarray | None = None
+    buf2: np.ndarray | None = None  # recv side of collectives
+    peer: int = -1  # dest/source/root
+    tag: int = 0
+    op: "ReduceOp | None" = None
+    slot: int = -1  # request-pool slot for nonblocking commands
+    done: AtomicFlag | None = None  # completion flag for blocking commands
+    result: Any = None  # e.g. iprobe Status, CALL return value
+    error: BaseException | None = None
+    fn: Any = None  # CALL payload: zero-argument callable
+
+    def __post_init__(self) -> None:
+        if self.kind in NONBLOCKING_KINDS:
+            if self.slot < 0:
+                raise ValueError(f"{self.kind.name} command needs a slot")
+        elif self.done is None and self.kind is not CommandKind.SHUTDOWN:
+            self.done = AtomicFlag()

@@ -1,0 +1,95 @@
+"""The *comm-self* progress thread (paper §2.2) — a comparison point.
+
+A dedicated thread duplicates ``MPI_COMM_SELF`` and posts a blocking
+receive for which no send will ever arrive.  Because a blocking receive
+continuously drives the progress engine while it waits, the thread
+keeps the MPI progress engine hot, providing asynchronous progress for
+the application's nonblocking operations.
+
+Costs faithfully reproduced from the paper:
+
+* the world must be initialized with ``MPI_THREAD_MULTIPLE`` (the app's
+  master thread and this thread are both inside MPI), bringing
+  library-lock contention with it — the engine counts it;
+* one hardware thread is consumed;
+* the master thread still pays its own full MPI call costs, so load
+  imbalance is *not* improved (§2.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.mpisim.constants import ThreadLevel
+from repro.mpisim.exceptions import ThreadLevelError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.communicator import Communicator
+
+#: Internal tag for the never-matched receive.
+_SENTINEL_TAG = 0
+
+
+class CommSelfProgressThread:
+    """Progress thread driving MPI via a never-completing self receive."""
+
+    def __init__(self, comm: "Communicator") -> None:
+        if comm.world.thread_level < ThreadLevel.MULTIPLE:
+            raise ThreadLevelError(
+                "the comm-self approach requires MPI_THREAD_MULTIPLE "
+                f"(world has {comm.world.thread_level.name})"
+            )
+        self._comm = comm
+        self._self_comm = comm.world.comm_self(comm.engine.rank)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.progress_pumps = 0
+
+    def start(self) -> "CommSelfProgressThread":
+        if self._thread is not None:
+            raise RuntimeError("comm-self thread already started")
+        self._thread = threading.Thread(
+            target=self._run,
+            name=f"comm-self-rank-{self._comm.engine.rank}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout)
+        if self._thread.is_alive():  # pragma: no cover - watchdog
+            raise RuntimeError("comm-self thread failed to stop")
+        self._thread = None
+
+    def __enter__(self) -> "CommSelfProgressThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def _run(self) -> None:
+        """Post the sentinel receive and sit in its wait loop.
+
+        The wait loop's repeated ``progress()`` pumps are exactly what
+        keeps rendezvous handshakes and NBC schedules moving while
+        application threads compute.
+        """
+        sink = np.empty(1, dtype=np.uint8)
+        req = self._self_comm.irecv(sink, source=0, tag=_SENTINEL_TAG)
+        engine = self._comm.engine
+        while not self._stop.is_set():
+            # Blocking-receive progress: identical effect to sitting in
+            # MPI_Recv, but interruptible for clean shutdown.
+            engine.progress()
+            self.progress_pumps += 1
+            if req.done:  # pragma: no cover - nothing ever sends this
+                break
+            self._stop.wait(2e-5)
+        req.cancel()

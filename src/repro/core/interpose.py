@@ -1,0 +1,84 @@
+"""Transparent interposition: unmodified applications gain offload.
+
+Paper §3.4 uses ``LD_PRELOAD`` to slide the offload library between the
+application and MPI with zero code changes.  The Python analogue is
+object substitution: application code written against the communicator
+interface receives an :class:`~repro.core.offload_comm.OffloadCommunicator`
+whose surface is identical — every call silently becomes an enqueued
+command.
+
+Typical use::
+
+    from repro.core import offloaded
+
+    def app(comm):              # written for plain MPI, never edited
+        comm.send(...); comm.allreduce(...)
+
+    def rank_program(comm):
+        with offloaded(comm) as ocomm:
+            app(ocomm)          # now runs with software offload
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import TYPE_CHECKING, Iterator
+
+from repro.core.engine import OffloadEngine
+from repro.core.offload_comm import OffloadCommunicator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.communicator import Communicator
+
+
+def interpose(
+    comm: "Communicator", engine: OffloadEngine
+) -> OffloadCommunicator:
+    """Wrap ``comm`` so its MPI calls route through ``engine``.
+
+    The engine must already be running and must share ``comm``'s rank.
+    """
+    if engine.comm.engine.rank != comm.engine.rank:
+        raise ValueError(
+            "offload engine and communicator belong to different ranks"
+        )
+    return OffloadCommunicator(comm, engine)
+
+
+@contextlib.contextmanager
+def offloaded(
+    comm: "Communicator",
+    pool_capacity: int = 4096,
+    queue_capacity: int = 4096,
+    nthreads: int = 1,
+) -> Iterator[OffloadCommunicator]:
+    """Context manager: spawn offload thread(s) for ``comm``'s rank,
+    yield the interposed communicator, and tear them down on exit (the
+    paper's intercept-at-``MPI_Init``/``MPI_Finalize`` lifecycle).
+
+    ``nthreads > 1`` enables the §7 multi-offload-thread extension
+    (requires ``MPI_THREAD_MULTIPLE``; see
+    :mod:`repro.core.engine_group`)."""
+    if nthreads > 1:
+        from repro.core.engine_group import OffloadEngineGroup
+
+        group = OffloadEngineGroup(
+            comm,
+            nthreads=nthreads,
+            pool_capacity=pool_capacity,
+            queue_capacity=queue_capacity,
+        )
+        group.start()
+        try:
+            yield OffloadCommunicator(comm, group)
+        finally:
+            group.stop()
+        return
+    engine = OffloadEngine(
+        comm, pool_capacity=pool_capacity, queue_capacity=queue_capacity
+    )
+    engine.start()
+    try:
+        yield OffloadCommunicator(comm, engine)
+    finally:
+        engine.stop()

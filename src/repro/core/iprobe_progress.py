@@ -1,0 +1,50 @@
+"""The *iprobe* progress approach (paper §2.1) — a comparison point.
+
+The master thread sprinkles ``MPI_Iprobe()`` calls into its compute
+loops so the MPI progress engine runs periodically.  This buys some
+communication/computation overlap but (a) the probe time itself adds
+to the master thread's load, worsening imbalance, and (b) placement and
+frequency are notoriously hard to tune — both effects the functional
+benchmarks and the performance model reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.mpisim.constants import ANY_SOURCE, ANY_TAG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.communicator import Communicator
+
+
+def progress_hook(
+    comm: "Communicator", every: int = 1
+) -> Callable[[], None]:
+    """Build the ``PROGRESS`` hook of the paper's Listing 1.
+
+    Returns a zero-argument callable the application inserts into its
+    inner loops; every ``every``-th invocation issues an ``iprobe``
+    (which pumps the progress engine).  ``hook.calls`` and
+    ``hook.probes`` expose how much master-thread time the approach
+    consumed — its hidden cost.
+    """
+    if every < 1:
+        raise ValueError("'every' must be >= 1")
+    state = {"n": 0, "probes": 0}
+
+    def hook() -> None:
+        state["n"] += 1
+        if state["n"] % every == 0:
+            comm.iprobe(ANY_SOURCE, ANY_TAG)
+            state["probes"] += 1
+
+    def calls() -> int:
+        return state["n"]
+
+    def probes() -> int:
+        return state["probes"]
+
+    hook.calls = calls  # type: ignore[attr-defined]
+    hook.probes = probes  # type: ignore[attr-defined]
+    return hook

@@ -1,0 +1,484 @@
+"""Application-facing facade: an MPI interface backed by the offload
+engine.
+
+Mirrors :class:`repro.mpisim.communicator.Communicator`'s API so that
+application code is *unchanged* — it simply holds this object instead
+(see :mod:`repro.core.interpose`).  Every method serializes its
+parameters into a :class:`~repro.core.commands.Command` and enqueues it;
+the calling thread never enters MPI:
+
+* nonblocking calls allocate a request-pool slot and return an
+  :class:`~repro.core.request_pool.OffloadRequest` immediately — the
+  paper's constant ~140 ns post cost (Figure 4);
+* blocking calls spin on the command's done flag (§3.1);
+* many application threads may call concurrently — the queue and pool
+  are lock-free, which is the paper's ``MPI_THREAD_MULTIPLE`` story
+  (§3.3, Figure 6).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from repro.core.commands import Command, CommandKind
+from repro.core.engine import OffloadEngine
+from repro.core.request_pool import OffloadError, OffloadRequest
+from repro.mpisim import datatypes
+from repro.mpisim.constants import ANY_SOURCE, ANY_TAG
+from repro.mpisim.reduce_ops import ReduceOp, SUM
+from repro.mpisim.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.communicator import Communicator
+
+K = CommandKind
+
+
+class OffloadCommunicator:
+    """Drop-in communicator whose MPI calls run on the offload thread."""
+
+    def __init__(self, comm: "Communicator", engine: OffloadEngine) -> None:
+        self.inner = comm
+        self.engine = engine
+
+    # ------------------------------------------------------------- identity
+
+    @property
+    def rank(self) -> int:
+        return self.inner.rank
+
+    @property
+    def size(self) -> int:
+        return self.inner.size
+
+    @property
+    def group(self) -> tuple[int, ...]:
+        return self.inner.group
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"OffloadCommunicator({self.inner!r})"
+
+    # ------------------------------------------------------------- plumbing
+
+    def _blocking(self, cmd: Command) -> Any:
+        assert cmd.done is not None
+        self.engine.route().submit(cmd)
+        cmd.done.wait()
+        if cmd.error is not None:
+            raise OffloadError(str(cmd.error)) from cmd.error
+        return cmd.done.payload
+
+    def _nonblocking(self, cmd_kind: K, **fields: Any) -> OffloadRequest:
+        # route() picks this thread's engine (a single engine routes to
+        # itself; an OffloadEngineGroup shards threads over engines).
+        engine = self.engine.route()
+        slot = engine.pool.alloc()
+        cmd = Command(kind=cmd_kind, slot=slot, **fields)
+        handle = OffloadRequest(engine.pool, slot)
+        engine.submit(cmd)
+        return handle
+
+    # ------------------------------------------------------------------ p2p
+
+    def isend(self, buf: Any, dest: int, tag: int = 0) -> OffloadRequest:
+        """Nonblocking send; returns immediately after one enqueue."""
+        return self._nonblocking(
+            K.ISEND, comm=self.inner, buf=buf, peer=dest, tag=tag
+        )
+
+    def irecv(
+        self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> OffloadRequest:
+        """Nonblocking receive; returns immediately after one enqueue."""
+        return self._nonblocking(
+            K.IRECV, comm=self.inner, buf=buf, peer=source, tag=tag
+        )
+
+    def send(self, buf: Any, dest: int, tag: int = 0) -> None:
+        self._blocking(
+            Command(kind=K.SEND, comm=self.inner, buf=buf, peer=dest, tag=tag)
+        )
+
+    def recv(
+        self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Status:
+        st = self._blocking(
+            Command(
+                kind=K.RECV, comm=self.inner, buf=buf, peer=source, tag=tag
+            )
+        )
+        assert isinstance(st, Status)
+        return st
+
+    def sendrecv(
+        self,
+        sendbuf: Any,
+        dest: int,
+        recvbuf: Any,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Status:
+        rreq = self.irecv(recvbuf, source, recvtag)
+        sreq = self.isend(sendbuf, dest, sendtag)
+        sreq.wait()
+        return rreq.wait()
+
+    # ---------------------------------------------------------------- probes
+
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Status | None:
+        return self._blocking(
+            Command(kind=K.IPROBE, comm=self.inner, peer=source, tag=tag)
+        )
+
+    def probe(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Status:
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while True:
+            st = self.iprobe(source, tag)
+            if st is not None:
+                return st
+            if deadline is not None and time.perf_counter() > deadline:
+                raise TimeoutError("probe timed out")
+            time.sleep(1e-5)
+
+    # ---------------------------------------------------------------- objects
+
+    def send_obj(self, obj: Any, dest: int, tag: int = 0) -> None:
+        self.send(datatypes.pack_object(obj), dest, tag)
+
+    def isend_obj(self, obj: Any, dest: int, tag: int = 0) -> OffloadRequest:
+        return self.isend(datatypes.pack_object(obj), dest, tag)
+
+    def recv_obj(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Any:
+        st = self.probe(source, tag, timeout=timeout)
+        buf = np.empty(st.count, dtype=np.uint8)
+        self.recv(buf, st.source, st.tag)
+        return datatypes.unpack_object(buf)
+
+    # ------------------------------------------------------------ collectives
+
+    def barrier(self) -> None:
+        self._blocking(Command(kind=K.BARRIER, comm=self.inner))
+
+    def bcast(self, buf: np.ndarray, root: int = 0) -> None:
+        self._blocking(
+            Command(kind=K.BCAST, comm=self.inner, buf=buf, peer=root)
+        )
+
+    def bcast_obj(self, obj: Any = None, root: int = 0) -> Any:
+        size_buf = np.zeros(1, dtype=np.int64)
+        if self.rank == root:
+            payload = datatypes.pack_object(obj)
+            size_buf[0] = payload.nbytes
+        self.bcast(size_buf, root)
+        if self.rank != root:
+            payload = np.empty(int(size_buf[0]), dtype=np.uint8)
+        self.bcast(payload, root)
+        return obj if self.rank == root else datatypes.unpack_object(payload)
+
+    def allreduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+    ) -> np.ndarray:
+        if recvbuf is None:
+            recvbuf = np.empty_like(sendbuf)
+        self._blocking(
+            Command(
+                kind=K.ALLREDUCE,
+                comm=self.inner,
+                buf=sendbuf,
+                buf2=recvbuf,
+                op=op,
+            )
+        )
+        return recvbuf
+
+    def reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+        root: int = 0,
+    ) -> np.ndarray | None:
+        if recvbuf is None and self.rank == root:
+            recvbuf = np.empty_like(sendbuf)
+        return self._blocking(
+            Command(
+                kind=K.REDUCE,
+                comm=self.inner,
+                buf=sendbuf,
+                buf2=recvbuf,
+                op=op,
+                peer=root,
+            )
+        )
+
+    def gather(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        root: int = 0,
+    ) -> np.ndarray | None:
+        if recvbuf is None and self.rank == root:
+            recvbuf = np.empty(
+                (self.size,) + sendbuf.shape, dtype=sendbuf.dtype
+            )
+        self._blocking(
+            Command(
+                kind=K.GATHER,
+                comm=self.inner,
+                buf=sendbuf,
+                buf2=recvbuf,
+                peer=root,
+            )
+        )
+        return recvbuf if self.rank == root else None
+
+    def scatter(
+        self,
+        sendbuf: np.ndarray | None,
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> np.ndarray:
+        self._blocking(
+            Command(
+                kind=K.SCATTER,
+                comm=self.inner,
+                buf=sendbuf,
+                buf2=recvbuf,
+                peer=root,
+            )
+        )
+        return recvbuf
+
+    def allgather(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray | None = None
+    ) -> np.ndarray:
+        if recvbuf is None:
+            recvbuf = np.empty(
+                (self.size,) + sendbuf.shape, dtype=sendbuf.dtype
+            )
+        self._blocking(
+            Command(
+                kind=K.ALLGATHER, comm=self.inner, buf=sendbuf, buf2=recvbuf
+            )
+        )
+        return recvbuf
+
+    def alltoall(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray | None = None
+    ) -> np.ndarray:
+        if recvbuf is None:
+            recvbuf = np.empty_like(sendbuf)
+        self._blocking(
+            Command(
+                kind=K.ALLTOALL, comm=self.inner, buf=sendbuf, buf2=recvbuf
+            )
+        )
+        return recvbuf
+
+    def reduce_scatter(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+    ) -> np.ndarray:
+        if recvbuf is None:
+            recvbuf = np.empty(sendbuf.shape[1:], dtype=sendbuf.dtype)
+        self._blocking(
+            Command(
+                kind=K.REDUCE_SCATTER,
+                comm=self.inner,
+                buf=sendbuf,
+                buf2=recvbuf,
+                op=op,
+            )
+        )
+        return recvbuf
+
+    def scan(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+    ) -> np.ndarray:
+        if recvbuf is None:
+            recvbuf = np.empty_like(sendbuf)
+        self._blocking(
+            Command(
+                kind=K.SCAN, comm=self.inner, buf=sendbuf, buf2=recvbuf, op=op
+            )
+        )
+        return recvbuf
+
+    def gatherv(
+        self,
+        sendbuf: np.ndarray,
+        recvcounts,
+        recvbuf: np.ndarray | None = None,
+        root: int = 0,
+    ) -> np.ndarray | None:
+        """Variable-count gather, executed inline on the offload thread
+        (no nonblocking equivalent in the substrate — the §3.3 class)."""
+        return self._blocking(
+            Command(
+                kind=K.CALL,
+                fn=lambda: self.inner.gatherv(
+                    sendbuf, recvcounts, recvbuf, root
+                ),
+            )
+        )
+
+    def scatterv(
+        self,
+        sendbuf: np.ndarray | None,
+        sendcounts,
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> np.ndarray:
+        return self._blocking(
+            Command(
+                kind=K.CALL,
+                fn=lambda: self.inner.scatterv(
+                    sendbuf, sendcounts, recvbuf, root
+                ),
+            )
+        )
+
+    def alltoallv(
+        self,
+        sendbuf: np.ndarray,
+        sendcounts,
+        recvbuf: np.ndarray,
+        recvcounts,
+    ) -> np.ndarray:
+        return self._blocking(
+            Command(
+                kind=K.CALL,
+                fn=lambda: self.inner.alltoallv(
+                    sendbuf, sendcounts, recvbuf, recvcounts
+                ),
+            )
+        )
+
+    # -------------------------------------------------- nonblocking collectives
+
+    def ibarrier(self) -> OffloadRequest:
+        return self._nonblocking(K.IBARRIER, comm=self.inner)
+
+    def ibcast(self, buf: np.ndarray, root: int = 0) -> OffloadRequest:
+        return self._nonblocking(K.IBCAST, comm=self.inner, buf=buf, peer=root)
+
+    def iallreduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray,
+        op: ReduceOp = SUM,
+    ) -> OffloadRequest:
+        return self._nonblocking(
+            K.IALLREDUCE, comm=self.inner, buf=sendbuf, buf2=recvbuf, op=op
+        )
+
+    def igather(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        root: int = 0,
+    ) -> OffloadRequest:
+        return self._nonblocking(
+            K.IGATHER, comm=self.inner, buf=sendbuf, buf2=recvbuf, peer=root
+        )
+
+    def ialltoall(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray
+    ) -> OffloadRequest:
+        return self._nonblocking(
+            K.IALLTOALL, comm=self.inner, buf=sendbuf, buf2=recvbuf
+        )
+
+    # ------------------------------------------------------ communicator algebra
+
+    def dup(self) -> "OffloadCommunicator":
+        """Collective duplicate executed on the offload thread."""
+        new_inner = self._blocking(
+            Command(kind=K.CALL, fn=self.inner.dup)
+        )
+        return OffloadCommunicator(new_inner, self.engine)
+
+    def split(
+        self, color: int | None, key: int = 0
+    ) -> "OffloadCommunicator | None":
+        new_inner = self._blocking(
+            Command(kind=K.CALL, fn=lambda: self.inner.split(color, key))
+        )
+        if new_inner is None:
+            return None
+        return OffloadCommunicator(new_inner, self.engine)
+
+    def flush(self) -> None:
+        """Wait until every previously submitted operation completed."""
+        self._blocking(Command(kind=K.FLUSH))
+
+    # ------------------------------------------------------------ persistent
+
+    def send_init(self, buf: Any, dest: int, tag: int = 0):
+        """Persistent send whose every ``start`` is an offloaded isend."""
+        from repro.mpisim.persistent import PersistentSend
+
+        return PersistentSend(self, buf, dest, tag)
+
+    def recv_init(
+        self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ):
+        from repro.mpisim.persistent import PersistentRecv
+
+        return PersistentRecv(self, buf, source, tag)
+
+    # ------------------------------------------------------------- one-sided
+
+    def win_create(self, local: np.ndarray):
+        """Collectively create an offloaded RMA window (paper §7
+        future work; see :mod:`repro.core.rma_offload`)."""
+        from repro.core.rma_offload import OffloadWindow
+
+        return OffloadWindow.create(self, local)
+
+
+def offload_waitall(
+    requests: Sequence[OffloadRequest], timeout: float | None = None
+) -> list[Status]:
+    """Wait on offloaded handles; pure flag checks, no MPI entry."""
+    return [r.wait(timeout) for r in requests]
+
+
+def offload_waitany(
+    requests: Sequence[OffloadRequest], timeout: float | None = None
+) -> tuple[int, Status]:
+    """Wait until one handle completes; returns its index and status."""
+    if not requests:
+        raise ValueError("offload_waitany on empty list")
+    deadline = None if timeout is None else time.perf_counter() + timeout
+    while True:
+        for i, r in enumerate(requests):
+            if r.done:
+                return i, r.wait()
+        if deadline is not None and time.perf_counter() > deadline:
+            raise TimeoutError("offload_waitany: nothing completed")
+        time.sleep(1e-6)

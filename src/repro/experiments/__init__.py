@@ -1,0 +1,53 @@
+"""Experiment modules: one per table/figure of the paper.
+
+Every module exposes
+
+* ``run(fast=False)`` — compute the artifact's rows/series and return a
+  :class:`repro.util.tables.Table` (``fast=True`` trims the sweep for
+  CI-speed runs without changing the qualitative shape);
+* ``check(table)`` — assert the paper's qualitative claims on the
+  produced numbers (who wins, rough factors, crossovers); used by the
+  test suite and the benchmark harness;
+* a ``__main__`` hook, so ``python -m repro.experiments.fig02_overlap_p2p``
+  prints the same rows the paper plots.
+
+See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+paper-vs-measured records.
+"""
+
+from importlib import import_module
+
+#: experiment id -> module path (relative to this package)
+REGISTRY: dict[str, str] = {
+    "fig02": "repro.experiments.fig02_overlap_p2p",
+    "fig03": "repro.experiments.fig03_overlap_collectives",
+    "fig04": "repro.experiments.fig04_isend_overhead",
+    "fig05": "repro.experiments.fig05_icollective_overhead",
+    "tab1": "repro.experiments.tab1_qcd_breakdown",
+    "tab2": "repro.experiments.tab2_fft_breakdown",
+    "fig06": "repro.experiments.fig06_mt_latency",
+    "fig07": "repro.experiments.fig07_osu_xeon",
+    "fig08": "repro.experiments.fig08_osu_phi",
+    "fig09": "repro.experiments.fig09_qcd_scaling",
+    "fig10": "repro.experiments.fig10_dslash_splitup",
+    "fig11": "repro.experiments.fig11_qcd_solver",
+    "fig12": "repro.experiments.fig12_qcd_thread_multiple",
+    "fig13": "repro.experiments.fig13_fft_scaling",
+    "fig14": "repro.experiments.fig14_cnn_scaling",
+}
+
+
+def load(exp_id: str):
+    """Import and return the experiment module for ``exp_id``."""
+    try:
+        path = REGISTRY[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; choose from {sorted(REGISTRY)}"
+        ) from None
+    return import_module(path)
+
+
+def run_all(fast: bool = True) -> dict[str, object]:
+    """Run every experiment; returns ``{exp_id: Table}``."""
+    return {eid: load(eid).run(fast=fast) for eid in REGISTRY}

@@ -1,0 +1,78 @@
+"""Figure 7 — OSU latency (a) and bandwidth (b) on Endeavor Xeon.
+
+Paper claims:
+
+* offload adds ~0.3 µs one-way latency over baseline (the command
+  round trip) and loses essentially no bandwidth;
+* comm-self adds ~11 µs latency and loses ~50 % bandwidth between
+  4 KB and 256 KB (``MPI_THREAD_MULTIPLE`` overheads).
+"""
+
+from __future__ import annotations
+
+from repro.simtime.machine import ENDEAVOR_XEON, MachineConfig
+from repro.simtime.workloads.micro import osu_bandwidth, osu_latency
+from repro.util.tables import Table
+from repro.util.units import KIB, MIB, format_bytes, pow2_sizes
+
+APPROACHES = ("baseline", "comm-self", "offload")
+FULL_SIZES = pow2_sizes(8, 4 * MIB)
+FAST_SIZES = [8, 8 * KIB, 64 * KIB, 1 * MIB]
+
+
+def run(
+    fast: bool = False, machine: MachineConfig = ENDEAVOR_XEON
+) -> Table:
+    sizes = FAST_SIZES if fast else FULL_SIZES
+    table = Table(
+        headers=("size", "approach", "latency_us", "bandwidth_gbs"),
+        title=f"Figure 7: OSU latency/bandwidth ({machine.name})",
+    )
+    for nbytes in sizes:
+        for approach in APPROACHES:
+            lat = osu_latency(machine, approach, nbytes)
+            bw = osu_bandwidth(machine, approach, nbytes)
+            table.add_row(
+                format_bytes(nbytes),
+                approach,
+                round(lat * 1e6, 2),
+                round(bw / 1e9, 3),
+            )
+    return table
+
+
+def _offload_latency_band() -> tuple[float, float]:
+    """Expected offload-minus-baseline one-way latency (paper: ~0.3us)."""
+    return (0.1, 1.0)
+
+
+def check(table: Table) -> None:
+    rows = {(s, a): (lat, bw) for s, a, lat, bw in table.rows}
+    small = format_bytes(8)
+    lo, hi = _offload_latency_band()
+    # offload adds a small constant latency
+    delta = rows[(small, "offload")][0] - rows[(small, "baseline")][0]
+    assert lo < delta < hi, delta
+    # comm-self adds an order of magnitude more
+    delta_cs = rows[(small, "comm-self")][0] - rows[(small, "baseline")][0]
+    assert delta_cs > 5 * delta, (delta_cs, delta)
+    # bandwidth: comm-self dips ~50% in the 4KB-256KB window
+    mid = format_bytes(64 * KIB)
+    if (mid, "comm-self") in rows:
+        assert (
+            rows[(mid, "comm-self")][1] < rows[(mid, "baseline")][1] * 0.7
+        )
+    # offload keeps baseline's large-message bandwidth
+    big = format_bytes(1 * MIB)
+    assert rows[(big, "offload")][1] > rows[(big, "baseline")][1] * 0.9
+
+
+def main() -> None:  # pragma: no cover - CLI
+    table = run()
+    print(table.render())
+    check(table)
+    print("\nqualitative checks: PASS")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

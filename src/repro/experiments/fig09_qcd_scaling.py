@@ -1,0 +1,130 @@
+"""Figure 9 — Wilson-Dslash strong scaling on Endeavor (a) and NERSC
+Edison (b), for 32³×256 and 48³×512 lattices.
+
+Paper claims:
+
+* approaches perform similarly up to ~16 nodes; beyond that offload
+  pulls ahead, peaking at ~2X over baseline at 256 nodes (32³×256);
+* comm-self helps at small scale but *degrades sharply at 256 nodes*
+  on the small lattice (48 KB messages: TM overhead beats the overlap
+  win), yet recovers on the larger 48³×512 lattice;
+* super-linear scaling appears when the local lattice drops into
+  cache;
+* on Edison, core specialization helps but offload remains best.
+"""
+
+from __future__ import annotations
+
+from repro.simtime.machine import EDISON, ENDEAVOR_XEON
+from repro.simtime.workloads.qcd import dslash_tflops
+from repro.util.tables import Table
+
+SMALL_LATTICE = (32, 32, 32, 256)
+LARGE_LATTICE = (48, 48, 48, 512)
+FULL_NODES = (16, 32, 64, 128, 256)
+FAST_NODES = (32, 256)
+EDISON_NODES = (128, 256, 512, 1024)
+EDISON_FAST = (256, 1024)
+
+
+def run(fast: bool = False) -> Table:
+    table = Table(
+        headers=("machine", "lattice", "nodes", "approach", "tflops"),
+        title="Figure 9: Wilson-Dslash strong scaling (TFLOP/s)",
+    )
+    xeon_nodes = FAST_NODES if fast else FULL_NODES
+    for nodes in xeon_nodes:
+        for approach in ("baseline", "iprobe", "comm-self", "offload"):
+            table.add_row(
+                "endeavor-xeon",
+                "32^3x256",
+                nodes,
+                approach,
+                round(
+                    dslash_tflops(
+                        ENDEAVOR_XEON, approach, SMALL_LATTICE, nodes
+                    ),
+                    2,
+                ),
+            )
+    large_nodes = (256,) if fast else (64, 128, 256)
+    for nodes in large_nodes:
+        for approach in ("baseline", "comm-self", "offload"):
+            table.add_row(
+                "endeavor-xeon",
+                "48^3x512",
+                nodes,
+                approach,
+                round(
+                    dslash_tflops(
+                        ENDEAVOR_XEON, approach, LARGE_LATTICE, nodes
+                    ),
+                    2,
+                ),
+            )
+    edison_nodes = EDISON_FAST if fast else EDISON_NODES
+    for nodes in edison_nodes:
+        for approach in ("baseline", "comm-self", "corespec", "offload"):
+            table.add_row(
+                "edison",
+                "48^3x512",
+                nodes,
+                approach,
+                round(
+                    dslash_tflops(EDISON, approach, LARGE_LATTICE, nodes),
+                    2,
+                ),
+            )
+    return table
+
+
+def check(table: Table) -> None:
+    rows = {
+        (m, lat, n, a): tf for m, lat, n, a, tf in table.rows
+    }
+    small_nodes = sorted(
+        {n for m, lat, n, _a, _ in table.rows if lat == "32^3x256"}
+    )
+    top = small_nodes[-1]
+    # offload wins at the largest scale on the small lattice ...
+    off = rows[("endeavor-xeon", "32^3x256", top, "offload")]
+    base = rows[("endeavor-xeon", "32^3x256", top, "baseline")]
+    assert off > base * 1.15, (off, base)
+    # ... and comm-self degrades there (48 KB messages)
+    cs = rows[("endeavor-xeon", "32^3x256", top, "comm-self")]
+    assert cs < base, (cs, base)
+    # comm-self recovers on the large lattice
+    cs_l = rows[("endeavor-xeon", "48^3x512", 256, "comm-self")]
+    base_l = rows[("endeavor-xeon", "48^3x512", 256, "baseline")]
+    assert cs_l > base_l
+    # offload best on the large lattice too
+    assert rows[("endeavor-xeon", "48^3x512", 256, "offload")] >= cs_l
+    # super-linear scaling from the cache effect appears somewhere in
+    # the sweep (the paper sees it at 32 nodes for this lattice)
+    if len(small_nodes) >= 2:
+        superlinear = []
+        for n0, n1 in zip(small_nodes, small_nodes[1:]):
+            speedup = rows[("endeavor-xeon", "32^3x256", n1, "offload")] / (
+                rows[("endeavor-xeon", "32^3x256", n0, "offload")]
+            )
+            superlinear.append(speedup > (n1 / n0) * 0.95)
+        assert any(superlinear), rows
+    # Edison: offload >= corespec >= baseline at the largest scale
+    e_nodes = sorted({n for m, _l, n, _a, _ in table.rows if m == "edison"})
+    etop = e_nodes[-1]
+    assert (
+        rows[("edison", "48^3x512", etop, "offload")]
+        >= rows[("edison", "48^3x512", etop, "corespec")]
+        > rows[("edison", "48^3x512", etop, "baseline")]
+    )
+
+
+def main() -> None:  # pragma: no cover - CLI
+    table = run()
+    print(table.render())
+    check(table)
+    print("\nqualitative checks: PASS")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,79 @@
+"""Figure 10 — Wilson-Dslash timing split-up (stacked bars) for the
+32³×256 lattice on Xeon and Xeon Phi, baseline vs offload.
+
+Paper claim: thanks to overlap, the fraction of time waiting for
+communication is much lower with offload — "especially evident at 64
+Intel Xeon nodes, where wait time is less than 5 % for the offload
+approach whereas the baseline approach shows about 25 %".
+"""
+
+from __future__ import annotations
+
+from repro.simtime.machine import ENDEAVOR_PHI, ENDEAVOR_XEON
+from repro.simtime.workloads.qcd import dslash_iteration
+from repro.util.tables import Table
+
+LATTICE = (32, 32, 32, 256)
+XEON_NODES = (16, 32, 64, 128)
+PHI_NODES = (16, 32, 64)
+FAST_XEON = (64,)
+FAST_PHI = (32,)
+
+
+def run(fast: bool = False) -> Table:
+    table = Table(
+        headers=(
+            "machine",
+            "nodes",
+            "approach",
+            "compute_pct",
+            "post_pct",
+            "wait_pct",
+            "misc_pct",
+        ),
+        title="Figure 10: Wilson-Dslash timing split-up "
+        "(% of iteration time)",
+    )
+    cases = [
+        (ENDEAVOR_XEON, FAST_XEON if fast else XEON_NODES),
+        (ENDEAVOR_PHI, FAST_PHI if fast else PHI_NODES),
+    ]
+    for machine, nodes_list in cases:
+        for nodes in nodes_list:
+            for approach in ("baseline", "offload"):
+                t = dslash_iteration(machine, approach, LATTICE, nodes)
+                total = t.total
+                table.add_row(
+                    machine.name,
+                    nodes,
+                    approach,
+                    round(100 * t.internal_compute / total, 1),
+                    round(100 * t.post / total, 1),
+                    round(100 * t.wait / total, 1),
+                    round(100 * t.misc / total, 1),
+                )
+    return table
+
+
+def check(table: Table) -> None:
+    rows = {(m, n, a): tuple(rest) for m, n, a, *rest in table.rows}
+    for (m, n, a), (comp, post, wait, misc) in rows.items():
+        if a == "offload":
+            base_wait = rows[(m, n, "baseline")][2]
+            # offload's wait share is always lower than baseline's
+            assert wait <= base_wait, (m, n, wait, base_wait)
+    # the headline 64-Xeon-node comparison
+    if ("endeavor-xeon", 64, "offload") in rows:
+        assert rows[("endeavor-xeon", 64, "offload")][2] < 8.0
+        assert rows[("endeavor-xeon", 64, "baseline")][2] > 18.0
+
+
+def main() -> None:  # pragma: no cover - CLI
+    table = run()
+    print(table.render())
+    check(table)
+    print("\nqualitative checks: PASS")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,88 @@
+"""Figure 12 — Wilson-Dslash with ``MPI_THREAD_MULTIPLE`` via the
+thread-groups library, performance *relative to* the same approach
+with ``MPI_THREAD_FUNNELED``.
+
+Paper claims: offload benefits from concurrent MPI calls (up to +15 %
+over its funneled self) because the lock-free queue makes concurrent
+issue essentially free, while approaches that enter MPI concurrently
+pay for it.
+
+Known deviation (recorded in EXPERIMENTS.md): in our model comm-self's
+*relative* gain can exceed offload's at some node counts because its
+funneled variant is burdened by eager-copy post costs that thread
+groups then hide; the paper's *absolute* ordering — offload fastest
+with thread groups — always holds and is what ``check`` asserts.
+"""
+
+from __future__ import annotations
+
+from repro.simtime.machine import ENDEAVOR_XEON
+from repro.simtime.workloads.qcd import dslash_tflops
+from repro.util.tables import Table
+
+LATTICE = (32, 32, 32, 256)
+FULL_NODES = (16, 64, 128, 256)
+FAST_NODES = (64, 128)
+THREAD_GROUPS = 4
+
+
+def run(fast: bool = False) -> Table:
+    nodes_list = FAST_NODES if fast else FULL_NODES
+    table = Table(
+        headers=(
+            "nodes",
+            "approach",
+            "funneled_tflops",
+            "thread_multiple_tflops",
+            "relative",
+        ),
+        title="Figure 12: Dslash with MPI_THREAD_MULTIPLE thread "
+        "groups, relative to MPI_THREAD_FUNNELED",
+    )
+    for nodes in nodes_list:
+        for approach in ("baseline", "iprobe", "comm-self", "offload"):
+            funneled = dslash_tflops(
+                ENDEAVOR_XEON, approach, LATTICE, nodes, comm_threads=1
+            )
+            tm = dslash_tflops(
+                ENDEAVOR_XEON,
+                approach,
+                LATTICE,
+                nodes,
+                comm_threads=THREAD_GROUPS,
+            )
+            table.add_row(
+                nodes,
+                approach,
+                round(funneled, 2),
+                round(tm, 2),
+                round(tm / funneled, 3),
+            )
+    return table
+
+
+def check(table: Table) -> None:
+    rows = {(n, a): (f, t, rel) for n, a, f, t, rel in table.rows}
+    nodes = sorted({r[0] for r in table.rows})
+    for n in nodes:
+        # absolute: offload with thread groups beats every other
+        # approach with thread groups
+        off = rows[(n, "offload")][1]
+        for a in ("baseline", "iprobe", "comm-self"):
+            assert off >= rows[(n, a)][1], (n, a)
+        # offload's thread-multiple variant never loses badly to its
+        # funneled self (paper: it gains up to 15%)
+        assert rows[(n, "offload")][2] > 0.95, (n, rows[(n, "offload")])
+    # somewhere in the sweep offload gains from concurrency
+    assert any(rows[(n, "offload")][2] > 1.0 for n in nodes)
+
+
+def main() -> None:  # pragma: no cover - CLI
+    table = run()
+    print(table.render())
+    check(table)
+    print("\nqualitative checks: PASS")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

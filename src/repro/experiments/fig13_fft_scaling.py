@@ -1,0 +1,100 @@
+"""Figure 13 — 1-D FFT weak scaling on Intel Xeon (a; 2²⁹ points/node)
+and Intel Xeon Phi (b; 2²⁵ points/node).
+
+Paper claims:
+
+* Xeon: ~20 % offload gain at small/medium scale, eroding to ~10 % at
+  128 nodes and marginal at 256 as the all-to-all becomes
+  bandwidth-bound; comm-self also performs well there;
+* Phi: 43 % gain at small scale, 26 % at 64 nodes — larger than on
+  Xeon because the slow cores make every software overhead costlier —
+  and no comm-self (``MPI_THREAD_MULTIPLE`` unsupported, §5.2).
+"""
+
+from __future__ import annotations
+
+from repro.simtime.machine import ENDEAVOR_PHI, ENDEAVOR_XEON
+from repro.simtime.workloads.fft import fft_gflops
+from repro.util.tables import Table
+
+XEON_POINTS_PER_RANK = 2**28  # 2^29 per dual-socket node
+PHI_POINTS = 2**25
+XEON_NODES = (4, 16, 64, 128, 256)
+PHI_NODES = (2, 4, 16, 64)
+FAST_XEON = (16, 256)
+FAST_PHI = (2, 64)
+
+
+def run(fast: bool = False) -> Table:
+    table = Table(
+        headers=("machine", "nodes", "approach", "gflops"),
+        title="Figure 13: 1-D FFT weak scaling (GFLOP/s)",
+    )
+    for nodes in FAST_XEON if fast else XEON_NODES:
+        for approach in ("baseline", "comm-self", "offload"):
+            table.add_row(
+                "endeavor-xeon",
+                nodes,
+                approach,
+                round(
+                    fft_gflops(
+                        ENDEAVOR_XEON,
+                        approach,
+                        XEON_POINTS_PER_RANK,
+                        nodes,
+                        ranks_per_node=2,
+                    ),
+                    1,
+                ),
+            )
+    for nodes in FAST_PHI if fast else PHI_NODES:
+        # comm-self unavailable on the paper's Phi platform
+        for approach in ("baseline", "offload"):
+            table.add_row(
+                "endeavor-phi",
+                nodes,
+                approach,
+                round(fft_gflops(ENDEAVOR_PHI, approach, PHI_POINTS, nodes), 1),
+            )
+    return table
+
+
+def check(table: Table) -> None:
+    rows = {(m, n, a): g for m, n, a, g in table.rows}
+    xeon_nodes = sorted(
+        {n for m, n, _a, _ in table.rows if m == "endeavor-xeon"}
+    )
+    phi_nodes = sorted(
+        {n for m, n, _a, _ in table.rows if m == "endeavor-phi"}
+    )
+    # offload >= baseline everywhere
+    for (m, n, a), g in rows.items():
+        if a == "offload":
+            assert g >= rows[(m, n, "baseline")], (m, n)
+    # Xeon benefit erodes at the largest scale vs the sweet spot
+    gains = [
+        rows[("endeavor-xeon", n, "offload")]
+        / rows[("endeavor-xeon", n, "baseline")]
+        for n in xeon_nodes
+    ]
+    assert gains[-1] <= max(gains) + 1e-9
+    # Phi gains are substantial and shrink with node count
+    phi_gains = [
+        rows[("endeavor-phi", n, "offload")]
+        / rows[("endeavor-phi", n, "baseline")]
+        for n in phi_nodes
+    ]
+    assert phi_gains[0] > 1.2
+    assert phi_gains[-1] > 1.05
+    assert phi_gains[0] >= phi_gains[-1]
+
+
+def main() -> None:  # pragma: no cover - CLI
+    table = run()
+    print(table.render())
+    check(table)
+    print("\nqualitative checks: PASS")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,63 @@
+"""Figure 14 — hybrid-parallel deep-learning CNN training throughput,
+Endeavor Xeon, 1–64 nodes.
+
+Paper claims:
+
+* performance roughly equal up to 8 nodes (compute-dominated);
+* at 64 nodes comm-self and offload both clearly beat baseline (the
+  paper reports 2X; our synthetic layer inventory reaches ~1.3X —
+  recorded in EXPERIMENTS.md), with offload ahead of comm-self
+  (paper: by 15 %).
+"""
+
+from __future__ import annotations
+
+from repro.simtime.machine import ENDEAVOR_XEON
+from repro.simtime.workloads.cnn import cnn_images_per_sec
+from repro.util.tables import Table
+
+FULL_NODES = (1, 2, 4, 8, 16, 32, 64)
+FAST_NODES = (1, 8, 64)
+
+
+def run(fast: bool = False) -> Table:
+    nodes_list = FAST_NODES if fast else FULL_NODES
+    table = Table(
+        headers=("nodes", "approach", "images_per_sec", "vs_baseline"),
+        title="Figure 14: CNN hybrid-parallel training throughput "
+        "(Endeavor Xeon)",
+    )
+    for nodes in nodes_list:
+        base = cnn_images_per_sec(ENDEAVOR_XEON, "baseline", nodes)
+        for approach in ("baseline", "comm-self", "offload"):
+            ips = cnn_images_per_sec(ENDEAVOR_XEON, approach, nodes)
+            table.add_row(
+                nodes, approach, round(ips, 1), round(ips / base, 3)
+            )
+    return table
+
+
+def check(table: Table) -> None:
+    rows = {(n, a): (ips, rel) for n, a, ips, rel in table.rows}
+    nodes = sorted({r[0] for r in table.rows})
+    # roughly equal at small scale (within ~8%)
+    for n in [n for n in nodes if n <= 8]:
+        for a in ("comm-self", "offload"):
+            assert 0.9 < rows[(n, a)][1] < 1.1, (n, a, rows[(n, a)])
+    # both async approaches clearly ahead at the largest scale
+    top = nodes[-1]
+    assert rows[(top, "offload")][1] > 1.15
+    assert rows[(top, "comm-self")][1] > 1.1
+    # offload beats comm-self at scale (paper: by 15%)
+    assert rows[(top, "offload")][0] > rows[(top, "comm-self")][0]
+
+
+def main() -> None:  # pragma: no cover - CLI
+    table = run()
+    print(table.render())
+    check(table)
+    print("\nqualitative checks: PASS")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

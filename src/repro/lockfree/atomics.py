@@ -1,0 +1,149 @@
+"""Atomic primitives emulated on CPython.
+
+Real lock-free code is built from hardware compare-and-swap (CAS) and
+fetch-and-add.  CPython exposes neither, so these classes make each
+*individual* operation atomic with a private ``threading.Lock`` while
+preserving the semantics the algorithms above them rely on:
+
+* a CAS either observes the expected value and installs the new one, or
+  fails and returns the value actually observed;
+* no cell lock is ever held across a call into user code or another
+  cell, so composite operations retain their lock-free structure
+  (progress of one thread never depends on a suspended peer holding a
+  lock across steps — only on winning a CAS race);
+* every failed CAS is counted, giving the ablation benchmarks a direct
+  window on contention.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Generic, TypeVar
+
+T = TypeVar("T")
+
+_cell_ids = itertools.count()
+
+
+class AtomicCell(Generic[T]):
+    """A single word supporting load/store/CAS/swap.
+
+    Values are compared by identity-or-equality (``is`` first, then
+    ``==``) which matches how pointer-width CAS behaves for both tagged
+    tuples and object references.
+    """
+
+    __slots__ = ("_lock", "_value", "cas_failures", "_id")
+
+    def __init__(self, value: T) -> None:
+        self._lock = threading.Lock()
+        self._value: T = value
+        self.cas_failures = 0
+        self._id = next(_cell_ids)
+
+    def load(self) -> T:
+        # CPython attribute reads are atomic under the GIL; take the
+        # lock anyway so the class stays correct on free-threaded builds.
+        with self._lock:
+            return self._value
+
+    def store(self, value: T) -> None:
+        with self._lock:
+            self._value = value
+
+    def swap(self, value: T) -> T:
+        with self._lock:
+            old = self._value
+            self._value = value
+            return old
+
+    def compare_and_swap(self, expected: T, new: T) -> tuple[bool, T]:
+        """Atomically install ``new`` if the cell holds ``expected``.
+
+        Returns ``(True, expected)`` on success or ``(False, observed)``
+        on failure, mirroring C11 ``atomic_compare_exchange``.
+        """
+        with self._lock:
+            cur = self._value
+            if cur is expected or cur == expected:
+                self._value = new
+                return True, cur
+            self.cas_failures += 1
+            return False, cur
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AtomicCell#{self._id}({self._value!r})"
+
+
+class AtomicCounter:
+    """Monotonic counter with fetch-and-add and CAS."""
+
+    __slots__ = ("_lock", "_value", "cas_failures")
+
+    def __init__(self, value: int = 0) -> None:
+        self._lock = threading.Lock()
+        self._value = value
+        self.cas_failures = 0
+
+    def load(self) -> int:
+        with self._lock:
+            return self._value
+
+    def fetch_add(self, delta: int = 1) -> int:
+        """Add ``delta`` and return the *previous* value."""
+        with self._lock:
+            old = self._value
+            self._value = old + delta
+            return old
+
+    def compare_and_swap(self, expected: int, new: int) -> tuple[bool, int]:
+        with self._lock:
+            cur = self._value
+            if cur == expected:
+                self._value = new
+                return True, cur
+            self.cas_failures += 1
+            return False, cur
+
+    def store(self, value: int) -> None:
+        with self._lock:
+            self._value = value
+
+
+class AtomicFlag:
+    """A set-once *done* flag with busy-wait support.
+
+    Models the per-command completion flag of Section 3.1: the offload
+    thread sets it, the application thread spins on it.  ``wait()``
+    spins but yields the GIL periodically (via an Event fallback) so
+    single-core test runs cannot livelock.
+    """
+
+    __slots__ = ("_event", "payload")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self.payload: Any = None
+
+    def is_set(self) -> bool:
+        return self._event.is_set()
+
+    def set(self, payload: Any = None) -> None:
+        self.payload = payload
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Spin briefly, then block; returns True once the flag is set."""
+        # A short pure spin picks up fast completions with minimum
+        # latency (the common case for offloaded calls) ...
+        for _ in range(1000):
+            if self._event.is_set():
+                return True
+        # ... then fall back to a real wait so we do not starve the
+        # offload thread of the GIL.
+        return self._event.wait(timeout)
+
+    def clear(self) -> None:
+        self.payload = None
+        self._event.clear()

@@ -1,0 +1,134 @@
+"""Bounded multi-producer queue (Vyukov algorithm).
+
+This is the offload engine's command queue (paper Section 3.1/3.3):
+application threads — possibly many of them, under
+``MPI_THREAD_MULTIPLE`` — enqueue serialized MPI commands; the single
+offload thread dequeues them.
+
+The implementation is Dmitry Vyukov's bounded MPMC queue specialized
+for one consumer: a circular array of cells, each carrying a sequence
+number.  A producer claims a slot by CAS on the enqueue ticket, writes
+its payload, then publishes by advancing the cell's sequence.  The
+consumer reads cells in ticket order, waiting only on the *publication*
+of the specific cell it needs.  ABA is impossible because sequence
+numbers increase monotonically (by ``capacity`` per wrap).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, TypeVar
+
+from repro.lockfree.atomics import AtomicCounter
+
+T = TypeVar("T")
+
+
+class QueueFull(Exception):
+    """Raised by :meth:`MPSCQueue.enqueue` when the ring has no free slot."""
+
+
+class QueueClosed(Exception):
+    """Raised when enqueueing to a closed queue."""
+
+
+class _Cell:
+    __slots__ = ("seq", "value")
+
+    def __init__(self, seq: int) -> None:
+        self.seq = seq  # published via GIL-atomic attribute store
+        self.value: Any = None
+
+
+class MPSCQueue(Generic[T]):
+    """Lock-free bounded queue, many producers / one consumer.
+
+    ``capacity`` must be a power of two (mask indexing, as in the C
+    original).  ``enqueue`` never blocks: on a full ring it raises
+    :class:`QueueFull` so callers can implement backpressure — the
+    offload library retries with progress, mirroring how a real
+    implementation would flow-control a flooding application thread.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError("capacity must be a positive power of two")
+        self._mask = capacity - 1
+        self._cells = [_Cell(i) for i in range(capacity)]
+        self._enqueue_pos = AtomicCounter(0)
+        self._dequeue_pos = 0  # single consumer: plain int
+        self._closed = False
+        self.enqueue_count = AtomicCounter(0)
+        self.dequeue_count = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._mask + 1
+
+    @property
+    def cas_failures(self) -> int:
+        """Total failed enqueue CAS attempts (a contention metric)."""
+        return self._enqueue_pos.cas_failures
+
+    def close(self) -> None:
+        """Reject future enqueues; already-queued items remain drainable."""
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def enqueue(self, value: T) -> None:
+        """Insert ``value``; raises :class:`QueueFull` / :class:`QueueClosed`.
+
+        Lock-free: the loop below only repeats when another producer won
+        the CAS race for the same ticket.
+        """
+        if self._closed:
+            raise QueueClosed("command queue is closed")
+        while True:
+            pos = self._enqueue_pos.load()
+            cell = self._cells[pos & self._mask]
+            dif = cell.seq - pos
+            if dif == 0:
+                ok, _ = self._enqueue_pos.compare_and_swap(pos, pos + 1)
+                if ok:
+                    cell.value = value
+                    cell.seq = pos + 1  # publish
+                    self.enqueue_count.fetch_add(1)
+                    return
+            elif dif < 0:
+                raise QueueFull(
+                    f"command queue full (capacity={self.capacity})"
+                )
+            # dif > 0: another producer advanced the ticket; retry.
+
+    def try_dequeue(self) -> tuple[bool, T | None]:
+        """Single-consumer dequeue; returns ``(False, None)`` when empty."""
+        pos = self._dequeue_pos
+        cell = self._cells[pos & self._mask]
+        if cell.seq - (pos + 1) != 0:
+            return False, None
+        value = cell.value
+        cell.value = None  # drop the reference promptly
+        cell.seq = pos + self._mask + 1  # recycle the slot
+        self._dequeue_pos = pos + 1
+        self.dequeue_count += 1
+        return True, value
+
+    def drain(self, limit: int | None = None) -> list[T]:
+        """Dequeue up to ``limit`` items (all available when ``None``)."""
+        out: list[T] = []
+        while limit is None or len(out) < limit:
+            ok, value = self.try_dequeue()
+            if not ok:
+                break
+            out.append(value)  # type: ignore[arg-type]
+        return out
+
+    def __len__(self) -> int:
+        """Approximate occupancy (exact when producers are quiescent)."""
+        n = self.enqueue_count.load() - self.dequeue_count
+        return max(0, n)
+
+    def empty(self) -> bool:
+        return len(self) == 0

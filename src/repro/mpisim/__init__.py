@@ -1,0 +1,132 @@
+"""An in-process MPI implementation with ranks as threads.
+
+This package is the substrate the paper's offload infrastructure sits
+on.  It is a *functional* MPI: real tag/source/context matching with
+posted-receive and unexpected-message queues, real eager and rendezvous
+protocols, an explicit progress engine, nonblocking requests, blocking
+and schedule-based nonblocking collectives, and thread-level
+(``SINGLE``/``FUNNELED``/``SERIALIZED``/``MULTIPLE``) enforcement.
+
+Crucially it reproduces the semantic hazard the paper attacks
+(Section 2): a rendezvous-protocol ``isend`` merely posts a
+ready-to-send control message — the data transfer happens only when the
+*sender's* progress engine later observes the receiver's clear-to-send.
+If no thread pumps progress during application compute, the entire
+transfer lands inside ``wait()``, destroying overlap, exactly as with a
+production MPI library.
+
+Usage mirrors mpi4py's buffer API::
+
+    from repro.mpisim import World
+
+    def program(comm):
+        import numpy as np
+        if comm.rank == 0:
+            comm.send(np.arange(4.0), dest=1, tag=7)
+        else:
+            buf = np.empty(4)
+            st = comm.recv(buf, source=0, tag=7)
+            return buf.sum()
+
+    results = World(2).run(program)
+"""
+
+from repro.mpisim.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    PROC_NULL,
+    THREAD_SINGLE,
+    THREAD_FUNNELED,
+    THREAD_SERIALIZED,
+    THREAD_MULTIPLE,
+    MAX_USER_TAG,
+)
+from repro.mpisim.exceptions import (
+    MPIError,
+    TruncationError,
+    InvalidRankError,
+    InvalidTagError,
+    ThreadLevelError,
+    WorldError,
+)
+from repro.mpisim.status import Status
+from repro.mpisim.reduce_ops import (
+    SUM,
+    PROD,
+    MAX,
+    MIN,
+    LAND,
+    LOR,
+    BAND,
+    BOR,
+    ReduceOp,
+)
+from repro.mpisim.requests import (
+    Request,
+    test_request,
+    wait_request,
+    waitall,
+    waitany,
+    waitsome,
+    testall,
+    testany,
+)
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.persistent import (
+    PersistentRecv,
+    PersistentSend,
+    start_all,
+    wait_all_persistent,
+)
+from repro.mpisim.rma import (
+    LOCK_EXCLUSIVE,
+    LOCK_SHARED,
+    RMAError,
+    Window,
+)
+from repro.mpisim.world import World
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "PROC_NULL",
+    "THREAD_SINGLE",
+    "THREAD_FUNNELED",
+    "THREAD_SERIALIZED",
+    "THREAD_MULTIPLE",
+    "MAX_USER_TAG",
+    "MPIError",
+    "TruncationError",
+    "InvalidRankError",
+    "InvalidTagError",
+    "ThreadLevelError",
+    "WorldError",
+    "Status",
+    "SUM",
+    "PROD",
+    "MAX",
+    "MIN",
+    "LAND",
+    "LOR",
+    "BAND",
+    "BOR",
+    "ReduceOp",
+    "Request",
+    "test_request",
+    "wait_request",
+    "waitall",
+    "waitany",
+    "waitsome",
+    "testall",
+    "testany",
+    "Communicator",
+    "LOCK_EXCLUSIVE",
+    "LOCK_SHARED",
+    "RMAError",
+    "Window",
+    "World",
+    "PersistentSend",
+    "PersistentRecv",
+    "start_all",
+    "wait_all_persistent",
+]

@@ -1,0 +1,642 @@
+"""The user-facing communicator: point-to-point, probes, collectives.
+
+Mirrors mpi4py conventions: buffer methods (``send``/``recv``/...)
+move NumPy arrays or buffer-protocol objects with zero pickling;
+``*_obj`` variants move arbitrary picklable Python objects.
+
+Thread-level rules (paper Section 1/3.3) are enforced at every entry
+point:
+
+* ``THREAD_SINGLE`` / ``THREAD_FUNNELED`` — only the rank's designated
+  funnel thread may call MPI (the offload engine re-designates this to
+  its communication thread);
+* ``THREAD_SERIALIZED`` — any thread, but concurrent entry is an error
+  and is detected;
+* ``THREAD_MULTIPLE`` — anything goes; the price is library-lock
+  contention, which the engine counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any, Sequence
+
+import numpy as np
+
+from repro.mpisim import datatypes
+from repro.mpisim.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX_USER_TAG,
+    PROC_NULL,
+    ThreadLevel,
+)
+from repro.mpisim.exceptions import (
+    InvalidRankError,
+    InvalidTagError,
+    ThreadLevelError,
+)
+from repro.mpisim.reduce_ops import ReduceOp, SUM
+from repro.mpisim.requests import Request
+from repro.mpisim.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.progress import ProgressEngine
+    from repro.mpisim.world import World
+
+#: Internal tag space base for collective traffic (beyond user tags).
+_COLL_TAG_BASE = MAX_USER_TAG + 1
+
+
+class Communicator:
+    """Per-rank communicator handle.
+
+    Instances are cheap views over a shared (group, context) identity;
+    ``dup``/``split`` are collective calls producing new identities.
+    """
+
+    def __init__(
+        self,
+        world: "World",
+        engine: "ProgressEngine",
+        group: tuple[int, ...],
+        cid: int,
+    ) -> None:
+        self.world = world
+        self.engine = engine
+        self.group = group
+        self.cid = cid
+        #: context ids: even for point-to-point, odd for collectives
+        self.ctx_p2p = 2 * cid
+        self.ctx_coll = 2 * cid + 1
+        self.rank = group.index(engine.rank)
+        self.size = len(group)
+        self._coll_seq = 0
+        self._coll_lock = threading.Lock()
+        self._serial_guard: int | None = None
+        self._serial_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ basics
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Communicator(cid={self.cid}, rank={self.rank}/{self.size})"
+        )
+
+    @property
+    def thread_level(self) -> ThreadLevel:
+        return self.world.thread_level
+
+    # ------------------------------------------------------- thread-level police
+
+    def _enter(self) -> None:
+        level = self.world.thread_level
+        ident = threading.get_ident()
+        if level <= ThreadLevel.FUNNELED:
+            funnel = self.world.funnel_thread(self.engine.rank)
+            if funnel is not None and ident != funnel:
+                raise ThreadLevelError(
+                    f"thread {ident} called MPI under "
+                    f"{'THREAD_SINGLE' if level == ThreadLevel.SINGLE else 'THREAD_FUNNELED'}; "
+                    f"only thread {funnel} may"
+                )
+        elif level == ThreadLevel.SERIALIZED:
+            with self._serial_lock:
+                if self._serial_guard is not None and self._serial_guard != ident:
+                    raise ThreadLevelError(
+                        "concurrent MPI calls detected under THREAD_SERIALIZED "
+                        f"(threads {self._serial_guard} and {ident})"
+                    )
+                self._serial_guard = ident
+
+    def _exit(self) -> None:
+        if self.world.thread_level == ThreadLevel.SERIALIZED:
+            with self._serial_lock:
+                if self._serial_guard == threading.get_ident():
+                    self._serial_guard = None
+
+    # ----------------------------------------------------------------- checking
+
+    def _check_rank(self, r: int, *, wildcard: bool = False) -> None:
+        if r == PROC_NULL:
+            return
+        if wildcard and r == ANY_SOURCE:
+            return
+        if not 0 <= r < self.size:
+            raise InvalidRankError(
+                f"rank {r} outside communicator of size {self.size}"
+            )
+
+    @staticmethod
+    def _check_tag(tag: int, *, wildcard: bool = False) -> None:
+        if wildcard and tag == ANY_TAG:
+            return
+        if not 0 <= tag <= MAX_USER_TAG:
+            raise InvalidTagError(f"tag {tag} out of range")
+
+    def _global(self, r: int) -> int:
+        return r if r == PROC_NULL else self.group[r]
+
+    # -------------------------------------------------------------- internal p2p
+    # Used by collectives: explicit context, no thread-level re-entry check.
+
+    def _isend_internal(
+        self, payload: np.ndarray, dst: int, tag: int, ctx: int
+    ) -> Request:
+        return self.engine.post_send(
+            datatypes.as_send_buffer(payload), self._global(dst), tag, ctx
+        )
+
+    def _irecv_internal(
+        self, buffer: np.ndarray, src: int, tag: int, ctx: int
+    ) -> Request:
+        return self.engine.post_recv(
+            datatypes.as_recv_buffer(buffer), self._global(src), tag, ctx
+        )
+
+    def next_coll_tag(self) -> int:
+        """Per-communicator collective sequence number.
+
+        MPI requires all ranks to issue collectives on a communicator in
+        the same order, so each rank's local counter yields identical
+        tags for the matching calls.
+        """
+        with self._coll_lock:
+            tag = _COLL_TAG_BASE + self._coll_seq
+            self._coll_seq += 1
+            return tag
+
+    # ---------------------------------------------------------------- public p2p
+
+    def isend(self, buf: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking buffer send."""
+        self._enter()
+        try:
+            self._check_rank(dest)
+            self._check_tag(tag)
+            payload = datatypes.as_send_buffer(buf)
+            return self.engine.post_send(
+                payload, self._global(dest), tag, self.ctx_p2p
+            )
+        finally:
+            self._exit()
+
+    def irecv(
+        self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Request:
+        """Nonblocking buffer receive."""
+        self._enter()
+        try:
+            self._check_rank(source, wildcard=True)
+            self._check_tag(tag, wildcard=True)
+            buffer = datatypes.as_recv_buffer(buf)
+            gsrc = source if source in (ANY_SOURCE, PROC_NULL) else self.group[source]
+            return self.engine.post_recv(buffer, gsrc, tag, self.ctx_p2p)
+        finally:
+            self._exit()
+
+    def send(self, buf: Any, dest: int, tag: int = 0) -> None:
+        """Blocking buffer send (returns when the buffer is reusable)."""
+        self.isend(buf, dest, tag).wait()
+
+    def recv(
+        self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Status:
+        """Blocking buffer receive; returns the message status."""
+        st = self.irecv(buf, source, tag).wait()
+        return self._localize_status(st)
+
+    def sendrecv(
+        self,
+        sendbuf: Any,
+        dest: int,
+        recvbuf: Any,
+        source: int,
+        sendtag: int = 0,
+        recvtag: int = ANY_TAG,
+    ) -> Status:
+        """Combined send+receive; deadlock-free for exchange patterns."""
+        rreq = self.irecv(recvbuf, source, recvtag)
+        sreq = self.isend(sendbuf, dest, sendtag)
+        sreq.wait()
+        return self._localize_status(rreq.wait())
+
+    def _localize_status(self, st: Status) -> Status:
+        """Convert the engine's global source rank to a comm-local one."""
+        if st.source < 0:
+            return st
+        return Status(
+            self.group.index(st.source), st.tag, st.count, st.cancelled
+        )
+
+    # -------------------------------------------------------------------- probes
+
+    def iprobe(
+        self, source: int = ANY_SOURCE, tag: int = ANY_TAG
+    ) -> Status | None:
+        """Nonblocking probe.  Also drives progress — which is exactly
+        how the paper's *iprobe* approach uses it (Section 2.1)."""
+        self._enter()
+        try:
+            self._check_rank(source, wildcard=True)
+            self._check_tag(tag, wildcard=True)
+            gsrc = source if source == ANY_SOURCE else self.group[source]
+            st = self.engine.iprobe(gsrc, tag, self.ctx_p2p)
+            return None if st is None else self._localize_status(st)
+        finally:
+            self._exit()
+
+    def probe(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Status:
+        """Blocking probe."""
+        import time
+
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        while True:
+            st = self.iprobe(source, tag)
+            if st is not None:
+                return st
+            if deadline is not None and time.perf_counter() > deadline:
+                raise TimeoutError("probe timed out")
+            time.sleep(1e-5)
+
+    # ------------------------------------------------------------------- objects
+
+    def isend_obj(self, obj: Any, dest: int, tag: int = 0) -> Request:
+        """Nonblocking pickled-object send."""
+        return self.isend(datatypes.pack_object(obj), dest, tag)
+
+    def send_obj(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Blocking pickled-object send."""
+        self.isend_obj(obj, dest, tag).wait()
+
+    def recv_obj(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: float | None = None,
+    ) -> Any:
+        """Blocking pickled-object receive.
+
+        Probes for the matching message to size the buffer, then
+        receives it.  FIFO matching guarantees the subsequent receive
+        takes the same message the probe saw.
+        """
+        st = self.probe(source, tag, timeout=timeout)
+        buf = np.empty(st.count, dtype=np.uint8)
+        self.recv(buf, st.source, st.tag)
+        return datatypes.unpack_object(buf)
+
+    # --------------------------------------------------------------- collectives
+    # Implemented in repro.mpisim.collectives / nbc; thin wrappers here.
+
+    def barrier(self) -> None:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            collectives.barrier(self)
+        finally:
+            self._exit()
+
+    def bcast(self, buf: Any, root: int = 0) -> None:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            collectives.bcast(self, buf, root)
+        finally:
+            self._exit()
+
+    def bcast_obj(self, obj: Any = None, root: int = 0) -> Any:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            return collectives.bcast_obj(self, obj, root)
+        finally:
+            self._exit()
+
+    def reduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+        root: int = 0,
+    ) -> np.ndarray | None:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            return collectives.reduce(self, sendbuf, recvbuf, op, root)
+        finally:
+            self._exit()
+
+    def allreduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+    ) -> np.ndarray:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            return collectives.allreduce(self, sendbuf, recvbuf, op)
+        finally:
+            self._exit()
+
+    def gather(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        root: int = 0,
+    ) -> np.ndarray | None:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            return collectives.gather(self, sendbuf, recvbuf, root)
+        finally:
+            self._exit()
+
+    def scatter(
+        self,
+        sendbuf: np.ndarray | None,
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> np.ndarray:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            return collectives.scatter(self, sendbuf, recvbuf, root)
+        finally:
+            self._exit()
+
+    def allgather(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray | None = None
+    ) -> np.ndarray:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            return collectives.allgather(self, sendbuf, recvbuf)
+        finally:
+            self._exit()
+
+    def alltoall(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray | None = None
+    ) -> np.ndarray:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            return collectives.alltoall(self, sendbuf, recvbuf)
+        finally:
+            self._exit()
+
+    def gatherv(
+        self,
+        sendbuf: np.ndarray,
+        recvcounts,
+        recvbuf: np.ndarray | None = None,
+        root: int = 0,
+    ) -> np.ndarray | None:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            return collectives.gatherv(self, sendbuf, recvcounts, recvbuf, root)
+        finally:
+            self._exit()
+
+    def scatterv(
+        self,
+        sendbuf: np.ndarray | None,
+        sendcounts,
+        recvbuf: np.ndarray,
+        root: int = 0,
+    ) -> np.ndarray:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            return collectives.scatterv(self, sendbuf, sendcounts, recvbuf, root)
+        finally:
+            self._exit()
+
+    def alltoallv(
+        self,
+        sendbuf: np.ndarray,
+        sendcounts,
+        recvbuf: np.ndarray,
+        recvcounts,
+    ) -> np.ndarray:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            return collectives.alltoallv(
+                self, sendbuf, sendcounts, recvbuf, recvcounts
+            )
+        finally:
+            self._exit()
+
+    def reduce_scatter(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+    ) -> np.ndarray:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            return collectives.reduce_scatter(self, sendbuf, recvbuf, op)
+        finally:
+            self._exit()
+
+    def scan(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        op: ReduceOp = SUM,
+    ) -> np.ndarray:
+        from repro.mpisim import collectives
+
+        self._enter()
+        try:
+            return collectives.scan(self, sendbuf, recvbuf, op)
+        finally:
+            self._exit()
+
+    # ---------------------------------------------------- nonblocking collectives
+
+    def ibarrier(self) -> Request:
+        from repro.mpisim import nbc
+
+        self._enter()
+        try:
+            return nbc.ibarrier(self)
+        finally:
+            self._exit()
+
+    def ibcast(self, buf: np.ndarray, root: int = 0) -> Request:
+        from repro.mpisim import nbc
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            return nbc.ibcast(self, buf, root)
+        finally:
+            self._exit()
+
+    def iallreduce(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray,
+        op: ReduceOp = SUM,
+    ) -> Request:
+        from repro.mpisim import nbc
+
+        self._enter()
+        try:
+            return nbc.iallreduce(self, sendbuf, recvbuf, op)
+        finally:
+            self._exit()
+
+    def igather(
+        self,
+        sendbuf: np.ndarray,
+        recvbuf: np.ndarray | None = None,
+        root: int = 0,
+    ) -> Request:
+        from repro.mpisim import nbc
+
+        self._enter()
+        try:
+            self._check_rank(root)
+            return nbc.igather(self, sendbuf, recvbuf, root)
+        finally:
+            self._exit()
+
+    def ialltoall(
+        self, sendbuf: np.ndarray, recvbuf: np.ndarray
+    ) -> Request:
+        from repro.mpisim import nbc
+
+        self._enter()
+        try:
+            return nbc.ialltoall(self, sendbuf, recvbuf)
+        finally:
+            self._exit()
+
+    # ------------------------------------------------------- communicator algebra
+
+    def dup(self) -> "Communicator":
+        """Collective duplicate with a fresh context."""
+        self._enter()
+        try:
+            cid_buf = np.empty(1, dtype=np.int64)
+            if self.rank == 0:
+                cid_buf[0] = self.world.allocate_cid()
+            from repro.mpisim import collectives
+
+            collectives.bcast(self, cid_buf, 0)
+            return Communicator(
+                self.world, self.engine, self.group, int(cid_buf[0])
+            )
+        finally:
+            self._exit()
+
+    def split(self, color: int | None, key: int = 0) -> "Communicator | None":
+        """Collective split into disjoint sub-communicators.
+
+        ``color=None`` opts out (returns ``None``), like
+        ``MPI_UNDEFINED``.
+        """
+        self._enter()
+        try:
+            from repro.mpisim import collectives
+
+            # Exchange (color, key, global rank); None -> sentinel.
+            mine = np.array(
+                [
+                    -1 if color is None else color,
+                    key,
+                    self.engine.rank,
+                ],
+                dtype=np.int64,
+            )
+            table = collectives.allgather(self, mine)
+            table = table.reshape(self.size, 3)
+            colors = sorted({int(c) for c in table[:, 0] if c >= 0})
+            base_buf = np.empty(1, dtype=np.int64)
+            if self.rank == 0:
+                base_buf[0] = self.world.allocate_cid_block(
+                    max(1, len(colors))
+                )
+            collectives.bcast(self, base_buf, 0)
+            if color is None:
+                return None
+            members = [
+                (int(k), int(g))
+                for c, k, g in table
+                if int(c) == color
+            ]
+            # Sort by key, breaking ties by original global rank.
+            members.sort()
+            group = tuple(g for _, g in members)
+            cid = int(base_buf[0]) + colors.index(color)
+            return Communicator(self.world, self.engine, group, cid)
+        finally:
+            self._exit()
+
+    def translate_rank(self, local_rank: int) -> int:
+        """Map a comm-local rank to a world rank."""
+        self._check_rank(local_rank)
+        return self.group[local_rank]
+
+    def send_init(self, buf: Any, dest: int, tag: int = 0):
+        """Create a persistent send bound to ``buf`` (``MPI_Send_init``);
+        fire with ``.start()``, complete with ``.wait()``, repeat."""
+        from repro.mpisim.persistent import PersistentSend
+
+        self._check_rank(dest)
+        self._check_tag(tag)
+        return PersistentSend(self, buf, dest, tag)
+
+    def recv_init(self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG):
+        """Create a persistent receive bound to ``buf``."""
+        from repro.mpisim.persistent import PersistentRecv
+
+        self._check_rank(source, wildcard=True)
+        self._check_tag(tag, wildcard=True)
+        return PersistentRecv(self, buf, source, tag)
+
+    def win_create(self, local: np.ndarray):
+        """Collectively create a one-sided RMA window (see
+        :mod:`repro.mpisim.rma`)."""
+        from repro.mpisim.rma import Window
+
+        self._enter()
+        try:
+            return Window.create(self, local)
+        finally:
+            self._exit()
+
+    def progress(self) -> int:
+        """Explicitly pump this rank's progress engine."""
+        return self.engine.progress()

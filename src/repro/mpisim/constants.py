@@ -1,0 +1,38 @@
+"""MPI-style constants for the in-process implementation."""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+#: Wildcard source for receives and probes.
+ANY_SOURCE: int = -1
+
+#: Wildcard tag for receives and probes.
+ANY_TAG: int = -1
+
+#: Null process: sends/recvs to it complete immediately with no data.
+PROC_NULL: int = -2
+
+#: Largest tag an application may use; larger values are reserved for
+#: internal collective traffic.
+MAX_USER_TAG: int = 2**28 - 1
+
+#: Default eager/rendezvous switchover, matching the MPI implementation
+#: measured in the paper (Section 4.1: "the MPI implementation uses the
+#: eager protocol for messages up to 128 KB").
+DEFAULT_EAGER_THRESHOLD: int = 128 * 1024
+
+
+class ThreadLevel(IntEnum):
+    """MPI thread support levels, ordered by permissiveness."""
+
+    SINGLE = 0
+    FUNNELED = 1
+    SERIALIZED = 2
+    MULTIPLE = 3
+
+
+THREAD_SINGLE = ThreadLevel.SINGLE
+THREAD_FUNNELED = ThreadLevel.FUNNELED
+THREAD_SERIALIZED = ThreadLevel.SERIALIZED
+THREAD_MULTIPLE = ThreadLevel.MULTIPLE

@@ -1,0 +1,85 @@
+"""Buffer handling for message payloads.
+
+Following mpi4py's split personality, the communicator offers a fast
+buffer path (NumPy arrays, zero intermediate pickling) and a
+convenience object path (arbitrary picklable objects).  Everything
+below normalizes user arguments into flat byte views so the matching
+and protocol layers deal in one representation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+
+from repro.mpisim.exceptions import TruncationError
+
+
+def as_send_buffer(buf: Any) -> np.ndarray:
+    """View ``buf`` as a contiguous 1-D uint8 array without copying.
+
+    Accepts NumPy arrays, ``bytes``/``bytearray``/``memoryview`` and
+    anything exposing the buffer protocol.  Non-contiguous arrays are
+    copied (as a real MPI derived-datatype pack would).
+    """
+    if isinstance(buf, np.ndarray):
+        arr = buf
+    else:
+        arr = np.frombuffer(memoryview(buf).cast("B"), dtype=np.uint8)
+    if not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr)
+    return arr.reshape(-1).view(np.uint8)
+
+
+def as_recv_buffer(buf: Any) -> np.ndarray:
+    """View ``buf`` as a writable contiguous 1-D uint8 array.
+
+    The caller retains ownership; incoming payload bytes are copied into
+    this view on match.
+    """
+    if isinstance(buf, np.ndarray):
+        arr = buf
+    else:
+        mv = memoryview(buf)
+        if mv.readonly:
+            raise TypeError("receive buffer must be writable")
+        arr = np.frombuffer(mv.cast("B"), dtype=np.uint8)
+        # np.frombuffer marks the result read-only even for writable
+        # memoryviews of bytearrays; re-enable writes explicitly.
+        arr.flags.writeable = True
+    if not arr.flags.writeable:
+        raise TypeError("receive buffer must be writable")
+    if not arr.flags.c_contiguous:
+        raise TypeError("receive buffer must be contiguous")
+    return arr.reshape(-1).view(np.uint8)
+
+
+def copy_into(dst: np.ndarray, payload: np.ndarray) -> int:
+    """Copy ``payload`` bytes into ``dst``; returns bytes copied.
+
+    Raises :class:`TruncationError` when the payload does not fit,
+    mirroring ``MPI_ERR_TRUNCATE``.  Short messages are fine (the
+    status carries the true count).
+    """
+    n = payload.nbytes
+    if n > dst.nbytes:
+        raise TruncationError(
+            f"message of {n} bytes truncated: receive buffer holds "
+            f"{dst.nbytes}"
+        )
+    if n:
+        dst[:n] = payload[:n]
+    return n
+
+
+def pack_object(obj: Any) -> np.ndarray:
+    """Pickle an arbitrary object into a uint8 payload array."""
+    raw = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return np.frombuffer(raw, dtype=np.uint8).copy()
+
+
+def unpack_object(payload: np.ndarray) -> Any:
+    """Inverse of :func:`pack_object`."""
+    return pickle.loads(payload.tobytes())

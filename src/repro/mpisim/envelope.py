@@ -1,0 +1,60 @@
+"""Wire envelopes exchanged between rank progress engines.
+
+Three envelope kinds implement the two transfer protocols:
+
+* ``EAGER`` — payload travels with the envelope (the sender copied it
+  at post time, so the send completed locally).
+* ``RTS`` (ready-to-send) — rendezvous control message; carries only
+  the size and a reference to the sender's pending request.  The
+  *receiver's* progress engine answers with ``CTS`` once a matching
+  receive exists.
+* ``CTS`` (clear-to-send) — carries the matched receive request; the
+  *sender's* progress engine performs the actual copy when it sees
+  this, then completes both requests.  This is where the "no progress
+  ⇒ no transfer" hazard of the paper's Section 2 lives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.requests import RecvRequest, SendRequest
+
+
+class EnvelopeKind(Enum):
+    EAGER = "eager"
+    RTS = "rts"
+    CTS = "cts"
+    #: one-sided operation record (see :mod:`repro.mpisim.rma`)
+    RMA = "rma"
+
+
+@dataclass(slots=True)
+class Envelope:
+    kind: EnvelopeKind
+    src: int  # global sender rank
+    dst: int  # global receiver rank
+    context_id: int
+    tag: int
+    nbytes: int
+    payload: np.ndarray | None = None  # EAGER only
+    send_req: "SendRequest | None" = None  # RTS / CTS
+    recv_req: "RecvRequest | None" = None  # CTS only
+    rma: object | None = None  # RMA only: an RMAMessage record
+
+    def matches(self, source: int, tag: int, context_id: int) -> bool:
+        """Does this (EAGER/RTS) envelope satisfy a receive's pattern?"""
+        from repro.mpisim.constants import ANY_SOURCE, ANY_TAG
+
+        if self.context_id != context_id:
+            return False
+        if source != ANY_SOURCE and self.src != source:
+            return False
+        if tag != ANY_TAG and self.tag != tag:
+            return False
+        return True

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the in-process MPI implementation."""
+
+from __future__ import annotations
+
+
+class MPIError(Exception):
+    """Base class for all errors raised by :mod:`repro.mpisim`."""
+
+
+class InvalidRankError(MPIError):
+    """A rank argument is outside the communicator."""
+
+
+class InvalidTagError(MPIError):
+    """A tag argument is negative (and not a wildcard) or too large."""
+
+
+class TruncationError(MPIError):
+    """An incoming message is larger than the posted receive buffer.
+
+    Mirrors ``MPI_ERR_TRUNCATE``: matching succeeded but the data does
+    not fit, so the receive completes in error.
+    """
+
+
+class ThreadLevelError(MPIError):
+    """An MPI call violated the requested thread-support level.
+
+    E.g. a non-main thread called into MPI under ``THREAD_FUNNELED``.
+    """
+
+
+class CommAbortError(MPIError):
+    """The communicator's world has been aborted (peer rank failed)."""
+
+
+class WorldError(MPIError):
+    """A rank program raised; carries the per-rank failures."""
+
+    def __init__(self, failures: dict[int, BaseException]):
+        self.failures = failures
+        detail = "; ".join(
+            f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(failures.items())
+        )
+        super().__init__(f"{len(failures)} rank(s) failed: {detail}")

@@ -1,0 +1,94 @@
+"""MPI message matching: posted-receive and unexpected-message queues.
+
+MPI's matching rules, which this module implements verbatim:
+
+* a message matches a receive when context ids are equal and the
+  receive's source/tag each either equal the message's or are
+  wildcards;
+* among candidates, matching is FIFO — the *earliest posted* receive
+  takes the *earliest arrived* message (non-overtaking between a pair
+  of ranks on one context).
+
+Both queues are plain ordered lists scanned front-to-back; the caller
+(the progress engine) holds the library lock, so no internal locking is
+needed here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator
+
+from repro.mpisim.envelope import Envelope
+from repro.mpisim.requests import RecvRequest
+
+
+class PostedReceiveQueue:
+    """Receives posted but not yet matched, in post order."""
+
+    __slots__ = ("_q",)
+
+    def __init__(self) -> None:
+        self._q: deque[RecvRequest] = deque()
+
+    def post(self, req: RecvRequest) -> None:
+        self._q.append(req)
+
+    def match(self, env: Envelope) -> RecvRequest | None:
+        """Remove and return the first receive matching ``env``."""
+        for i, req in enumerate(self._q):
+            if env.matches(req.source, req.tag, req.context_id):
+                del self._q[i]
+                return req
+        return None
+
+    def remove(self, req: RecvRequest) -> bool:
+        """Withdraw a posted receive (cancellation)."""
+        try:
+            self._q.remove(req)
+            return True
+        except ValueError:
+            return False
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[RecvRequest]:  # pragma: no cover
+        return iter(self._q)
+
+
+class UnexpectedQueue:
+    """Arrived envelopes with no matching receive, in arrival order."""
+
+    __slots__ = ("_q",)
+
+    def __init__(self) -> None:
+        self._q: deque[Envelope] = deque()
+
+    def add(self, env: Envelope) -> None:
+        self._q.append(env)
+
+    def match(
+        self, source: int, tag: int, context_id: int
+    ) -> Envelope | None:
+        """Remove and return the first envelope matching the pattern."""
+        for i, env in enumerate(self._q):
+            if env.matches(source, tag, context_id):
+                del self._q[i]
+                return env
+        return None
+
+    def peek(
+        self, source: int, tag: int, context_id: int
+    ) -> Envelope | None:
+        """Like :meth:`match` but leaves the envelope queued (probe)."""
+        for env in self._q:
+            if env.matches(source, tag, context_id):
+                return env
+        return None
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __iter__(self) -> Iterator[Envelope]:  # pragma: no cover
+        return iter(self._q)

@@ -1,0 +1,133 @@
+"""Persistent communication requests (``MPI_Send_init`` family).
+
+Production stencil codes — including the QPhiX-style QCD code the
+paper evaluates — set up their halo exchange once with
+``MPI_Send_init``/``MPI_Recv_init`` and then fire it every iteration
+with ``MPI_Startall``, amortizing argument validation and buffer
+bookkeeping.  This module provides that API on the substrate; the
+Wilson-Dslash operator uses it when constructed with
+``persistent=True``.
+
+A persistent request alternates between *inactive* and *active*:
+``start()`` activates it (posting a fresh underlying operation against
+the bound buffer), ``wait``/``test`` complete it back to inactive, and
+it may then be started again.  Starting an active request is an error,
+as in MPI.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.mpisim.exceptions import MPIError
+from repro.mpisim.requests import Request
+from repro.mpisim.status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.communicator import Communicator
+
+
+class PersistentRequest:
+    """Base: a restartable operation bound to a fixed buffer."""
+
+    _KIND = "persistent"
+
+    def __init__(self, comm: "Communicator") -> None:
+        self.comm = comm
+        self._inner: Request | None = None
+        self.starts = 0
+        self.completions = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        """Started and not yet completed via ``wait``/``test``."""
+        return self._inner is not None
+
+    def _post(self) -> Request:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "PersistentRequest":
+        """Activate: post the underlying operation afresh."""
+        if self.active:
+            raise MPIError(
+                f"{self._KIND} request started while still active"
+            )
+        self._inner = self._post()
+        self.starts += 1
+        return self
+
+    def test(self) -> tuple[bool, Status | None]:
+        """Nonblocking completion check; deactivates when complete.
+
+        (Offloaded underlying handles are single-shot, so completion
+        consumes the inner request either way.)
+        """
+        if self._inner is None:
+            raise MPIError(f"{self._KIND} request tested before start")
+        done, st = self._inner.test()
+        if done:
+            self._inner = None
+            self.completions += 1
+        return done, st
+
+    def wait(self, timeout: float | None = None) -> Status:
+        """Block until complete; the request returns to inactive."""
+        if self._inner is None:
+            raise MPIError(f"{self._KIND} request waited before start")
+        st = self._inner.wait(timeout=timeout)
+        self._inner = None
+        self.completions += 1
+        return st
+
+
+class PersistentSend(PersistentRequest):
+    """Restartable send; each ``start`` snapshots the bound buffer."""
+
+    _KIND = "persistent-send"
+
+    def __init__(
+        self, comm: "Communicator", buf: np.ndarray, dest: int, tag: int
+    ) -> None:
+        super().__init__(comm)
+        self.buf = buf
+        self.dest = dest
+        self.tag = tag
+
+    def _post(self) -> Request:
+        return self.comm.isend(self.buf, self.dest, self.tag)
+
+
+class PersistentRecv(PersistentRequest):
+    """Restartable receive into the bound buffer."""
+
+    _KIND = "persistent-recv"
+
+    def __init__(
+        self, comm: "Communicator", buf: np.ndarray, source: int, tag: int
+    ) -> None:
+        super().__init__(comm)
+        self.buf = buf
+        self.source = source
+        self.tag = tag
+
+    def _post(self) -> Request:
+        return self.comm.irecv(self.buf, self.source, self.tag)
+
+
+def start_all(requests: Sequence[PersistentRequest]) -> None:
+    """``MPI_Startall``: activate every request."""
+    for r in requests:
+        r.start()
+
+
+def wait_all_persistent(
+    requests: Sequence[PersistentRequest], timeout: float | None = None
+) -> list[Status]:
+    """Complete every active request; statuses in request order."""
+    return [r.wait(timeout=timeout) for r in requests]

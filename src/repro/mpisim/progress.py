@@ -1,0 +1,368 @@
+"""Per-rank progress engine: the MPI library's beating heart.
+
+One :class:`ProgressEngine` exists per rank.  Every MPI call on that
+rank enters through it, serialized by the **library lock** — the same
+global critical section that makes ``MPI_THREAD_MULTIPLE`` slow in
+production MPI implementations (paper Sections 2.2/3.3).  The engine
+counts lock contention so benchmarks can observe exactly that effect.
+
+Progress is *explicit*: envelopes delivered by peer ranks sit in this
+rank's inbox until some thread calls :meth:`progress` (directly, or via
+any blocking call / ``test`` / ``wait``).  In particular a rendezvous
+send posted with ``isend`` transfers **no data** until the sender side
+pumps progress after the receiver has matched — reproducing the
+overlap pathology the offload thread exists to fix.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from repro.mpisim import datatypes
+from repro.mpisim.constants import DEFAULT_EAGER_THRESHOLD, PROC_NULL
+from repro.mpisim.envelope import Envelope, EnvelopeKind
+from repro.mpisim.exceptions import MPIError, TruncationError
+from repro.mpisim.matching import PostedReceiveQueue, UnexpectedQueue
+from repro.mpisim.requests import (
+    CompletedRequest,
+    RecvRequest,
+    Request,
+    SendRequest,
+)
+from repro.mpisim.status import EMPTY_STATUS, Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpisim.nbc import NBCRequest
+
+
+class ProgressEngine:
+    """Matching, protocols and progress for one rank."""
+
+    def __init__(
+        self,
+        rank: int,
+        deliver: Callable[[int, Envelope], None],
+        eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+    ) -> None:
+        self.rank = rank
+        self._deliver = deliver  # world-level routing: (dst, env) -> None
+        self.eager_threshold = eager_threshold
+        self._inbox: deque[Envelope] = deque()
+        self._prq = PostedReceiveQueue()
+        self._umq = UnexpectedQueue()
+        self._lock = threading.RLock()
+        self._active_nbc: list["NBCRequest"] = []
+        #: one-sided windows registered on this rank, by window id
+        self._windows: dict[int, object] = {}
+        # --- introspection counters -------------------------------------
+        self.lock_contentions = 0
+        self.progress_calls = 0
+        self.eager_sends = 0
+        self.rendezvous_sends = 0
+        self.bytes_sent = 0
+
+    # -- library lock ------------------------------------------------------
+
+    def _acquire(self) -> None:
+        if not self._lock.acquire(blocking=False):
+            self.lock_contentions += 1
+            self._lock.acquire()
+
+    def _release(self) -> None:
+        self._lock.release()
+
+    # -- envelope delivery (called by PEER rank threads) --------------------
+
+    def inject(self, env: Envelope) -> None:
+        """Called by a remote engine's thread; must not take our lock."""
+        self._inbox.append(env)  # deque.append is atomic
+
+    # -- posting -------------------------------------------------------------
+
+    def post_send(
+        self,
+        payload: np.ndarray,
+        dst: int,
+        tag: int,
+        context_id: int,
+    ) -> Request:
+        """Nonblocking send entry point (``isend``).
+
+        Eager messages are buffered and complete immediately; larger
+        ones post a ready-to-send and complete once the rendezvous is
+        driven to the data transfer by later progress.
+        """
+        if dst == PROC_NULL:
+            return CompletedRequest()
+        self._acquire()
+        try:
+            self.bytes_sent += payload.nbytes
+            if payload.nbytes <= self.eager_threshold:
+                # Eager: copy now (this copy IS the cost the paper's
+                # Figure 4 shows growing toward the 128 KB threshold).
+                self.eager_sends += 1
+                env = Envelope(
+                    kind=EnvelopeKind.EAGER,
+                    src=self.rank,
+                    dst=dst,
+                    context_id=context_id,
+                    tag=tag,
+                    nbytes=payload.nbytes,
+                    payload=payload.copy(),
+                )
+                self._deliver(dst, env)
+                return CompletedRequest(EMPTY_STATUS)
+            # Rendezvous: hand off only a control message.
+            self.rendezvous_sends += 1
+            req = SendRequest(self, payload, dst, tag, context_id)
+            env = Envelope(
+                kind=EnvelopeKind.RTS,
+                src=self.rank,
+                dst=dst,
+                context_id=context_id,
+                tag=tag,
+                nbytes=payload.nbytes,
+                send_req=req,
+            )
+            self._deliver(dst, env)
+            return req
+        finally:
+            self._release()
+
+    def post_recv(
+        self,
+        buffer: np.ndarray,
+        source: int,
+        tag: int,
+        context_id: int,
+    ) -> Request:
+        """Nonblocking receive entry point (``irecv``)."""
+        if source == PROC_NULL:
+            return CompletedRequest(Status(PROC_NULL, tag, 0))
+        self._acquire()
+        try:
+            # Drain arrivals first so the unexpected queue is current.
+            self._drain_inbox()
+            req = RecvRequest(self, buffer, source, tag, context_id)
+            env = self._umq.match(source, tag, context_id)
+            if env is None:
+                self._prq.post(req)
+            else:
+                self._match_pair(env, req)
+            return req
+        finally:
+            self._release()
+
+    def cancel_recv(self, req: RecvRequest) -> bool:
+        """Withdraw an unmatched posted receive."""
+        self._acquire()
+        try:
+            if req.done or req.matched:
+                return False
+            if self._prq.remove(req):
+                req.cancelled = True
+                req._complete(
+                    Status(req.source, req.tag, 0, cancelled=True)
+                )
+                return True
+            return False
+        finally:
+            self._release()
+
+    # -- probing ---------------------------------------------------------------
+
+    def iprobe(
+        self, source: int, tag: int, context_id: int
+    ) -> Status | None:
+        """Nonblocking probe; also pumps progress (as real iprobe does)."""
+        self._acquire()
+        try:
+            self._drain_inbox()
+            self._advance_nbc()
+            env = self._umq.peek(source, tag, context_id)
+            if env is None:
+                return None
+            return Status(env.src, env.tag, env.nbytes)
+        finally:
+            self._release()
+
+    # -- progress ----------------------------------------------------------------
+
+    def progress(self) -> int:
+        """Pump the engine once; returns envelopes processed."""
+        self._acquire()
+        try:
+            self.progress_calls += 1
+            n = self._drain_inbox()
+            self._advance_nbc()
+            return n
+        finally:
+            self._release()
+
+    # -- one-sided windows -------------------------------------------------
+
+    def register_window(self, win) -> None:
+        """Attach an RMA window so incoming records can be applied."""
+        self._acquire()
+        try:
+            self._windows[win.win_id] = win
+        finally:
+            self._release()
+
+    def unregister_window(self, win) -> None:
+        self._acquire()
+        try:
+            self._windows.pop(win.win_id, None)
+        finally:
+            self._release()
+
+    def send_rma(self, msg) -> None:
+        """Ship a one-sided record to its target rank's engine."""
+        env = Envelope(
+            kind=EnvelopeKind.RMA,
+            src=self.rank,
+            dst=msg.target,
+            context_id=-1,
+            tag=-1,
+            nbytes=msg.payload.nbytes if msg.payload is not None else 0,
+            rma=msg,
+        )
+        self._deliver(msg.target, env)
+
+    def register_nbc(self, req: "NBCRequest") -> None:
+        """Track a schedule-based nonblocking collective for progress."""
+        self._acquire()
+        try:
+            self._active_nbc.append(req)
+        finally:
+            self._release()
+
+    def _advance_nbc(self) -> None:
+        if not self._active_nbc:
+            return
+        still = []
+        for req in self._active_nbc:
+            try:
+                req._advance()
+            except MPIError as exc:
+                req._fail(exc)
+            if not req.done:
+                still.append(req)
+        self._active_nbc = still
+
+    # -- internals ------------------------------------------------------------------
+
+    def _drain_inbox(self) -> int:
+        n = 0
+        while True:
+            try:
+                env = self._inbox.popleft()
+            except IndexError:
+                return n
+            n += 1
+            self._handle(env)
+
+    def _handle(self, env: Envelope) -> None:
+        if env.kind is EnvelopeKind.CTS:
+            self._handle_cts(env)
+            return
+        if env.kind is EnvelopeKind.RMA:
+            self._handle_rma(env)
+            return
+        # EAGER or RTS: try to match a posted receive.
+        req = self._prq.match(env)
+        if req is None:
+            self._umq.add(env)
+        else:
+            self._match_pair(env, req)
+
+    def _match_pair(self, env: Envelope, req: RecvRequest) -> None:
+        """A receive and an envelope found each other."""
+        req.matched = True
+        if env.kind is EnvelopeKind.EAGER:
+            assert env.payload is not None
+            try:
+                n = datatypes.copy_into(req.buffer, env.payload)
+            except TruncationError as exc:
+                req._fail(exc)
+                return
+            req._complete(Status(env.src, env.tag, n))
+        elif env.kind is EnvelopeKind.RTS:
+            # Rendezvous: tell the sender where the data goes.  The
+            # sender's engine performs the copy when IT next progresses.
+            assert env.send_req is not None
+            if env.nbytes > req.buffer.nbytes:
+                # Fail fast on truncation: notify both sides.
+                exc = TruncationError(
+                    f"rendezvous message of {env.nbytes} bytes exceeds "
+                    f"receive buffer of {req.buffer.nbytes}"
+                )
+                req._fail(exc)
+                env.send_req._fail(exc)
+                return
+            cts = Envelope(
+                kind=EnvelopeKind.CTS,
+                src=self.rank,
+                dst=env.src,
+                context_id=env.context_id,
+                tag=env.tag,
+                nbytes=env.nbytes,
+                send_req=env.send_req,
+                recv_req=req,
+            )
+            self._deliver(env.src, cts)
+        else:  # pragma: no cover - defensive
+            raise MPIError(f"unexpected envelope kind {env.kind}")
+
+    def _handle_cts(self, env: Envelope) -> None:
+        """Receiver granted clear-to-send: do the rendezvous transfer.
+
+        Ranks share one address space, so the copy goes straight into
+        the receiver's buffer; completing the receive request from this
+        (the sender's) thread is safe because the buffer is exclusively
+        owned by the pending receive until completion.
+        """
+        send_req = env.send_req
+        recv_req = env.recv_req
+        assert send_req is not None and recv_req is not None
+        n = datatypes.copy_into(recv_req.buffer, send_req.payload)
+        send_req._complete(EMPTY_STATUS)
+        recv_req._complete(Status(send_req.engine.rank, env.tag, n))
+
+    def _handle_rma(self, env: Envelope) -> None:
+        """Apply a one-sided record to its window (we are the target,
+        or the origin for replies/acks)."""
+        msg = env.rma
+        win = self._windows.get(msg.win_id)
+        if win is None:
+            # Window not (yet/anymore) attached here: fail the origin.
+            if msg.request is not None and msg.op not in ("ack", "nack"):
+                from repro.mpisim.rma import RMAError
+
+                msg.request._fail(
+                    RMAError(
+                        f"window {msg.win_id} not registered on rank "
+                        f"{self.rank}"
+                    )
+                )
+            return
+        win._apply(msg, self)
+
+    # -- diagnostics --------------------------------------------------------------------
+
+    def pending_counts(self) -> dict[str, int]:
+        """Snapshot of queue depths (diagnostic)."""
+        self._acquire()
+        try:
+            return {
+                "inbox": len(self._inbox),
+                "posted_recvs": len(self._prq),
+                "unexpected": len(self._umq),
+                "active_nbc": len(self._active_nbc),
+            }
+        finally:
+            self._release()

@@ -1,0 +1,58 @@
+"""Reduction operators for collectives.
+
+Each op is a named wrapper around a NumPy ufunc applied elementwise.
+All provided ops are commutative and associative, which the tree-based
+reduction algorithms in :mod:`repro.mpisim.collectives` rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """An elementwise reduction operator.
+
+    ``fn(a, b, out)`` must write the combination of ``a`` and ``b``
+    into ``out`` (which may alias ``a``).
+    """
+
+    name: str
+    fn: Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+
+    def __call__(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            out = np.empty_like(a)
+        return self.fn(a, b, out)
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+def _logical(ufunc):
+    def fn(a, b, out):
+        # logical ops return bools; cast back to the input dtype the way
+        # MPI_LAND on integers does.
+        np.copyto(out, ufunc(a != 0, b != 0).astype(a.dtype))
+        return out
+
+    return fn
+
+
+SUM = ReduceOp("sum", lambda a, b, out: np.add(a, b, out=out))
+PROD = ReduceOp("prod", lambda a, b, out: np.multiply(a, b, out=out))
+MAX = ReduceOp("max", lambda a, b, out: np.maximum(a, b, out=out))
+MIN = ReduceOp("min", lambda a, b, out: np.minimum(a, b, out=out))
+LAND = ReduceOp("land", _logical(np.logical_and))
+LOR = ReduceOp("lor", _logical(np.logical_or))
+BAND = ReduceOp("band", lambda a, b, out: np.bitwise_and(a, b, out=out))
+BOR = ReduceOp("bor", lambda a, b, out: np.bitwise_or(a, b, out=out))
+
+ALL_OPS: tuple[ReduceOp, ...] = (SUM, PROD, MAX, MIN, LAND, LOR, BAND, BOR)
+INTEGER_ONLY_OPS: tuple[ReduceOp, ...] = (BAND, BOR)

@@ -1,0 +1,46 @@
+"""Receive-status object (the analogue of ``MPI_Status``)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Status:
+    """Outcome of a completed receive or probe.
+
+    Attributes
+    ----------
+    source:
+        Rank the message actually came from (resolves ``ANY_SOURCE``).
+    tag:
+        Tag the message actually carried (resolves ``ANY_TAG``).
+    count:
+        Payload size in bytes.
+    cancelled:
+        True when the operation was cancelled before matching.
+    """
+
+    source: int
+    tag: int
+    count: int
+    cancelled: bool = False
+
+    def get_count(self, itemsize: int = 1) -> int:
+        """Number of elements of the given ``itemsize`` received.
+
+        Raises :class:`ValueError` when the byte count is not an exact
+        multiple, mirroring ``MPI_UNDEFINED`` from ``MPI_Get_count``.
+        """
+        if itemsize <= 0:
+            raise ValueError("itemsize must be positive")
+        if self.count % itemsize:
+            raise ValueError(
+                f"received {self.count} bytes, not a multiple of {itemsize}"
+            )
+        return self.count // itemsize
+
+
+#: Placeholder status used for locally-completed operations (e.g. sends
+#: and ``PROC_NULL`` receives).
+EMPTY_STATUS = Status(source=-2, tag=-1, count=0)

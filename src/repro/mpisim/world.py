@@ -1,0 +1,159 @@
+"""World launcher: runs an SPMD rank program on N threads.
+
+The analogue of ``mpiexec -n N``: each rank is a thread executing the
+same function with its own :class:`~repro.mpisim.communicator.Communicator`
+(the world communicator).  Ranks share one address space, which is what
+lets the rendezvous protocol copy directly between user buffers — the
+same property the paper exploits for its zero-extra-copy offload
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+from repro.lockfree.atomics import AtomicCounter
+from repro.mpisim.communicator import Communicator
+from repro.mpisim.constants import (
+    DEFAULT_EAGER_THRESHOLD,
+    ThreadLevel,
+    THREAD_FUNNELED,
+)
+from repro.mpisim.envelope import Envelope
+from repro.mpisim.exceptions import WorldError
+from repro.mpisim.progress import ProgressEngine
+
+_WORLD_CID = 0
+_SELF_CID = 1
+
+
+class World:
+    """A fixed set of ranks (threads) and their progress engines.
+
+    Parameters
+    ----------
+    nranks:
+        Number of MPI ranks to emulate.
+    thread_level:
+        The granted thread-support level, enforced at every MPI call.
+    eager_threshold:
+        Protocol switchover in bytes (paper's MPI used 128 KB).
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        thread_level: ThreadLevel = THREAD_FUNNELED,
+        eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+    ) -> None:
+        if nranks <= 0:
+            raise ValueError("nranks must be positive")
+        self.nranks = nranks
+        self.thread_level = ThreadLevel(thread_level)
+        self.eager_threshold = eager_threshold
+        self.engines = [
+            ProgressEngine(r, self._deliver, eager_threshold)
+            for r in range(nranks)
+        ]
+        self._funnel: dict[int, int | None] = {r: None for r in range(nranks)}
+        self._next_cid = AtomicCounter(2)  # 0 = WORLD, 1 = SELF
+
+    # -- routing -----------------------------------------------------------
+
+    def _deliver(self, dst: int, env: Envelope) -> None:
+        self.engines[dst].inject(env)
+
+    # -- context-id allocation (see Communicator.dup/split) -----------------
+
+    def allocate_cid(self) -> int:
+        return self._next_cid.fetch_add(1)
+
+    def allocate_cid_block(self, n: int) -> int:
+        return self._next_cid.fetch_add(n)
+
+    # -- thread-level bookkeeping -------------------------------------------
+
+    def funnel_thread(self, rank: int) -> int | None:
+        return self._funnel[rank]
+
+    def set_funnel_thread(self, rank: int, ident: int | None) -> None:
+        """Designate which thread may call MPI under FUNNELED.
+
+        The offload engine points this at its communication thread so
+        the substrate itself verifies the paper's claim that only the
+        offload thread ever enters MPI.
+        """
+        self._funnel[rank] = ident
+
+    # -- communicator construction -------------------------------------------
+
+    def comm_world(self, rank: int) -> Communicator:
+        """This rank's handle on the world communicator."""
+        return Communicator(
+            self, self.engines[rank], tuple(range(self.nranks)), _WORLD_CID
+        )
+
+    def comm_self(self, rank: int) -> Communicator:
+        """This rank's COMM_SELF (used by the comm-self progress thread)."""
+        return Communicator(self, self.engines[rank], (rank,), _SELF_CID)
+
+    # -- SPMD execution ----------------------------------------------------------
+
+    def run(
+        self,
+        fn: Callable[..., Any],
+        *args: Any,
+        timeout: float = 120.0,
+        **kwargs: Any,
+    ) -> list[Any]:
+        """Run ``fn(comm, *args, **kwargs)`` on every rank; return results.
+
+        Raises :class:`WorldError` aggregating any per-rank exceptions.
+        ``timeout`` bounds the whole run (deadlocked ranks surface as
+        ``TimeoutError`` entries rather than hanging the process).
+        """
+        results: list[Any] = [None] * self.nranks
+        failures: dict[int, BaseException] = {}
+
+        def runner(rank: int) -> None:
+            self._funnel[rank] = threading.get_ident()
+            comm = self.comm_world(rank)
+            try:
+                results[rank] = fn(comm, *args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                failures[rank] = exc
+
+        threads = [
+            threading.Thread(
+                target=runner, args=(r,), name=f"mpisim-rank-{r}", daemon=True
+            )
+            for r in range(self.nranks)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        for r, t in enumerate(threads):
+            remaining = timeout - (time.perf_counter() - t0)
+            t.join(max(0.0, remaining))
+            if t.is_alive():
+                failures.setdefault(
+                    r,
+                    TimeoutError(
+                        f"rank {r} did not finish within {timeout}s "
+                        f"(likely deadlock); queues: "
+                        f"{self.engines[r].pending_counts()}"
+                    ),
+                )
+        if failures:
+            raise WorldError(failures)
+        return results
+
+    # -- diagnostics ----------------------------------------------------------------
+
+    def total_lock_contentions(self) -> int:
+        return sum(e.lock_contentions for e in self.engines)
+
+    def total_bytes_sent(self) -> int:
+        return sum(e.bytes_sent for e in self.engines)

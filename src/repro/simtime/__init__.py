@@ -1,0 +1,63 @@
+"""Discrete-event performance simulator.
+
+The functional substrate (:mod:`repro.mpisim`) proves the offload
+mechanisms *work*; this package predicts how they *perform* at the
+paper's scales (up to 1152 nodes) by simulating virtual time.
+
+Components:
+
+* :mod:`repro.simtime.engine` — a minimal generator-based
+  discrete-event kernel (events, processes, FIFO resources);
+* :mod:`repro.simtime.machine` — calibrated machine models for the
+  paper's three platforms (Endeavor Xeon, Endeavor Xeon Phi, NERSC
+  Edison);
+* :mod:`repro.simtime.mpi_model` — the simulated MPI: eager and
+  rendezvous protocols whose control messages require *progress*, a
+  library lock for ``MPI_THREAD_MULTIPLE``, per-call software costs,
+  and NIC bandwidth as a shared resource;
+* :mod:`repro.simtime.progress_modes` — the five approaches under
+  study (baseline / iprobe / comm-self / offload / core-spec) expressed
+  purely as *when progress runs and what each call costs*: the network
+  and protocol model is identical across approaches, keeping the
+  comparison honest;
+* :mod:`repro.simtime.workloads` — per-figure/table workload drivers
+  (microbenchmarks, QCD Wilson-Dslash, SOI FFT, CNN training).
+"""
+
+from repro.simtime.engine import (
+    Simulator,
+    SimEvent,
+    Process,
+    Resource,
+    Store,
+)
+from repro.simtime.machine import (
+    MachineConfig,
+    ENDEAVOR_XEON,
+    ENDEAVOR_PHI,
+    EDISON,
+    MACHINES,
+)
+from repro.simtime.progress_modes import (
+    Approach,
+    APPROACHES,
+)
+from repro.simtime.mpi_model import SimCluster, SimRankMPI, SimRequest
+
+__all__ = [
+    "Simulator",
+    "SimEvent",
+    "Process",
+    "Resource",
+    "Store",
+    "MachineConfig",
+    "ENDEAVOR_XEON",
+    "ENDEAVOR_PHI",
+    "EDISON",
+    "MACHINES",
+    "Approach",
+    "APPROACHES",
+    "SimCluster",
+    "SimRankMPI",
+    "SimRequest",
+]

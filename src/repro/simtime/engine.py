@@ -1,0 +1,294 @@
+"""A minimal generator-based discrete-event simulation kernel.
+
+Deliberately small (a strict subset of SimPy's ideas) so its semantics
+are fully testable here:
+
+* :class:`SimEvent` — one-shot event; processes waiting on it resume
+  with its value.
+* :class:`Process` — wraps a generator; ``yield event`` suspends until
+  the event fires, ``yield float`` sleeps that many virtual seconds.
+  A process is itself an event (fires on return, with the return
+  value), so processes compose with ``yield from`` *and* ``yield``.
+* :class:`Resource` — FIFO counted resource (models NIC links and the
+  MPI library lock).
+* :class:`Store` — FIFO item queue with blocking get (models pending
+  protocol-action queues and command queues).
+
+Determinism: events scheduled for the same instant fire in schedule
+order (a monotone sequence number breaks ties), so repeated runs are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable
+
+SimGen = Generator["SimEvent | float", Any, Any]
+
+
+class SimEvent:
+    """One-shot event with a value and waiter callbacks."""
+
+    __slots__ = ("sim", "fired", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["SimEvent"], None]] = []
+
+    def succeed(self, value: Any = None) -> "SimEvent":
+        """Fire the event now; waiters resume at the current instant."""
+        if self.fired:
+            raise RuntimeError("event already fired")
+        self.fired = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self.sim._schedule_now(lambda cb=cb: cb(self))
+        return self
+
+    def add_callback(self, cb: Callable[["SimEvent"], None]) -> None:
+        if self.fired:
+            self.sim._schedule_now(lambda: cb(self))
+        else:
+            self._callbacks.append(cb)
+
+
+def any_of(sim: "Simulator", events: Iterable[SimEvent]) -> SimEvent:
+    """Event firing when the first of ``events`` fires (with that event)."""
+    out = SimEvent(sim)
+
+    def on_fire(evt: SimEvent) -> None:
+        if not out.fired:
+            out.succeed(evt)
+
+    fired_already = [e for e in events if e.fired]
+    if fired_already:
+        out.succeed(fired_already[0])
+        return out
+    for e in events:
+        e.add_callback(on_fire)
+    return out
+
+
+def all_of(sim: "Simulator", events: list[SimEvent]) -> SimEvent:
+    """Event firing when every one of ``events`` has fired."""
+    out = SimEvent(sim)
+    remaining = [len(events)]
+    if not events:
+        out.succeed([])
+        return out
+
+    def on_fire(_evt: SimEvent) -> None:
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            out.succeed([e.value for e in events])
+
+    for e in events:
+        e.add_callback(on_fire)
+    return out
+
+
+class Process(SimEvent):
+    """A running generator; fires (as an event) when the generator
+    returns, carrying the return value."""
+
+    __slots__ = ("_gen", "name")
+
+    def __init__(self, sim: "Simulator", gen: SimGen, name: str = "") -> None:
+        super().__init__(sim)
+        self._gen = gen
+        self.name = name
+        sim._schedule_now(lambda: self._step(None))
+
+    def _step(self, send_value: Any) -> None:
+        try:
+            target = self._gen.send(send_value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if isinstance(target, SimEvent):
+            target.add_callback(lambda evt: self._step(evt.value))
+        elif isinstance(target, (int, float)):
+            if target < 0:
+                raise ValueError(
+                    f"process {self.name!r} yielded negative delay {target}"
+                )
+            self.sim.schedule(float(target), lambda: self._step(None))
+        else:
+            raise TypeError(
+                f"process {self.name!r} yielded {type(target).__name__}; "
+                "expected SimEvent or delay"
+            )
+
+
+class Simulator:
+    """The event loop: a time-ordered heap of callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    # -- scheduling -----------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("negative delay")
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn))
+        self._seq += 1
+
+    def _schedule_now(self, fn: Callable[[], None]) -> None:
+        self.schedule(0.0, fn)
+
+    # -- construction helpers ---------------------------------------------
+
+    def event(self) -> SimEvent:
+        return SimEvent(self)
+
+    def timeout(self, delay: float, value: Any = None) -> SimEvent:
+        evt = SimEvent(self)
+        self.schedule(delay, lambda: evt.succeed(value))
+        return evt
+
+    def process(self, gen: SimGen, name: str = "") -> Process:
+        return Process(self, gen, name=name)
+
+    def any_of(self, events: Iterable[SimEvent]) -> SimEvent:
+        return any_of(self, events)
+
+    def all_of(self, events: list[SimEvent]) -> SimEvent:
+        return all_of(self, events)
+
+    # -- running --------------------------------------------------------------
+
+    def run(
+        self,
+        until: SimEvent | float | None = None,
+        max_events: int = 50_000_000,
+    ) -> Any:
+        """Run until ``until`` fires (event), the clock passes ``until``
+        (number), or the heap drains.  Returns the event's value when
+        given an event."""
+        if isinstance(until, (int, float)):
+            deadline: float | None = float(until)
+            until_event: SimEvent | None = None
+        else:
+            deadline = None
+            until_event = until
+        while self._heap:
+            if until_event is not None and until_event.fired:
+                return until_event.value
+            t, _seq, fn = self._heap[0]
+            if deadline is not None and t > deadline:
+                self.now = deadline
+                return None
+            heapq.heappop(self._heap)
+            self.now = t
+            self.events_processed += 1
+            if self.events_processed > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events (livelock?)"
+                )
+            fn()
+        if until_event is not None:
+            if not until_event.fired:
+                raise RuntimeError(
+                    "simulation ran out of events before 'until' fired "
+                    "(deadlock in the model)"
+                )
+            return until_event.value
+        if deadline is not None:
+            self.now = deadline
+        return None
+
+
+class Resource:
+    """FIFO counted resource (capacity slots).
+
+    ``request`` returns an event firing when a slot is granted;
+    ``release`` frees one.  Used for NIC serialization and the
+    ``MPI_THREAD_MULTIPLE`` library lock — queueing delay under
+    contention emerges naturally.
+    """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters", "waits")
+
+    def __init__(self, sim: Simulator, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: list[SimEvent] = []
+        self.waits = 0  # grants that had to queue (contention metric)
+
+    def request(self) -> SimEvent:
+        evt = SimEvent(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            evt.succeed()
+        else:
+            self.waits += 1
+            self._waiters.append(evt)
+        return evt
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release without request")
+        if self._waiters:
+            evt = self._waiters.pop(0)
+            evt.succeed()
+        else:
+            self._in_use -= 1
+
+    def held(self) -> int:
+        return self._in_use
+
+    def acquire(self) -> SimGen:
+        """``yield from``-able request."""
+        yield self.request()
+
+    def use(self, duration: float) -> SimGen:
+        """Hold the resource for ``duration`` virtual seconds."""
+        yield self.request()
+        try:
+            yield duration
+        finally:
+            self.release()
+
+
+class Store:
+    """FIFO item queue with blocking ``get``."""
+
+    __slots__ = ("sim", "_items", "_getters")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._items: list[Any] = []
+        self._getters: list[SimEvent] = []
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.pop(0).succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> SimEvent:
+        evt = SimEvent(self.sim)
+        if self._items:
+            evt.succeed(self._items.pop(0))
+        else:
+            self._getters.append(evt)
+        return evt
+
+    def try_get(self) -> tuple[bool, Any]:
+        if self._items:
+            return True, self._items.pop(0)
+        return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)

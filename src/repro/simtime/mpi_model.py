@@ -1,0 +1,612 @@
+"""The simulated MPI: protocols, matching, progress, locks, NIC.
+
+One :class:`SimRankMPI` per rank.  Application threads are DES
+processes that call the generator methods (``yield from mpi.isend``
+etc.).  The model's load-bearing rules, identical for every approach:
+
+* an **eager** send pays the software cost *and the internal memory
+  copy* up front, then completes locally; the copy cost grows with the
+  message until the 128 KB threshold — Figure 4's rising curve;
+* a **rendezvous** send posts only a control message (cheap).  The RTS
+  must be processed by the *receiver's* progress, the returning CTS by
+  the *sender's* progress, and only then does the data move.  No
+  progress during compute ⇒ the transfer lands in ``wait`` — Figure 2's
+  collapse to 1 % overlap for 2 MB baseline messages;
+* protocol events are queued per rank as **actions** and are serviced
+  either by a continuous progress context (comm-self thread, offload
+  thread, specialized core) or by application threads while they sit
+  inside blocking MPI calls (baseline), or by explicit probe pumps
+  (iprobe);
+* under ``MPI_THREAD_MULTIPLE`` every application call holds the
+  **library lock** and pays a fixed reentrancy tax — Figure 6's
+  latency blow-up with thread count;
+* offloaded calls cost the application thread one queue enqueue; the
+  offload thread pays the real call cost when it services the command
+  action — Figure 4's flat 140 ns line.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.simtime.engine import Resource, SimEvent, Simulator, Store
+from repro.simtime.machine import MachineConfig
+from repro.simtime.progress_modes import Approach
+
+
+@dataclass
+class SimRequest:
+    """Handle for one simulated nonblocking operation."""
+
+    kind: str
+    nbytes: int
+    event: SimEvent
+    posted_at: float
+    issued_at: float | None = None
+    completed_at: float | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.event.fired
+
+
+@dataclass
+class _Arrival:
+    """An eager payload or RTS sitting in the unexpected queue."""
+
+    kind: str  # "eager" | "rts"
+    src: int
+    tag: int
+    nbytes: int
+    send_req: SimRequest | None = None
+
+
+@dataclass
+class _PostedRecv:
+    src: int
+    tag: int
+    req: SimRequest
+
+
+@dataclass
+class _CollState:
+    """Cluster-wide state for one collective operation instance."""
+
+    participants: int
+    arrived: int = 0
+    start_events: list[tuple["SimRankMPI", SimRequest, int, float]] = field(
+        default_factory=list
+    )
+
+
+class SimCluster:
+    """All ranks plus shared collective bookkeeping."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        machine: MachineConfig,
+        approach: Approach,
+        nranks: int,
+        thread_multiple: bool = False,
+        ranks_per_node: int = 1,
+        trace: bool = False,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("nranks must be >= 1")
+        #: when True, every rank records (start, duration, label) for
+        #: each progress-engine service — a virtual-time activity
+        #: timeline for debugging and for the trace-based tests.
+        self.trace = trace
+        self.sim = sim
+        self.machine = machine
+        self.approach = approach
+        self.nranks = nranks
+        #: the application requested MPI_THREAD_MULTIPLE (several app
+        #: threads call MPI); offloaded calls never need it.
+        self.thread_multiple = thread_multiple
+        #: ranks sharing one NIC (one rank per socket, dual-socket
+        #: nodes) — they split the adapter's bandwidth when both
+        #: communicate, as in the paper's application runs.
+        self.ranks_per_node = max(1, ranks_per_node)
+        self.link_bandwidth = machine.net_bandwidth / self.ranks_per_node
+        self.ranks = [SimRankMPI(self, r) for r in range(nranks)]
+        self._collectives: dict[Any, _CollState] = {}
+
+    @property
+    def effective_tm(self) -> bool:
+        """Do application calls pay the THREAD_MULTIPLE tax?"""
+        if self.approach.offloaded_calls:
+            return False
+        return self.thread_multiple or self.approach.requires_thread_multiple
+
+    def _collective_arrive(
+        self,
+        key: Any,
+        rank_mpi: "SimRankMPI",
+        req: SimRequest,
+        stages: int,
+        stage_wire: float,
+    ) -> None:
+        state = self._collectives.get(key)
+        if state is None:
+            state = _CollState(participants=self.nranks)
+            self._collectives[key] = state
+        state.arrived += 1
+        state.start_events.append((rank_mpi, req, stages, stage_wire))
+        if state.arrived == state.participants:
+            del self._collectives[key]
+            for rm, r, st, wire in state.start_events:
+                self.sim.process(rm._collective_chain(r, st, wire))
+
+
+class SimRankMPI:
+    """Simulated MPI library instance for one rank."""
+
+    def __init__(self, cluster: SimCluster, rank: int) -> None:
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.machine = cluster.machine
+        self.approach = cluster.approach
+        self.rank = rank
+        #: pending protocol actions: (cpu_cost, fn, label)
+        self.actions: Store = Store(self.sim)
+        #: (start_time, duration, label) of serviced actions (trace mode)
+        self.trace: list[tuple[float, float, str]] = []
+        self._action_wake = self.sim.event()
+        self.posted: list[_PostedRecv] = []
+        self.unexpected: list[_Arrival] = []
+        self.nic = Resource(self.sim, 1)
+        self.lib_lock = Resource(self.sim, 1)
+        self._coll_seq = 0
+        # -- metrics -------------------------------------------------------
+        self.actions_serviced = 0
+        self.progress_busy_time = 0.0
+        if self.approach.continuous_progress:
+            self.sim.process(
+                self._progress_loop(), name=f"progress-{rank}"
+            )
+
+    # ----------------------------------------------------------- action queue
+
+    def _push_action(
+        self, cost: float, fn: Callable[[], None], label: str = "service"
+    ) -> None:
+        self.actions.put((cost, fn, label))
+        if not self._action_wake.fired:
+            self._action_wake.succeed()
+
+    def _fresh_wake(self) -> SimEvent:
+        if self._action_wake.fired:
+            self._action_wake = self.sim.event()
+        return self._action_wake
+
+    def _progress_loop(self):
+        """The dedicated progress context (offload / comm-self /
+        core-spec).  Services every action, paying the approach's
+        per-event cost on top of the raw CPU cost.
+
+        The comm-self thread sits *inside MPI*, so it services events
+        while holding the library lock — application threads' calls
+        queue behind long services, which is §2.2's observation that
+        "the master thread typically sees more time spent in MPI
+        calls" under comm-self.  The offload thread needs no lock.
+        """
+        needs_lock = self.approach.requires_thread_multiple
+        while True:
+            item = yield self.actions.get()
+            cost, fn, label = item
+            service = self.approach.service_cost(self.machine, cost)
+            t0 = self.sim.now
+            if needs_lock:
+                yield self.lib_lock.request()
+            yield service
+            if needs_lock:
+                self.lib_lock.release()
+            self.progress_busy_time += self.sim.now - t0
+            self.actions_serviced += 1
+            if self.cluster.trace:
+                self.trace.append((t0, self.sim.now - t0, label))
+            fn()
+
+    def _pump_inline(self):
+        """Service one pending action from an application thread
+        sitting inside an MPI call (baseline/iprobe progress).
+        Returns True if an action was serviced."""
+        ok, item = self.actions.try_get()
+        if not ok:
+            return False
+        cost, fn, label = item
+        t0 = self.sim.now
+        yield cost
+        self.actions_serviced += 1
+        if self.cluster.trace:
+            self.trace.append((t0, self.sim.now - t0, label))
+        fn()
+        return True
+
+    # ------------------------------------------------------------- call entry
+
+    def _app_call(self, base_cost: float):
+        """Pay what the application thread owes for one MPI call."""
+        if self.approach.offloaded_calls:
+            yield self.machine.offload_enqueue
+            return
+        if self.cluster.effective_tm:
+            yield self.lib_lock.request()
+            yield base_cost + self.machine.tm_call_overhead
+            self.lib_lock.release()
+        else:
+            yield base_cost
+
+    def _issue(self, raw_cost: float, fn: Callable[[], None]) -> None:
+        """Run the *library-side* work of a call: immediately for direct
+        approaches (the app thread just paid for it), as a command
+        action for offload (the offload thread pays)."""
+        if self.approach.offloaded_calls:
+            self._push_action(raw_cost, fn, label="command-dispatch")
+        else:
+            fn()
+
+    # ----------------------------------------------------------------- sends
+
+    def isend(self, dst: int, nbytes: int, tag: int):
+        """Nonblocking send; returns a :class:`SimRequest`.
+
+        ``yield from`` this from an app-thread process.
+        """
+        req = SimRequest("isend", nbytes, self.sim.event(), self.sim.now)
+        eager = nbytes <= self.machine.eager_threshold
+        if eager:
+            base = (
+                self.machine.sw_call_base
+                + nbytes / self.machine.memcpy_bandwidth
+            )
+        else:
+            base = self.machine.rndv_post_cost
+        yield from self._app_call(base)
+
+        if eager:
+
+            def launch() -> None:
+                req.issued_at = self.sim.now
+                req.event.succeed()  # buffered: locally complete
+                self.sim.process(self._eager_wire(dst, nbytes, tag))
+
+        else:
+
+            def launch() -> None:
+                req.issued_at = self.sim.now
+                self.sim.process(self._rts_wire(dst, nbytes, tag, req))
+
+        self._issue(base, launch)
+        return req
+
+    def _eager_wire(self, dst: int, nbytes: int, tag: int):
+        bw = self.approach.eager_bandwidth(self.machine, nbytes)
+        bw *= self.cluster.link_bandwidth / self.machine.net_bandwidth
+        yield self.nic.request()
+        yield nbytes / bw
+        self.nic.release()
+        yield self.machine.net_latency
+        peer = self.cluster.ranks[dst]
+        # Matching an eager arrival includes copying the payload out of
+        # the library's internal buffer into the user buffer.
+        arrival_cost = (
+            self.machine.action_cost + nbytes / self.machine.memcpy_bandwidth
+        )
+        peer._push_action(
+            arrival_cost,
+            lambda: peer._on_eager_arrival(self.rank, tag, nbytes),
+            label="eager-arrival",
+        )
+
+    def _rts_wire(self, dst: int, nbytes: int, tag: int, req: SimRequest):
+        yield self.machine.net_latency
+        peer = self.cluster.ranks[dst]
+        peer._push_action(
+            self.machine.action_cost,
+            lambda: peer._on_rts_arrival(self.rank, tag, nbytes, req),
+            label="rts-arrival",
+        )
+
+    # ---------------------------------------------------------------- receives
+
+    def irecv(self, src: int, nbytes: int, tag: int):
+        """Nonblocking receive; returns a :class:`SimRequest`."""
+        req = SimRequest("irecv", nbytes, self.sim.event(), self.sim.now)
+        base = self.machine.sw_call_base
+        yield from self._app_call(base)
+
+        def launch() -> None:
+            req.issued_at = self.sim.now
+            self._do_post_recv(src, tag, req)
+
+        self._issue(base, launch)
+        return req
+
+    def _do_post_recv(self, src: int, tag: int, req: SimRequest) -> None:
+        for i, arr in enumerate(self.unexpected):
+            if arr.src == src and arr.tag == tag:
+                del self.unexpected[i]
+                if arr.kind == "eager":
+                    self._complete(req)
+                else:  # rts waiting: grant clear-to-send
+                    assert arr.send_req is not None
+                    self.sim.process(
+                        self._cts_wire(arr.src, arr.nbytes, req, arr.send_req)
+                    )
+                return
+        self.posted.append(_PostedRecv(src, tag, req))
+
+    # ------------------------------------------------------- protocol handlers
+
+    def _match_posted(self, src: int, tag: int) -> _PostedRecv | None:
+        for i, pr in enumerate(self.posted):
+            if pr.src == src and pr.tag == tag:
+                del self.posted[i]
+                return pr
+        return None
+
+    def _on_eager_arrival(self, src: int, tag: int, nbytes: int) -> None:
+        pr = self._match_posted(src, tag)
+        if pr is None:
+            self.unexpected.append(_Arrival("eager", src, tag, nbytes))
+        else:
+            self._complete(pr.req)
+
+    def _on_rts_arrival(
+        self, src: int, tag: int, nbytes: int, send_req: SimRequest
+    ) -> None:
+        pr = self._match_posted(src, tag)
+        if pr is None:
+            self.unexpected.append(
+                _Arrival("rts", src, tag, nbytes, send_req)
+            )
+        else:
+            self.sim.process(self._cts_wire(src, nbytes, pr.req, send_req))
+
+    def _cts_wire(
+        self,
+        sender_rank: int,
+        nbytes: int,
+        recv_req: SimRequest,
+        send_req: SimRequest,
+    ):
+        """Receiver grants clear-to-send; the *sender's* progress must
+        process it before any data moves (the crux of the paper)."""
+        yield self.machine.net_latency
+        sender = self.cluster.ranks[sender_rank]
+
+        def start_transfer() -> None:
+            sender.sim.process(
+                sender._rndv_transfer(nbytes, recv_req, send_req)
+            )
+
+        sender._push_action(
+            self.machine.action_cost, start_transfer, label="cts-transfer"
+        )
+
+    def _rndv_transfer(
+        self, nbytes: int, recv_req: SimRequest, send_req: SimRequest
+    ):
+        yield self.nic.request()
+        yield nbytes / self.cluster.link_bandwidth
+        self.nic.release()
+        self._complete(send_req)
+        yield self.machine.net_latency
+        self._complete(recv_req)
+
+    def _complete(self, req: SimRequest) -> None:
+        if not req.event.fired:
+            req.completed_at = self.sim.now
+            req.event.succeed()
+
+    # ---------------------------------------------------------------- waiting
+
+    def wait(self, req: SimRequest):
+        """Blocking wait; who makes progress here depends on approach."""
+        yield from self.wait_all([req])
+
+    def wait_all(self, reqs: list[SimRequest]):
+        if self.approach.offloaded_calls:
+            # §3.2: just a done-flag check; negligible app cost.
+            yield self.machine.offload_enqueue
+            for req in reqs:
+                if not req.event.fired:
+                    yield req.event
+            return
+        yield from self._app_call(self.machine.sw_call_base)
+        if self.approach.continuous_progress:
+            # comm-self / core-spec: the progress thread services
+            # actions; this thread only parks.
+            for req in reqs:
+                if not req.event.fired:
+                    yield req.event
+            return
+        # baseline / iprobe: this thread IS the progress engine now.
+        while True:
+            if all(r.event.fired for r in reqs):
+                return
+            serviced = yield from self._pump_inline()
+            if serviced:
+                continue
+            pending = [r.event for r in reqs if not r.event.fired]
+            yield self.sim.any_of(pending + [self._fresh_wake()])
+
+    def iprobe_pump(self):
+        """The *iprobe* approach's PROGRESS hook: one probe call that
+        services everything currently pending.  The master thread pays
+        for all of it — the approach's hidden load imbalance."""
+        yield from self._app_call(self.machine.sw_call_base)
+        while True:
+            serviced = yield from self._pump_inline()
+            if not serviced:
+                return
+
+    # --------------------------------------------------------------- one-sided
+
+    def rma_put(self, dst: int, nbytes: int):
+        """Simulated one-sided put (§7 extension).
+
+        Origin pays its call cost; the record crosses the wire; the
+        *target's* progress must apply it (action with a copy cost);
+        an ack returns and the *origin's* progress completes the
+        request.  Both progress dependencies mirror
+        :mod:`repro.mpisim.rma`.
+        """
+        req = SimRequest("rma_put", nbytes, self.sim.event(), self.sim.now)
+        base = self.machine.sw_call_base
+        yield from self._app_call(base)
+
+        def launch() -> None:
+            req.issued_at = self.sim.now
+            self.sim.process(self._rma_put_wire(dst, nbytes, req))
+
+        self._issue(base, launch)
+        return req
+
+    def _rma_put_wire(self, dst: int, nbytes: int, req: SimRequest):
+        yield self.nic.request()
+        yield nbytes / self.cluster.link_bandwidth
+        self.nic.release()
+        yield self.machine.net_latency
+        target = self.cluster.ranks[dst]
+        apply_cost = (
+            self.machine.action_cost + nbytes / self.machine.memcpy_bandwidth
+        )
+
+        def applied() -> None:
+            target.sim.process(target._rma_ack_wire(self.rank, req))
+
+        target._push_action(apply_cost, applied, label="rma-apply")
+
+    def _rma_ack_wire(self, origin: int, req: SimRequest):
+        yield self.machine.net_latency
+        origin_mpi = self.cluster.ranks[origin]
+        origin_mpi._push_action(
+            self.machine.action_cost,
+            lambda: origin_mpi._complete(req),
+            label="rma-ack",
+        )
+
+    # -------------------------------------------------------------- collectives
+
+    def next_coll_key(self, op: str) -> Any:
+        key = (op, self._coll_seq)
+        self._coll_seq += 1
+        return key
+
+    def icollective(
+        self,
+        op: str,
+        nbytes: int,
+        stages: int,
+        stage_wire: float,
+        build_cost: float | None = None,
+        stage_cpu: float = 0.0,
+    ):
+        """Generic nonblocking collective.
+
+        After all ranks have posted, each rank's instance advances
+        through ``stages`` rounds.  Each round first needs a progress
+        action at this rank (software cost ``stage_cpu`` — packing,
+        local reduction, copy), *then* spends ``stage_wire`` on the
+        wire.  Gating the round's start on progress is what makes a
+        schedule stall entirely inside ``MPI_Wait`` when nothing pumps
+        the engine during compute — the Figure 3 baseline behaviour.
+        """
+        req = SimRequest(op, nbytes, self.sim.event(), self.sim.now)
+        base = (
+            build_cost
+            if build_cost is not None
+            else self.machine.sw_call_base
+        )
+        yield from self._app_call(base)
+        key = self.next_coll_key(op)
+
+        def launch() -> None:
+            req.issued_at = self.sim.now
+            self.cluster._collective_arrive(
+                key, self, req, stages, (stage_wire, stage_cpu)
+            )
+
+        self._issue(base, launch)
+        return req
+
+    def _collective_chain(self, req: SimRequest, stages: int, wire_cpu):
+        stage_wire, stage_cpu = wire_cpu
+        for _ in range(max(1, stages)):
+            done = self.sim.event()
+            self._push_action(
+                self.machine.action_cost + stage_cpu,
+                done.succeed,
+                label="collective-stage",
+            )
+            yield done
+            yield stage_wire
+        self._complete(req)
+
+    # -- convenience wrappers used by the workload drivers ----------------
+
+    def iallreduce(self, nbytes: int, bw_factor: float = 1.0):
+        stages = max(1, math.ceil(math.log2(self.cluster.nranks)))
+        wire = self.machine.net_latency + nbytes / (
+            self.cluster.link_bandwidth * bw_factor
+        )
+        # per round: local reduction over the vector
+        cpu = nbytes / self.machine.memcpy_bandwidth
+        return self.icollective("allreduce", nbytes, stages, wire, stage_cpu=cpu)
+
+    def ibcast(self, nbytes: int):
+        stages = max(1, math.ceil(math.log2(self.cluster.nranks)))
+        wire = self.machine.net_latency + nbytes / self.cluster.link_bandwidth
+        cpu = nbytes / self.machine.memcpy_bandwidth
+        return self.icollective("bcast", nbytes, stages, wire, stage_cpu=cpu)
+
+    def ibarrier(self):
+        stages = max(1, math.ceil(math.log2(self.cluster.nranks)))
+        return self.icollective(
+            "barrier", 0, stages, self.machine.net_latency, build_cost=self.machine.sw_call_base
+        )
+
+    def igather(self, nbytes: int):
+        p = self.cluster.nranks
+        wire = self.machine.net_latency + (p - 1) * nbytes / self.cluster.link_bandwidth
+        cpu = (p - 1) * nbytes / self.machine.memcpy_bandwidth
+        return self.icollective("gather", nbytes, 1, wire, stage_cpu=cpu)
+
+    def ialltoall(
+        self,
+        nbytes_per_pair: int,
+        bw_factor: float = 1.0,
+        build_cost: float | None = None,
+    ):
+        """All-to-all as ``p - 1`` pairwise stages.
+
+        ``bw_factor`` models bisection-bandwidth derating at scale
+        (all-to-all bandwidth does not scale with node count — paper
+        §5.2's observation for FFT at 128+ nodes).
+        """
+        p = self.cluster.nranks
+        bw_factor *= self.machine.alltoall_efficiency
+        per_pair = (
+            self.machine.net_latency
+            + nbytes_per_pair / (self.cluster.link_bandwidth * bw_factor)
+        )
+        # Cap the schedule length for very large rank counts (the real
+        # pairwise exchange has p-1 rounds, but simulating thousands of
+        # rounds per collective adds nothing to the timing model).
+        stages = min(max(1, p - 1), 32)
+        wire = per_pair * (p - 1) / stages
+        cpu = nbytes_per_pair * (p - 1) / stages / self.machine.memcpy_bandwidth
+        return self.icollective(
+            "alltoall",
+            nbytes_per_pair * (p - 1),
+            stages,
+            wire,
+            build_cost=build_cost,
+            stage_cpu=cpu,
+        )

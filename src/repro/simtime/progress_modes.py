@@ -1,0 +1,124 @@
+"""The five approaches under study, as progress/cost policies.
+
+Crucially, an :class:`Approach` changes only *when MPI software
+processing runs* and *what an application-thread call costs* — the
+protocol, matching, and network model in
+:mod:`repro.simtime.mpi_model` are byte-for-byte identical across
+approaches.  That is what makes the simulated comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.simtime.machine import MachineConfig
+
+
+@dataclass(frozen=True)
+class Approach:
+    """A progress strategy (paper Sections 2 and 3)."""
+
+    name: str
+    #: a core is dedicated to communication (lost to the app's compute)
+    dedicated_thread: bool
+    #: protocol actions are serviced continuously, not only inside
+    #: application MPI calls
+    continuous_progress: bool
+    #: the world must be MPI_THREAD_MULTIPLE (per-call lock overhead)
+    requires_thread_multiple: bool
+    #: application calls are command enqueues; the dedicated thread
+    #: issues the real MPI calls
+    offloaded_calls: bool
+
+    def compute_cores(self, machine: MachineConfig) -> int:
+        """Cores left for application computation."""
+        cores = machine.cores_per_rank
+        if self.dedicated_thread:
+            cores -= 1
+        return max(1, cores)
+
+    def call_cost(self, machine: MachineConfig, base: float) -> float:
+        """What the *application thread* pays for an MPI call whose raw
+        software cost is ``base``."""
+        if self.offloaded_calls:
+            return machine.offload_enqueue
+        cost = base
+        if self.requires_thread_multiple:
+            cost += machine.tm_call_overhead
+        return cost
+
+    def service_cost(self, machine: MachineConfig, base: float) -> float:
+        """What the servicing context pays to process a protocol event."""
+        cost = base
+        if self.offloaded_calls:
+            cost += machine.offload_dispatch
+        elif self.requires_thread_multiple:
+            # comm-self: the progress thread fights the app for the
+            # library lock on every event it services.
+            cost += machine.commself_service_extra
+        return cost
+
+    def eager_bandwidth(
+        self, machine: MachineConfig, nbytes: int
+    ) -> float:
+        """Effective network bandwidth for an eager message.
+
+        comm-self derates mid-size messages (paper §4.5's 50 % dip,
+        4 KB–256 KB) because lock ping-pong between the app thread and
+        the progress thread breaks copy pipelining.
+        """
+        bw = machine.net_bandwidth
+        if self.requires_thread_multiple:
+            lo, hi = machine.commself_bw_range
+            if lo <= nbytes <= hi:
+                bw *= machine.commself_bw_factor
+        return bw
+
+
+BASELINE = Approach(
+    name="baseline",
+    dedicated_thread=False,
+    continuous_progress=False,
+    requires_thread_multiple=False,
+    offloaded_calls=False,
+)
+
+#: iprobe shares baseline's static properties; the difference is the
+#: workload driver inserting explicit probe pumps into compute loops.
+IPROBE = Approach(
+    name="iprobe",
+    dedicated_thread=False,
+    continuous_progress=False,
+    requires_thread_multiple=False,
+    offloaded_calls=False,
+)
+
+COMMSELF = Approach(
+    name="comm-self",
+    dedicated_thread=True,
+    continuous_progress=True,
+    requires_thread_multiple=True,
+    offloaded_calls=False,
+)
+
+OFFLOAD = Approach(
+    name="offload",
+    dedicated_thread=True,
+    continuous_progress=True,
+    requires_thread_multiple=False,
+    offloaded_calls=True,
+)
+
+#: Cray core specialization (Edison, Fig. 9b): an OS-reserved core
+#: drives progress; app calls remain ordinary FUNNELED MPI calls.
+CORESPEC = Approach(
+    name="corespec",
+    dedicated_thread=True,
+    continuous_progress=True,
+    requires_thread_multiple=False,
+    offloaded_calls=False,
+)
+
+APPROACHES: dict[str, Approach] = {
+    a.name: a for a in (BASELINE, IPROBE, COMMSELF, OFFLOAD, CORESPEC)
+}

@@ -1,0 +1,11 @@
+"""Workload drivers: one simulated experiment per paper artifact.
+
+Microbenchmarks (:mod:`repro.simtime.workloads.micro`) cover Figures
+2–8; the application models (:mod:`~repro.simtime.workloads.qcd`,
+:mod:`~repro.simtime.workloads.fft`, :mod:`~repro.simtime.workloads.cnn`)
+cover Tables 1–2 and Figures 9–14.
+"""
+
+from repro.simtime.workloads import micro, qcd, fft, cnn
+
+__all__ = ["micro", "qcd", "fft", "cnn"]

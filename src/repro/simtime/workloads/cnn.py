@@ -1,0 +1,158 @@
+"""Simulated hybrid-parallel CNN training (Figure 14).
+
+An AlexNet-like layer inventory drives the costs: convolutional layers
+train data-parallel (per-layer weight-gradient allreduce, posted during
+backpropagation so it can overlap the next layer's compute), fully
+connected layers train model-parallel (synchronized activation
+all-to-alls that cannot overlap — §5.3).
+
+The minibatch is fixed globally, so per-node compute shrinks as nodes
+are added while the gradient exchanges stay put — which is why the
+approaches tie up to 8 nodes (compute-dominated) and split 2X apart at
+64 (communication-dominated), the paper's Figure 14 shape.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.simtime.engine import Simulator
+from repro.simtime.machine import MachineConfig
+from repro.simtime.mpi_model import SimCluster
+from repro.simtime.progress_modes import APPROACHES, Approach
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """One network layer for the cost model."""
+
+    name: str
+    kind: str  # "conv" | "fc"
+    weight_bytes: int
+    flops_per_image: float
+
+
+#: Deep-Image-like inventory (weights in single precision): a deeper,
+#: wider conv stack than AlexNet, as in the paper's reference [35].
+ALEXNET_LIKE: tuple[LayerSpec, ...] = (
+    LayerSpec("conv1", "conv", 800_000, 3.5e8),
+    LayerSpec("conv2", "conv", 6_000_000, 7.0e8),
+    LayerSpec("conv3", "conv", 14_000_000, 6.0e8),
+    LayerSpec("conv4", "conv", 14_000_000, 4.5e8),
+    LayerSpec("conv5", "conv", 10_000_000, 3.0e8),
+    LayerSpec("fc6", "fc", 150_000_000, 7.5e7),
+    LayerSpec("fc7", "fc", 67_000_000, 3.4e7),
+    LayerSpec("fc8", "fc", 16_000_000, 8.0e6),
+)
+
+#: global minibatch (images) — fixed, as in hybrid-parallel training
+MINIBATCH = 256
+
+#: per-image activation bytes crossing each fc stage boundary
+FC_ACTIVATION_BYTES = 4096 * 4
+
+#: compute efficiency for the conv/fc kernels
+CNN_EFFICIENCY = 0.5
+
+
+def cnn_iteration(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    nodes: int,
+    layers: tuple[LayerSpec, ...] = ALEXNET_LIKE,
+    minibatch: int = MINIBATCH,
+) -> float:
+    """One training iteration (fwd+bwd+exchange); returns seconds."""
+    approach = APPROACHES[approach] if isinstance(approach, str) else approach
+    rpn = 1 if machine.name == "endeavor-phi" else 2
+    nranks = nodes * rpn
+    sim = Simulator()
+    cluster = SimCluster(sim, machine, approach, nranks)
+
+    cores = approach.compute_cores(machine)
+    rate = cores * machine.flops_per_core * CNN_EFFICIENCY
+    images_per_rank = max(1, minibatch // nranks)
+    conv_layers = [l for l in layers if l.kind == "conv"]
+    fc_layers = [l for l in layers if l.kind == "fc"]
+    # backward costs ~2x forward (grad wrt inputs + grad wrt weights)
+    t_conv_f = [
+        l.flops_per_image * images_per_rank / rate for l in conv_layers
+    ]
+    t_conv_b = [2.0 * t for t in t_conv_f]
+    # fc is model-parallel: weights (and their flops) divide by ranks,
+    # over the full minibatch
+    t_fc_f = [
+        l.flops_per_image * minibatch / nranks / rate for l in fc_layers
+    ]
+    t_fc_b = [2.0 * t for t in t_fc_f]
+    bwf = 1.0 / (1.0 + 0.3 * math.log2(max(2, nranks) / 2))
+    # long-haul recursive-doubling rounds congest the fabric at scale
+    ar_bwf = 1.0 / (1.0 + 0.2 * math.log2(max(2, nranks) / 2))
+    fc_pair_bytes = max(
+        1, minibatch * FC_ACTIVATION_BYTES // max(1, nranks * nranks)
+    )
+
+    done: dict[int, float] = {}
+    iters = 3
+
+    def program(rank: int):
+        mpi = cluster.ranks[rank]
+        # §5.3: "backpropagation on convolution layers in one iteration
+        # passes data to the corresponding layers for forward
+        # propagation in the NEXT iteration" — a layer's gradient
+        # allreduce is waited only right before that layer's next
+        # forward pass, so it can hide behind a whole iteration of
+        # compute when asynchronous progress exists.
+        grad_reqs: dict[str, object] = {}
+        last_iter = 0.0
+        for _ in range(iters):
+            t0 = sim.now
+            # ---- forward: conv then fc ---------------------------------
+            for l, t in zip(conv_layers, t_conv_f):
+                req = grad_reqs.pop(l.name, None)
+                if req is not None:
+                    yield from mpi.wait(req)
+                yield t
+            for t in t_fc_f:
+                if nranks > 1:
+                    req = yield from mpi.ialltoall(
+                        fc_pair_bytes, bw_factor=bwf
+                    )
+                    yield from mpi.wait(req)  # synchronized: no overlap
+                yield t
+            # ---- backward: fc (synchronized), then conv with the
+            # cross-iteration gradient allreduce -------------------------
+            for t in reversed(t_fc_b):
+                yield t
+                if nranks > 1:
+                    req = yield from mpi.ialltoall(
+                        fc_pair_bytes, bw_factor=bwf
+                    )
+                    yield from mpi.wait(req)
+            for l, t in zip(reversed(conv_layers), reversed(t_conv_b)):
+                yield t
+                if nranks > 1:
+                    grad_reqs[l.name] = yield from mpi.iallreduce(
+                        l.weight_bytes, bw_factor=ar_bwf
+                    )
+            last_iter = sim.now - t0
+        for req in grad_reqs.values():
+            yield from mpi.wait(req)
+        done[rank] = last_iter
+
+    procs = [sim.process(program(r)) for r in range(nranks)]
+    sim.run(sim.all_of(procs))
+    return done[0]
+
+
+def cnn_images_per_sec(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    nodes: int,
+    layers: tuple[LayerSpec, ...] = ALEXNET_LIKE,
+    minibatch: int = MINIBATCH,
+) -> float:
+    """Figure 14 metric: training throughput."""
+    t = cnn_iteration(machine, approach, nodes, layers, minibatch)
+    return minibatch / t

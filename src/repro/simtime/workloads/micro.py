@@ -1,0 +1,385 @@
+"""Simulated microbenchmarks (paper Figures 2–8).
+
+Each function builds a fresh two-or-more-rank :class:`SimCluster`,
+runs the benchmark's exact measurement protocol in virtual time, and
+returns the numbers the corresponding figure plots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.simtime.engine import Simulator
+from repro.simtime.machine import MachineConfig
+from repro.simtime.mpi_model import SimCluster
+from repro.simtime.progress_modes import APPROACHES, Approach
+
+
+def _approach(a: "Approach | str") -> Approach:
+    return APPROACHES[a] if isinstance(a, str) else a
+
+
+@dataclass(frozen=True)
+class OverlapResult:
+    """One bar group of Figure 2/3: times as % of communication time."""
+
+    nbytes: int
+    comm_time: float
+    post_pct: float
+    wait_pct: float
+    overlap_pct: float
+
+
+def _overlap_once(
+    machine: MachineConfig,
+    approach: Approach,
+    nbytes: int,
+    compute: float,
+) -> tuple[float, float, float]:
+    """One round of the §4.1 overlap benchmark.
+
+    Returns (post, wait, total) as seen by rank 0.
+    """
+    sim = Simulator()
+    cluster = SimCluster(sim, machine, approach, 2)
+    out: dict[int, tuple[float, float, float]] = {}
+
+    def program(rank: int):
+        mpi = cluster.ranks[rank]
+        peer = 1 - rank
+        t0 = sim.now
+        rreq = yield from mpi.irecv(peer, nbytes, tag=1)
+        sreq = yield from mpi.isend(peer, nbytes, tag=1)
+        post = sim.now - t0
+        if compute > 0:
+            yield compute
+        t1 = sim.now
+        yield from mpi.wait_all([rreq, sreq])
+        out[rank] = (post, sim.now - t1, sim.now - t0)
+
+    procs = [sim.process(program(r)) for r in range(2)]
+    sim.run(sim.all_of(procs))
+    return out[0]
+
+
+def overlap_p2p(
+    machine: MachineConfig, approach: "Approach | str", nbytes: int
+) -> OverlapResult:
+    """Figure 2: point-to-point compute/communication overlap.
+
+    Protocol per §4.1: measure communication time with no compute,
+    repeat with compute equal to that communication time, and report
+    post, wait, and overlap (wait-time reduction) as percentages.
+    """
+    approach = _approach(approach)
+    post0, wait0, comm = _overlap_once(machine, approach, nbytes, 0.0)
+    post1, wait1, _total = _overlap_once(machine, approach, nbytes, comm)
+    overlap = max(0.0, wait0 - wait1)
+    return OverlapResult(
+        nbytes=nbytes,
+        comm_time=comm,
+        post_pct=100.0 * post1 / comm,
+        wait_pct=100.0 * wait1 / comm,
+        overlap_pct=100.0 * overlap / comm,
+    )
+
+
+_NBC_STAGES = {
+    "iallreduce": lambda p: max(1, math.ceil(math.log2(p))),
+    "ibcast": lambda p: max(1, math.ceil(math.log2(p))),
+    "ibarrier": lambda p: max(1, math.ceil(math.log2(p))),
+    "igather": lambda p: 1,
+    "ialltoall": lambda p: max(1, p - 1),
+}
+
+
+def _nbc_post(mpi, op: str, nbytes: int):
+    if op == "iallreduce":
+        return mpi.iallreduce(nbytes)
+    if op == "ibcast":
+        return mpi.ibcast(nbytes)
+    if op == "ibarrier":
+        return mpi.ibarrier()
+    if op == "igather":
+        return mpi.igather(nbytes)
+    if op == "ialltoall":
+        return mpi.ialltoall(nbytes)
+    raise ValueError(f"unknown collective {op}")
+
+
+def _overlap_coll_once(
+    machine: MachineConfig,
+    approach: Approach,
+    op: str,
+    nbytes: int,
+    nranks: int,
+    compute: float,
+) -> tuple[float, float, float]:
+    sim = Simulator()
+    cluster = SimCluster(sim, machine, approach, nranks)
+    out: dict[int, tuple[float, float, float]] = {}
+
+    def program(rank: int):
+        mpi = cluster.ranks[rank]
+        t0 = sim.now
+        req = yield from _nbc_post(mpi, op, nbytes)
+        post = sim.now - t0
+        if compute > 0:
+            yield compute
+        t1 = sim.now
+        yield from mpi.wait(req)
+        out[rank] = (post, sim.now - t1, sim.now - t0)
+
+    procs = [sim.process(program(r)) for r in range(nranks)]
+    sim.run(sim.all_of(procs))
+    return out[0]
+
+
+def overlap_collective(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    op: str,
+    nbytes: int,
+    nranks: int = 32,
+) -> OverlapResult:
+    """Figure 3: IMB-NBC style overlap for nonblocking collectives."""
+    approach = _approach(approach)
+    post0, wait0, comm = _overlap_coll_once(
+        machine, approach, op, nbytes, nranks, 0.0
+    )
+    post1, wait1, _ = _overlap_coll_once(
+        machine, approach, op, nbytes, nranks, comm
+    )
+    overlap = max(0.0, wait0 - wait1)
+    return OverlapResult(
+        nbytes=nbytes,
+        comm_time=comm,
+        post_pct=100.0 * post1 / comm,
+        wait_pct=100.0 * wait1 / comm,
+        overlap_pct=100.0 * overlap / comm,
+    )
+
+
+def isend_overhead(
+    machine: MachineConfig, approach: "Approach | str", nbytes: int
+) -> float:
+    """Figure 4: time an application thread spends issuing MPI_Isend
+    (modified OSU ping-pong, 2 ranks)."""
+    approach = _approach(approach)
+    sim = Simulator()
+    cluster = SimCluster(sim, machine, approach, 2)
+    out: dict[str, float] = {}
+    iters = 8
+
+    def sender():
+        mpi = cluster.ranks[0]
+        post_total = 0.0
+        for i in range(iters):
+            t0 = sim.now
+            sreq = yield from mpi.isend(1, nbytes, tag=i)
+            post_total += sim.now - t0
+            yield from mpi.wait(sreq)
+            rreq = yield from mpi.irecv(1, nbytes, tag=1000 + i)
+            yield from mpi.wait(rreq)
+        out["post"] = post_total / iters
+
+    def receiver():
+        mpi = cluster.ranks[1]
+        for i in range(iters):
+            rreq = yield from mpi.irecv(0, nbytes, tag=i)
+            yield from mpi.wait(rreq)
+            sreq = yield from mpi.isend(0, nbytes, tag=1000 + i)
+            yield from mpi.wait(sreq)
+
+    procs = [sim.process(sender()), sim.process(receiver())]
+    sim.run(sim.all_of(procs))
+    return out["post"]
+
+
+def icollective_overhead(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    op: str,
+    nbytes: int,
+    nranks: int = 32,
+) -> float:
+    """Figure 5: time to issue a nonblocking collective call."""
+    approach = _approach(approach)
+    sim = Simulator()
+    cluster = SimCluster(sim, machine, approach, nranks)
+    out: dict[int, float] = {}
+    iters = 4
+
+    def program(rank: int):
+        mpi = cluster.ranks[rank]
+        post_total = 0.0
+        for _ in range(iters):
+            t0 = sim.now
+            req = yield from _nbc_post(mpi, op, nbytes)
+            post_total += sim.now - t0
+            yield from mpi.wait(req)
+        out[rank] = post_total / iters
+
+    procs = [sim.process(program(r)) for r in range(nranks)]
+    sim.run(sim.all_of(procs))
+    return out[0]
+
+
+def osu_latency(
+    machine: MachineConfig, approach: "Approach | str", nbytes: int
+) -> float:
+    """Figures 7(a)/8(a): OSU one-way latency (half ping-pong)."""
+    approach = _approach(approach)
+    sim = Simulator()
+    cluster = SimCluster(sim, machine, approach, 2)
+    out: dict[str, float] = {}
+    iters = 10
+
+    def r0():
+        mpi = cluster.ranks[0]
+        t0 = sim.now
+        for i in range(iters):
+            s = yield from mpi.isend(1, nbytes, tag=i)
+            yield from mpi.wait(s)
+            r = yield from mpi.irecv(1, nbytes, tag=1000 + i)
+            yield from mpi.wait(r)
+        out["lat"] = (sim.now - t0) / (2 * iters)
+
+    def r1():
+        mpi = cluster.ranks[1]
+        for i in range(iters):
+            r = yield from mpi.irecv(0, nbytes, tag=i)
+            yield from mpi.wait(r)
+            s = yield from mpi.isend(0, nbytes, tag=1000 + i)
+            yield from mpi.wait(s)
+
+    procs = [sim.process(r0()), sim.process(r1())]
+    sim.run(sim.all_of(procs))
+    return out["lat"]
+
+
+def osu_bandwidth(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    nbytes: int,
+    window: int = 32,
+) -> float:
+    """Figures 7(b)/8(b): OSU unidirectional bandwidth (B/s)."""
+    approach = _approach(approach)
+    sim = Simulator()
+    cluster = SimCluster(sim, machine, approach, 2)
+    out: dict[str, float] = {}
+
+    def r0():
+        mpi = cluster.ranks[0]
+        t0 = sim.now
+        reqs = []
+        for i in range(window):
+            s = yield from mpi.isend(1, nbytes, tag=i)
+            reqs.append(s)
+        yield from mpi.wait_all(reqs)
+        ack = yield from mpi.irecv(1, 8, tag=9999)
+        yield from mpi.wait(ack)
+        out["bw"] = window * nbytes / (sim.now - t0)
+
+    def r1():
+        mpi = cluster.ranks[1]
+        reqs = []
+        for i in range(window):
+            r = yield from mpi.irecv(0, nbytes, tag=i)
+            reqs.append(r)
+        yield from mpi.wait_all(reqs)
+        s = yield from mpi.isend(0, 8, tag=9999)
+        yield from mpi.wait(s)
+
+    procs = [sim.process(r0()), sim.process(r1())]
+    sim.run(sim.all_of(procs))
+    return out["bw"]
+
+
+def rma_put_overlap(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    nbytes: int,
+    compute: float = 2e-4,
+) -> tuple[float, bool]:
+    """§7-extension microbenchmark: a one-sided put to a computing
+    target.
+
+    Returns ``(wait_time, done_during_compute)`` for the origin.  With
+    no progress context at the target the put cannot be applied until
+    someone there enters MPI; a dedicated progress context applies it
+    mid-compute (the Casper behaviour).
+    """
+    approach = _approach(approach)
+    sim = Simulator()
+    cluster = SimCluster(sim, machine, approach, 2)
+    out: dict[str, Any] = {}
+
+    def origin():
+        mpi = cluster.ranks[0]
+        req = yield from mpi.rma_put(1, nbytes)
+        yield compute
+        out["done_during_compute"] = req.done
+        t0 = sim.now
+        yield from mpi.wait(req)
+        out["wait"] = sim.now - t0
+
+    def target():
+        mpi = cluster.ranks[1]
+        yield compute  # pure compute; no MPI entry
+        # a fence-like entry at the end drives progress for baseline
+        yield from mpi.iprobe_pump()
+
+    procs = [sim.process(origin()), sim.process(target())]
+    sim.run(sim.all_of(procs))
+    return out["wait"], out["done_during_compute"]
+
+
+def osu_mt_latency(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    nbytes: int,
+    nthreads: int,
+) -> float:
+    """Figure 6: OSU multithreaded latency.
+
+    ``nthreads`` thread pairs per rank run concurrent ping-pongs; the
+    world is ``MPI_THREAD_MULTIPLE`` (except that offloaded calls never
+    enter MPI, which is the whole point).  Returns the mean one-way
+    latency across thread pairs.
+    """
+    approach = _approach(approach)
+    sim = Simulator()
+    cluster = SimCluster(
+        sim, machine, approach, 2, thread_multiple=nthreads > 1
+    )
+    iters = 8
+    lat: list[float] = []
+
+    def thread0(tid: int):
+        mpi = cluster.ranks[0]
+        t0 = sim.now
+        for i in range(iters):
+            s = yield from mpi.isend(1, nbytes, tag=tid * 10000 + i)
+            yield from mpi.wait(s)
+            r = yield from mpi.irecv(1, nbytes, tag=tid * 10000 + 5000 + i)
+            yield from mpi.wait(r)
+        lat.append((sim.now - t0) / (2 * iters))
+
+    def thread1(tid: int):
+        mpi = cluster.ranks[1]
+        for i in range(iters):
+            r = yield from mpi.irecv(0, nbytes, tag=tid * 10000 + i)
+            yield from mpi.wait(r)
+            s = yield from mpi.isend(0, nbytes, tag=tid * 10000 + 5000 + i)
+            yield from mpi.wait(s)
+
+    procs = []
+    for t in range(nthreads):
+        procs.append(sim.process(thread0(t)))
+        procs.append(sim.process(thread1(t)))
+    sim.run(sim.all_of(procs))
+    return sum(lat) / len(lat)

@@ -1,0 +1,281 @@
+"""Simulated Wilson-Dslash and QCD solver (Tables 1, Figures 9–12).
+
+The communication pattern (which neighbor, how many bytes) comes from
+the *real* :class:`~repro.apps.qcd.lattice.LatticeGeometry`; only the
+compute times are modeled.  Paper specifics honored:
+
+* one rank per socket → 2 ranks per Endeavor/Edison node, 1 per Phi;
+* half-spinor (2 spin × 3 color, single precision) face messages —
+  which puts 32³×256 at ~48 KB/direction on 512 ranks, below the
+  128 KB rendezvous threshold, exactly the §4.3 regime;
+* super-linear speedup once the local working set fits in cache
+  (§5.1's 256-node observation);
+* the *iprobe* variant splits interior compute into chunks with a
+  probe pump between chunks (Listing 1's PROGRESS placement).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.apps.qcd.dslash import dslash_flops_per_site
+from repro.apps.qcd.lattice import LatticeGeometry
+from repro.simtime.engine import Simulator
+from repro.simtime.machine import MachineConfig
+from repro.simtime.mpi_model import SimCluster
+from repro.simtime.progress_modes import APPROACHES, Approach
+from repro.util.timing import TimeBreakdown
+
+#: bytes per face site: projected half spinor, single precision
+#: (2 spin × 3 color × 8 B complex64)
+HALF_SPINOR_BYTES = 48
+
+#: approximate resident bytes per site (gauge links + spinors, single
+#: precision) for the cache-fit heuristic
+WORKING_SET_BYTES_PER_SITE = 1000
+
+#: compute efficiency of the Dslash kernel relative to peak
+#: (calibrated so a 14-core Haswell socket sustains ~150 GF/s, as the
+#: paper's QPhiX-based code does)
+DSLASH_EFFICIENCY = 0.3
+
+
+def ranks_per_node(machine: MachineConfig) -> int:
+    """One rank per socket: 2 on the dual-socket Xeon machines, 1 on
+    the Phi coprocessor."""
+    return 1 if machine.name == "endeavor-phi" else 2
+
+
+def _cache_factor(machine: MachineConfig, local_volume: int) -> float:
+    """Compute-rate multiplier from cache residence (smooth ramp)."""
+    ws = local_volume * WORKING_SET_BYTES_PER_SITE
+    if ws <= machine.cache_bytes:
+        return machine.cache_speedup
+    if ws >= 4 * machine.cache_bytes:
+        return 1.0
+    # log-linear ramp between 1x and 4x the cache size
+    frac = math.log(4 * machine.cache_bytes / ws) / math.log(4)
+    return 1.0 + (machine.cache_speedup - 1.0) * frac
+
+
+@dataclass
+class DslashTimings:
+    """Per-iteration breakdown (Table 1 columns), rank-0 view, seconds."""
+
+    internal_compute: float
+    post: float
+    wait: float
+    misc: float
+
+    @property
+    def total(self) -> float:
+        return self.internal_compute + self.post + self.wait + self.misc
+
+
+def dslash_iteration(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    lattice: tuple[int, int, int, int],
+    nodes: int,
+    iterations: int = 3,
+    comm_threads: int = 1,
+) -> DslashTimings:
+    """Simulate ``iterations`` Dslash applications; report the last.
+
+    ``comm_threads > 1`` models the §5.1 thread-groups experiment
+    (Figure 12): lattice directions are partitioned across thread
+    groups which post, wait for, and boundary-process their own halo
+    messages concurrently; non-offload approaches pay
+    MPI_THREAD_MULTIPLE costs for the concurrent calls.
+    """
+    approach = APPROACHES[approach] if isinstance(approach, str) else approach
+    rpn = ranks_per_node(machine)
+    nranks = nodes * rpn
+    geom = LatticeGeometry.partition(lattice, nranks)
+    sim = Simulator()
+    cluster = SimCluster(
+        sim,
+        machine,
+        approach,
+        nranks,
+        thread_multiple=comm_threads > 1,
+    )
+
+    cores = approach.compute_cores(machine)
+    vol = geom.local_volume
+    rate = (
+        cores
+        * machine.flops_per_core
+        * DSLASH_EFFICIENCY
+        * _cache_factor(machine, vol)
+    )
+    flops = vol * dslash_flops_per_site()
+    dims = geom.decomposed_dims()
+    face_bytes = {d: geom.halo_bytes(d, itemsize=8) for d in dims}
+    # Boundary processing re-accumulates one of the 8 direction terms
+    # on each face site (the received halo's contribution).
+    boundary_flops = sum(
+        2 * geom.face_sites(d) * dslash_flops_per_site() / 8 for d in dims
+    )
+    t_interior = max(0.0, flops - boundary_flops) / rate
+    t_boundary = boundary_flops / rate
+    # Packing is parallelized over the OpenMP team (roughly half the
+    # cores' aggregate copy bandwidth is sustained).
+    pack_bw = machine.memcpy_bandwidth * max(1, cores // 2)
+    t_pack = 2.0 * sum(face_bytes.values()) / pack_bw if dims else 0.0
+
+    results: dict[int, DslashTimings] = {}
+
+    def exchange_dir(mpi, rank: int, d: int, it: int):
+        """Post one direction's halo exchange; returns the requests."""
+        nb_f = geom.neighbor(rank, d, +1)
+        nb_b = geom.neighbor(rank, d, -1)
+        base_tag = (it * 8 + 2 * d) * 64
+        r1 = yield from mpi.irecv(nb_f, face_bytes[d], tag=base_tag)
+        r2 = yield from mpi.irecv(nb_b, face_bytes[d], tag=base_tag + 32)
+        s1 = yield from mpi.isend(nb_b, face_bytes[d], tag=base_tag)
+        s2 = yield from mpi.isend(nb_f, face_bytes[d], tag=base_tag + 32)
+        return [r1, r2, s1, s2]
+
+    def group_proc(mpi, rank: int, my_dims: list[int], it: int):
+        """One thread group: posts its directions, computes its share
+        of the interior volume, waits for its own messages, then
+        boundary-processes its faces.
+
+        Groups are the compute threads themselves (each has 1/T of the
+        cores and 1/T of the volume, so its interior wall time equals
+        the full team's), not extra workers — which is why the benefit
+        of thread groups is posting parallelism and per-group
+        pipelining, not free compute.
+        """
+        reqs = []
+        for d in my_dims:
+            got = yield from exchange_dir(mpi, rank, d, it)
+            reqs += got
+        yield t_interior
+        yield from mpi.wait_all(reqs)
+        if dims:
+            # This group's faces on this group's 1/T of the cores.
+            yield t_boundary * len(my_dims) / len(dims) * comm_threads
+        return None
+
+    def program(rank: int):
+        mpi = cluster.ranks[rank]
+        last: DslashTimings | None = None
+        for it in range(iterations):
+            tb = TimeBreakdown()
+            t0 = sim.now
+            # -- pack (misc) ------------------------------------------
+            if t_pack > 0:
+                yield t_pack
+            tb.add("misc", sim.now - t0)
+            if comm_threads > 1 and dims:
+                # -- thread-groups mode: directions partitioned over
+                # concurrently-running groups -----------------------------
+                t1 = sim.now
+                groups = [
+                    [d for i, d in enumerate(dims) if i % comm_threads == g]
+                    for g in range(comm_threads)
+                ]
+                procs = [
+                    sim.process(group_proc(mpi, rank, g, it))
+                    for g in groups
+                    if g
+                ]
+                # Groups without directions still compute the interior.
+                def idle_group():
+                    yield t_interior
+
+                if any(not g for g in groups):
+                    procs.append(sim.process(idle_group()))
+                tb.add("post", sim.now - t1)
+                t2 = sim.now
+                yield sim.all_of(procs)
+                tb.add("internal_compute", t_interior)
+                tb.add("wait", max(0.0, sim.now - t2 - t_interior))
+            else:
+                # -- funneled mode: master posts everything ----------------
+                t1 = sim.now
+                reqs = []
+                for d in dims:
+                    got = yield from exchange_dir(mpi, rank, d, it)
+                    reqs += got
+                tb.add("post", sim.now - t1)
+                t2 = sim.now
+                if approach.name == "iprobe" and dims:
+                    chunks = 8
+                    for _ in range(chunks):
+                        yield t_interior / chunks
+                        yield from mpi.iprobe_pump()
+                else:
+                    yield t_interior
+                tb.add("internal_compute", sim.now - t2)
+                t3 = sim.now
+                yield from mpi.wait_all(reqs)
+                tb.add("wait", sim.now - t3)
+                t4 = sim.now
+                yield t_boundary
+                tb.add("misc", sim.now - t4)
+            last = DslashTimings(
+                internal_compute=tb.get("internal_compute"),
+                post=tb.get("post"),
+                wait=tb.get("wait"),
+                misc=tb.get("misc"),
+            )
+        results[rank] = last  # steady-state iteration
+
+    procs = [sim.process(program(r)) for r in range(nranks)]
+    sim.run(sim.all_of(procs))
+    return results[0]
+
+
+def dslash_tflops(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    lattice: tuple[int, int, int, int],
+    nodes: int,
+    comm_threads: int = 1,
+) -> float:
+    """Figure 9/12 metric: aggregate sustained TFLOP/s."""
+    t = dslash_iteration(
+        machine, approach, lattice, nodes, comm_threads=comm_threads
+    )
+    nranks = nodes * ranks_per_node(machine)
+    geom = LatticeGeometry.partition(lattice, nranks)
+    total_flops = geom.global_volume * dslash_flops_per_site()
+    return total_flops / t.total / 1e12
+
+
+def solver_tflops(
+    machine: MachineConfig,
+    approach: "Approach | str",
+    lattice: tuple[int, int, int, int],
+    nodes: int,
+) -> float:
+    """Figure 11 metric: full CG/BiCGStab solver TFLOP/s.
+
+    Per solver iteration: 2 Dslash applications, ~6 BLAS-1 sweeps
+    (memory-bound, so at a fraction of Dslash's rate), and 2 global
+    8-byte allreduce latencies that cannot overlap.
+    """
+    approach = APPROACHES[approach] if isinstance(approach, str) else approach
+    t_dslash = dslash_iteration(machine, approach, lattice, nodes).total
+    nranks = nodes * ranks_per_node(machine)
+    geom = LatticeGeometry.partition(lattice, nranks)
+    cores = approach.compute_cores(machine)
+    # BLAS-1 ops run at ~25 % of the stencil's rate (bandwidth-bound).
+    blas_flops = 6 * 8 * geom.local_volume * 24 / 8
+    t_blas = blas_flops / (cores * machine.flops_per_core * 0.25)
+    # Two blocking allreduces (dissemination latency chain).
+    stages = max(1, math.ceil(math.log2(nranks)))
+    t_allreduce = 2 * stages * (
+        machine.net_latency + 2 * machine.action_cost + machine.sw_call_base
+    )
+    if approach.requires_thread_multiple:
+        t_allreduce += 2 * machine.tm_call_overhead
+    t_iter = 2 * t_dslash + t_blas + t_allreduce
+    total_flops = 2 * geom.global_volume * dslash_flops_per_site() + (
+        blas_flops * nranks
+    )
+    return total_flops / t_iter / 1e12

@@ -1,0 +1,33 @@
+"""Shared low-level utilities used across the reproduction.
+
+This package intentionally has no dependencies on the rest of
+:mod:`repro` so every other subpackage may import it freely.
+"""
+
+from repro.util.units import (
+    format_bytes,
+    format_time,
+    parse_bytes,
+    KIB,
+    MIB,
+    GIB,
+)
+from repro.util.timing import Stopwatch, TimeBreakdown, busy_spin
+from repro.util.tables import Table, format_table
+from repro.util.rng import seeded_rng, derive_seed
+
+__all__ = [
+    "format_bytes",
+    "format_time",
+    "parse_bytes",
+    "KIB",
+    "MIB",
+    "GIB",
+    "Stopwatch",
+    "TimeBreakdown",
+    "busy_spin",
+    "Table",
+    "format_table",
+    "seeded_rng",
+    "derive_seed",
+]

@@ -1,0 +1,38 @@
+"""Deterministic random-number helpers.
+
+All stochastic pieces of the reproduction (workload generators, CNN
+weight init, property-test data) draw from :func:`seeded_rng` so runs
+are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+DEFAULT_SEED = 0x5C15  # "SC15"
+
+
+def derive_seed(*parts: object, base: int = DEFAULT_SEED) -> int:
+    """Derive a stable 63-bit seed from arbitrary labelled parts.
+
+    Uses SHA-256 over the repr of the parts so the same labels always
+    yield the same stream, independent of Python hash randomization.
+
+    >>> derive_seed("qcd", 8) == derive_seed("qcd", 8)
+    True
+    >>> derive_seed("qcd", 8) != derive_seed("qcd", 16)
+    True
+    """
+    h = hashlib.sha256()
+    h.update(str(base).encode())
+    for p in parts:
+        h.update(b"\x00")
+        h.update(repr(p).encode())
+    return int.from_bytes(h.digest()[:8], "little") & (2**63 - 1)
+
+
+def seeded_rng(*parts: object, base: int = DEFAULT_SEED) -> np.random.Generator:
+    """Return a NumPy Generator seeded deterministically from ``parts``."""
+    return np.random.default_rng(derive_seed(*parts, base=base))

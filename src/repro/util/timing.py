@@ -1,0 +1,111 @@
+"""Timing primitives for the functional (wall-clock) benchmark paths.
+
+The discrete-event simulator (:mod:`repro.simtime`) keeps its own virtual
+clock; the helpers here serve the in-process functional benchmarks that
+measure real elapsed time on the threaded MPI substrate.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+def busy_spin(duration: float) -> None:
+    """Burn CPU for ``duration`` seconds without releasing long sleeps.
+
+    Used by the overlap microbenchmark to emulate "internal volume
+    compute": unlike :func:`time.sleep`, short spins keep the thread
+    runnable, matching how an OpenMP compute loop behaves with respect
+    to MPI progress (i.e. it makes none).
+    """
+    if duration <= 0:
+        return
+    deadline = time.perf_counter() + duration
+    while time.perf_counter() < deadline:
+        pass
+
+
+class Stopwatch:
+    """Accumulating stopwatch with split support.
+
+    >>> sw = Stopwatch()
+    >>> sw.start(); sw.stop() >= 0.0
+    True
+    """
+
+    __slots__ = ("_t0", "elapsed", "laps")
+
+    def __init__(self) -> None:
+        self._t0: float | None = None
+        self.elapsed: float = 0.0
+        self.laps: list[float] = []
+
+    def start(self) -> None:
+        if self._t0 is not None:
+            raise RuntimeError("stopwatch already running")
+        self._t0 = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._t0
+        self._t0 = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def reset(self) -> None:
+        self._t0 = None
+        self.elapsed = 0.0
+        self.laps.clear()
+
+    def __enter__(self) -> "Stopwatch":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class TimeBreakdown:
+    """Per-phase time accumulator matching the paper's Tables 1 and 2.
+
+    The paper splits each application iteration into *internal compute*,
+    *post*, *wait* and *misc* time.  Phases here are free-form strings so
+    the same accumulator serves microbenchmarks too.
+    """
+
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def add(self, phase: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("negative phase time")
+        self.phases[phase] = self.phases.get(phase, 0.0) + seconds
+
+    def get(self, phase: str) -> float:
+        return self.phases.get(phase, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def merge(self, other: "TimeBreakdown") -> "TimeBreakdown":
+        out = TimeBreakdown(dict(self.phases))
+        for k, v in other.phases.items():
+            out.add(k, v)
+        return out
+
+    def scaled(self, factor: float) -> "TimeBreakdown":
+        """Return a copy with every phase multiplied by ``factor``.
+
+        Used to convert a summed multi-iteration breakdown into a
+        per-iteration one.
+        """
+        if factor < 0:
+            raise ValueError("negative scale factor")
+        return TimeBreakdown({k: v * factor for k, v in self.phases.items()})
+
+    def as_row(self, order: tuple[str, ...]) -> list[float]:
+        return [self.get(p) for p in order]

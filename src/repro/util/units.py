@@ -1,0 +1,127 @@
+"""Byte-size and time formatting/parsing helpers.
+
+Message sizes in the paper's figures are reported in powers of two
+(8 B ... 2 MB), so all helpers here use binary units.
+"""
+
+from __future__ import annotations
+
+import re
+
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+_SUFFIXES = (
+    ("GB", GIB),
+    ("MB", MIB),
+    ("KB", KIB),
+    ("B", 1),
+)
+
+_PARSE_RE = re.compile(
+    r"^\s*(?P<num>\d+(?:\.\d+)?)\s*(?P<unit>[KMG]?i?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "K": KIB,
+    "KB": KIB,
+    "KIB": KIB,
+    "M": MIB,
+    "MB": MIB,
+    "MIB": MIB,
+    "G": GIB,
+    "GB": GIB,
+    "GIB": GIB,
+}
+
+
+def parse_bytes(text: str | int) -> int:
+    """Parse a human-readable byte size like ``"128KB"`` into an int.
+
+    Integers pass through unchanged.  Binary units are assumed
+    (``1KB == 1024`` bytes), matching MPI benchmark conventions.
+
+    >>> parse_bytes("128KB")
+    131072
+    >>> parse_bytes(42)
+    42
+    """
+    if isinstance(text, int):
+        return text
+    m = _PARSE_RE.match(text)
+    if m is None:
+        raise ValueError(f"unparseable byte size: {text!r}")
+    unit = m.group("unit").upper()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown unit in byte size: {text!r}")
+    value = float(m.group("num")) * _UNIT_FACTORS[unit]
+    return int(round(value))
+
+
+def format_bytes(n: int) -> str:
+    """Format a byte count the way OSU benchmark tables do.
+
+    >>> format_bytes(131072)
+    '128KB'
+    >>> format_bytes(8)
+    '8B'
+    """
+    if n < 0:
+        raise ValueError("byte count must be nonnegative")
+    for suffix, factor in _SUFFIXES:
+        if factor == 1:
+            break
+        if n >= factor and n % factor == 0:
+            return f"{n // factor}{suffix}"
+    if n < KIB:
+        return f"{n}B"
+    for suffix, factor in _SUFFIXES:
+        if n >= factor:
+            return f"{n / factor:.1f}{suffix}"
+    return f"{n}B"  # pragma: no cover - unreachable
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an auto-selected unit.
+
+    >>> format_time(1.4e-7)
+    '140.0ns'
+    >>> format_time(2.5e-6)
+    '2.5us'
+    """
+    if seconds < 0:
+        raise ValueError("duration must be nonnegative")
+    if seconds == 0:
+        return "0s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f}ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3f}ms"
+    return f"{seconds:.3f}s"
+
+
+def pow2_sizes(lo: int, hi: int) -> list[int]:
+    """Inclusive list of power-of-two message sizes between ``lo`` and ``hi``.
+
+    Both endpoints must themselves be powers of two, as in the OSU
+    benchmark sweeps.
+
+    >>> pow2_sizes(8, 64)
+    [8, 16, 32, 64]
+    """
+    for v in (lo, hi):
+        if v <= 0 or v & (v - 1):
+            raise ValueError(f"{v} is not a positive power of two")
+    if lo > hi:
+        raise ValueError("lo must not exceed hi")
+    out = []
+    v = lo
+    while v <= hi:
+        out.append(v)
+        v <<= 1
+    return out

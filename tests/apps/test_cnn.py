@@ -1,0 +1,372 @@
+"""CNN numerics: finite-difference gradients, training, and
+exact serial equivalence of the parallel strategies."""
+
+import numpy as np
+import pytest
+
+from repro.apps.cnn import (
+    Conv2D,
+    DataParallelTrainer,
+    Dense,
+    Flatten,
+    HybridParallelTrainer,
+    MaxPool2,
+    ReLU,
+    Sequential,
+    sgd_step,
+    synthetic_batch,
+)
+from repro.core import offloaded
+
+from tests.conftest import run_world, run_world_mt
+
+
+def _num_grad(f, p, eps=1e-6):
+    g = np.zeros_like(p)
+    it = np.nditer(p, flags=["multi_index"])
+    for _ in it:
+        i = it.multi_index
+        old = p[i]
+        p[i] = old + eps
+        lp = f()
+        p[i] = old - eps
+        lm = f()
+        p[i] = old
+        g[i] = (lp - lm) / (2 * eps)
+    return g
+
+
+def small_model(seed="gc"):
+    return Sequential(
+        [
+            Conv2D(1, 3, 3, seed=(seed, 1)),
+            ReLU(),
+            MaxPool2(),
+            Flatten(),
+            Dense(3 * 4 * 4, 8, seed=(seed, 2)),
+            ReLU(),
+            Dense(8, 4, seed=(seed, 3)),
+        ]
+    )
+
+
+class TestLayers:
+    def test_all_gradients_match_finite_differences(self):
+        model = small_model()
+        x, y = synthetic_batch(4, 1, 8, 4, seed=1)
+        model.loss(x, y)
+        model.backward()
+        analytic = {
+            (i, name): layer.grads[name].copy()
+            for i, layer in enumerate(model.layers)
+            for name in layer.params
+        }
+        for i, layer in enumerate(model.layers):
+            for name, p in layer.params.items():
+                num = _num_grad(lambda: model.loss(x, y), p)
+                err = np.abs(analytic[(i, name)] - num).max() / (
+                    np.abs(num).max() + 1e-12
+                )
+                assert err < 1e-4, (type(layer).__name__, name, err)
+
+    def test_input_gradient_matches_fd(self):
+        model = small_model("ig")
+        x, y = synthetic_batch(2, 1, 8, 4, seed=2)
+        model.loss(x, y)
+        gin = model.backward()
+        num = _num_grad(lambda: model.loss(x, y), x)
+        assert np.abs(gin - num).max() < 1e-5
+
+    def test_relu_masks(self):
+        r = ReLU()
+        x = np.array([[-1.0, 2.0]])
+        assert (r.forward(x) == [[0.0, 2.0]]).all()
+        assert (r.backward(np.ones_like(x)) == [[0.0, 1.0]]).all()
+
+    def test_maxpool_selects_max_and_routes_grad(self):
+        p = MaxPool2()
+        x = np.arange(16.0).reshape(1, 1, 4, 4)
+        out = p.forward(x)
+        assert out.shape == (1, 1, 2, 2)
+        assert out[0, 0, 0, 0] == 5.0  # max of [[0,1],[4,5]]
+        g = p.backward(np.ones_like(out))
+        assert g.sum() == 4.0
+        assert g[0, 0, 1, 1] == 1.0
+
+    def test_maxpool_odd_dims_rejected(self):
+        with pytest.raises(ValueError):
+            MaxPool2().forward(np.zeros((1, 1, 3, 4)))
+
+    def test_conv_shape_and_channel_check(self):
+        c = Conv2D(2, 5, 3)
+        out = c.forward(np.zeros((3, 2, 8, 8)))
+        assert out.shape == (3, 5, 8, 8)
+        with pytest.raises(ValueError):
+            c.forward(np.zeros((1, 3, 8, 8)))
+        with pytest.raises(ValueError):
+            Conv2D(1, 1, kernel=2)
+
+    def test_softmax_loss_gradient_sums_to_zero(self):
+        from repro.apps.cnn.layers import SoftmaxCrossEntropy
+
+        loss = SoftmaxCrossEntropy()
+        logits = seeded_standard_normal((5, 4))
+        labels = np.array([0, 1, 2, 3, 0])
+        loss.forward(logits, labels)
+        g = loss.backward()
+        np.testing.assert_allclose(g.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_param_count(self):
+        d = Dense(4, 3)
+        assert d.param_count() == 4 * 3 + 3
+
+
+def seeded_standard_normal(shape):
+    from repro.util.rng import seeded_rng
+
+    return seeded_rng("logits", shape).standard_normal(shape)
+
+
+class TestTraining:
+    def test_loss_decreases(self):
+        model = Sequential(
+            [
+                Conv2D(1, 4, 3, seed="t1"),
+                ReLU(),
+                MaxPool2(),
+                Flatten(),
+                Dense(4 * 4 * 4, 4, seed="t2"),
+            ]
+        )
+        losses = []
+        for step in range(25):
+            xb, yb = synthetic_batch(16, 1, 8, 4, seed=step)
+            losses.append(model.loss(xb, yb))
+            model.backward()
+            sgd_step(model, 0.1)
+        assert losses[-1] < losses[0] * 0.5
+
+    def test_state_roundtrip(self):
+        m = small_model("s")
+        state = m.state()
+        x, y = synthetic_batch(4, 1, 8, 4, seed=3)
+        m.loss(x, y)
+        m.backward()
+        sgd_step(m, 0.5)
+        m.load_state(state)
+        for a, b in zip(m.state(), state):
+            assert (a == b).all()
+
+    def test_synthetic_data_deterministic(self):
+        a = synthetic_batch(8, seed=7)
+        b = synthetic_batch(8, seed=7)
+        assert (a[0] == b[0]).all() and (a[1] == b[1]).all()
+        c = synthetic_batch(8, seed=8)
+        assert not (a[0] == c[0]).all()
+
+
+def _dp_model():
+    return Sequential(
+        [
+            Conv2D(1, 4, 3, seed="dp1"),
+            ReLU(),
+            MaxPool2(),
+            Flatten(),
+            Dense(4 * 4 * 4, 4, seed="dp2"),
+        ]
+    )
+
+
+def _serial_reference(steps=4, batch=16, lr=0.1, seed0=100):
+    model = _dp_model()
+    losses = []
+    for step in range(steps):
+        xb, yb = synthetic_batch(batch, 1, 8, 4, seed=seed0 + step)
+        losses.append(model.loss(xb, yb))
+        model.backward()
+        sgd_step(model, lr)
+    return losses, model.state()
+
+
+class TestDataParallel:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    @pytest.mark.parametrize("overlap", [True, False])
+    def test_exactly_matches_serial(self, nranks, overlap):
+        ser_losses, ser_state = _serial_reference()
+
+        def prog(comm):
+            tr = DataParallelTrainer(
+                comm, _dp_model(), lr=0.1, overlap=overlap
+            )
+            losses = []
+            for step in range(4):
+                xb, yb = synthetic_batch(16, 1, 8, 4, seed=100 + step)
+                losses.append(tr.train_step(xb, yb))
+            return losses, tr.model.state()
+
+        for losses, state in run_world(nranks, prog):
+            np.testing.assert_allclose(losses, ser_losses, atol=1e-9)
+            for a, b in zip(state, ser_state):
+                np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_indivisible_batch_rejected(self):
+        from repro.mpisim.exceptions import WorldError
+
+        def prog(comm):
+            tr = DataParallelTrainer(comm, _dp_model())
+            xb, yb = synthetic_batch(5, 1, 8, 4)
+            tr.train_step(xb, yb)
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+    def test_through_offload(self):
+        ser_losses, _ = _serial_reference(steps=2)
+
+        def prog(comm):
+            with offloaded(comm) as oc:
+                tr = DataParallelTrainer(oc, _dp_model(), lr=0.1)
+                losses = []
+                for step in range(2):
+                    xb, yb = synthetic_batch(16, 1, 8, 4, seed=100 + step)
+                    losses.append(tr.train_step(xb, yb))
+                return losses
+
+        for losses in run_world_mt(2, prog):
+            np.testing.assert_allclose(losses, ser_losses, atol=1e-9)
+
+
+def _hybrid_conv():
+    return [
+        Conv2D(1, 4, 3, seed="h1"),
+        ReLU(),
+        MaxPool2(),
+        Flatten(),
+    ]
+
+
+def _hybrid_serial(steps=3, batch=8, lr=0.1, seed0=200):
+    model = Sequential(
+        _hybrid_conv()
+        + [
+            Dense(4 * 4 * 4, 8, seed=("hy", 0)),
+            ReLU(),
+            Dense(8, 4, seed=("hy", 1)),
+        ]
+    )
+    losses = []
+    for step in range(steps):
+        xb, yb = synthetic_batch(batch, 1, 8, 4, seed=seed0 + step)
+        losses.append(model.loss(xb, yb))
+        model.backward()
+        sgd_step(model, lr)
+    return losses, model
+
+
+class TestHybridParallel:
+    @pytest.mark.parametrize("nranks", [1, 2, 4])
+    def test_exactly_matches_serial(self, nranks):
+        ser_losses, ser_model = _hybrid_serial()
+
+        def prog(comm):
+            tr = HybridParallelTrainer(
+                comm, _hybrid_conv(), [4 * 4 * 4, 8, 4], lr=0.1, seed="hy"
+            )
+            losses = []
+            for step in range(3):
+                xb, yb = synthetic_batch(8, 1, 8, 4, seed=200 + step)
+                losses.append(tr.train_step(xb, yb))
+            return losses, tr.gather_fc_weights(0), tr.gather_fc_weights(1)
+
+        for losses, w0, w1 in run_world(nranks, prog):
+            np.testing.assert_allclose(losses, ser_losses, atol=1e-8)
+            np.testing.assert_allclose(
+                w0, ser_model.layers[4].params["w"], atol=1e-8
+            )
+            np.testing.assert_allclose(
+                w1, ser_model.layers[6].params["w"], atol=1e-8
+            )
+
+    def test_conv_weights_stay_replicated(self):
+        def prog(comm):
+            tr = HybridParallelTrainer(
+                comm, _hybrid_conv(), [4 * 4 * 4, 8, 4], lr=0.1
+            )
+            for step in range(2):
+                xb, yb = synthetic_batch(8, 1, 8, 4, seed=300 + step)
+                tr.train_step(xb, yb)
+            # every rank must hold identical conv weights
+            w = tr.conv[0].params["w"]
+            gathered = comm.allgather(np.ascontiguousarray(w))
+            return all(
+                np.allclose(gathered[i], gathered[0])
+                for i in range(comm.size)
+            )
+
+        assert all(run_world(2, prog))
+
+    def test_width_validation(self):
+        from repro.mpisim.exceptions import WorldError
+
+        def prog(comm):
+            HybridParallelTrainer(comm, _hybrid_conv(), [64, 7, 4])
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+    def test_fc_dims_validation(self):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                HybridParallelTrainer(comm, _hybrid_conv(), [64])
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestMomentumAndAccuracy:
+    def test_momentum_trains_faster_than_plain_sgd(self):
+        from repro.apps.cnn.network import MomentumSGD, accuracy
+
+        def train(use_momentum):
+            model = _dp_model()
+            opt = MomentumSGD(model, lr=0.05, momentum=0.9)
+            losses = []
+            for step in range(20):
+                xb, yb = synthetic_batch(16, 1, 8, 4, seed=500 + step)
+                losses.append(model.loss(xb, yb))
+                model.backward()
+                if use_momentum:
+                    opt.step()
+                else:
+                    sgd_step(model, 0.05)
+            return losses[-1], model
+
+        plain_loss, _ = train(False)
+        mom_loss, mom_model = train(True)
+        assert mom_loss < plain_loss
+
+        from repro.apps.cnn.network import accuracy
+
+        xe, ye = synthetic_batch(64, 1, 8, 4, seed=9999)
+        acc = accuracy(mom_model, xe, ye)
+        assert acc > 0.5  # far above the 0.25 chance level
+
+    def test_momentum_validation(self):
+        from repro.apps.cnn.network import MomentumSGD
+
+        with pytest.raises(ValueError):
+            MomentumSGD(_dp_model(), lr=0.1, momentum=1.0)
+
+    def test_momentum_zero_equals_sgd(self):
+        from repro.apps.cnn.network import MomentumSGD
+
+        m1, m2 = _dp_model(), _dp_model()
+        opt = MomentumSGD(m2, lr=0.1, momentum=0.0)
+        xb, yb = synthetic_batch(8, 1, 8, 4, seed=0)
+        for m in (m1, m2):
+            m.loss(xb, yb)
+            m.backward()
+        sgd_step(m1, 0.1)
+        opt.step()
+        for a, b in zip(m1.state(), m2.state()):
+            np.testing.assert_allclose(a, b)

@@ -1,0 +1,218 @@
+"""FFT numerics: serial kernel vs numpy, distributed algorithms,
+property tests (linearity, Parseval), offloaded execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.fft import (
+    block_to_cyclic,
+    fft1d,
+    fft_flops,
+    gather_lowcomm_output,
+    ifft1d,
+    local_block,
+    lowcomm_fft,
+    transpose_fft,
+)
+from repro.apps.fft.serial import dft_matrix
+from repro.core import offloaded
+from repro.util.rng import seeded_rng
+
+from tests.conftest import run_world, run_world_mt
+
+
+def _signal(n, key="sig"):
+    rng = seeded_rng("fft", key, n)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestSerialFFT:
+    @pytest.mark.parametrize("n", [1, 2, 4, 16, 256, 2048])
+    def test_matches_numpy(self, n):
+        x = _signal(n)
+        np.testing.assert_allclose(
+            fft1d(x), np.fft.fft(x), rtol=1e-9, atol=1e-9
+        )
+
+    def test_inverse_roundtrip(self):
+        x = _signal(128)
+        np.testing.assert_allclose(ifft1d(fft1d(x)), x, atol=1e-10)
+
+    def test_batched_axes(self):
+        x = seeded_rng("b").standard_normal((3, 8, 16)) + 0j
+        np.testing.assert_allclose(fft1d(x), np.fft.fft(x), atol=1e-9)
+        np.testing.assert_allclose(
+            fft1d(x, axis=1), np.fft.fft(x, axis=1), atol=1e-9
+        )
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            fft1d(np.zeros(6))
+        with pytest.raises(ValueError):
+            fft1d(np.zeros(0))
+
+    def test_real_input_promoted(self):
+        x = np.arange(8.0)
+        np.testing.assert_allclose(fft1d(x), np.fft.fft(x), atol=1e-9)
+
+    def test_dft_matrix_unitary_scaled(self):
+        for p in (2, 3, 4, 8):
+            w = dft_matrix(p)
+            np.testing.assert_allclose(
+                w @ w.conj().T, p * np.eye(p), atol=1e-9
+            )
+
+    def test_flops_model(self):
+        assert fft_flops(1) == 0.0
+        assert fft_flops(8) == pytest.approx(5 * 8 * 3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 10**6),
+        logn=st.integers(1, 8),
+    )
+    def test_linearity_property(self, seed, logn):
+        n = 2**logn
+        rng = seeded_rng("lin", seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        y = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        a, b = 2.5, -1j
+        np.testing.assert_allclose(
+            fft1d(a * x + b * y),
+            a * fft1d(x) + b * fft1d(y),
+            atol=1e-8,
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10**6), logn=st.integers(1, 10))
+    def test_parseval_property(self, seed, logn):
+        n = 2**logn
+        rng = seeded_rng("pars", seed)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        X = fft1d(x)
+        np.testing.assert_allclose(
+            np.sum(np.abs(X) ** 2), n * np.sum(np.abs(x) ** 2), rtol=1e-9
+        )
+
+
+class TestDistributed:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 8])
+    def test_transpose_fft_ordered_block_output(self, nranks):
+        N = 256
+        xg = _signal(N, key=("dist", nranks))
+        ref = np.fft.fft(xg)
+
+        def prog(comm):
+            out = transpose_fft(comm, local_block(xg, comm.rank, comm.size))
+            l = N // comm.size
+            np.testing.assert_allclose(
+                out, ref[comm.rank * l : (comm.rank + 1) * l], atol=1e-8
+            )
+            return True
+
+        assert all(run_world(nranks, prog))
+
+    @pytest.mark.parametrize("nranks", [2, 4])
+    @pytest.mark.parametrize("segments", [1, 2, 4, 8])
+    def test_lowcomm_fft_segmented(self, nranks, segments):
+        N = 128
+        xg = _signal(N, key=("lc", nranks))
+        ref = np.fft.fft(xg)
+
+        def prog(comm):
+            cyc = block_to_cyclic(
+                comm, local_block(xg, comm.rank, comm.size)
+            )
+            g, layout = lowcomm_fft(comm, cyc, segments=segments)
+            full = gather_lowcomm_output(comm, g, layout)
+            if comm.rank == 0:
+                np.testing.assert_allclose(full, ref, atol=1e-8)
+            return True
+
+        assert all(run_world(nranks, prog))
+
+    def test_layout_mapping_bijective(self):
+        from repro.apps.fft.distributed import LowCommLayout
+
+        layout = LowCommLayout(4, 16)
+        seen = set()
+        for r in range(4):
+            idx = layout.scatter_indices(r)
+            assert len(idx) == 16
+            seen.update(idx.tolist())
+        assert seen == set(range(64))
+
+    def test_block_to_cyclic_layout(self):
+        N = 64
+        xg = np.arange(N, dtype=np.complex128)
+
+        def prog(comm):
+            cyc = block_to_cyclic(
+                comm, local_block(xg, comm.rank, comm.size)
+            )
+            expected = xg[comm.rank :: comm.size]
+            np.testing.assert_array_equal(cyc, expected)
+            return True
+
+        assert all(run_world(4, prog))
+
+    def test_indivisible_local_length_rejected(self):
+        from repro.mpisim.exceptions import WorldError
+
+        def prog(comm):
+            transpose_fft(comm, np.zeros(3, dtype=np.complex128))
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+    def test_invalid_segments_rejected(self):
+        from repro.mpisim.exceptions import WorldError
+
+        def prog(comm):
+            cyc = np.zeros(8, dtype=np.complex128)
+            lowcomm_fft(comm, cyc, segments=99)
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+    def test_through_offload(self):
+        N = 128
+        xg = _signal(N, key="offl")
+        ref = np.fft.fft(xg)
+
+        def prog(comm):
+            with offloaded(comm) as oc:
+                out = transpose_fft(oc, local_block(xg, oc.rank, oc.size))
+                l = N // oc.size
+                np.testing.assert_allclose(
+                    out, ref[oc.rank * l : (oc.rank + 1) * l], atol=1e-8
+                )
+                cyc = block_to_cyclic(oc, local_block(xg, oc.rank, oc.size))
+                g, layout = lowcomm_fft(oc, cyc, segments=4)
+                full = gather_lowcomm_output(oc, g, layout)
+                if oc.rank == 0:
+                    np.testing.assert_allclose(full, ref, atol=1e-8)
+            return True
+
+        assert all(run_world_mt(4, prog))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 10**6))
+    def test_distributed_matches_numpy_property(self, seed):
+        N = 64
+        rng = seeded_rng("dfft", seed)
+        xg = rng.standard_normal(N) + 1j * rng.standard_normal(N)
+        ref = np.fft.fft(xg)
+
+        def prog(comm):
+            out = transpose_fft(comm, local_block(xg, comm.rank, comm.size))
+            l = N // comm.size
+            return np.allclose(
+                out, ref[comm.rank * l : (comm.rank + 1) * l], atol=1e-8
+            )
+
+        from repro.mpisim import World
+
+        assert all(World(4).run(prog, timeout=30))

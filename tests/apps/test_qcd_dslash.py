@@ -1,0 +1,383 @@
+"""Wilson-Dslash numerics: gamma algebra, reference comparison,
+decomposition invariance, adjoint identity, solver convergence."""
+
+import numpy as np
+import pytest
+
+from repro.apps.qcd import (
+    DslashOperator,
+    LatticeGeometry,
+    WilsonOperator,
+    bicgstab_solve,
+    cg_solve,
+    dslash_flops_per_site,
+    random_gauge_field,
+    random_spinor_field,
+    spinor_dot,
+    spinor_norm2,
+    unit_gauge_field,
+)
+from repro.apps.qcd.dslash import GAMMA
+from repro.core import offloaded
+from repro.mpisim import World
+
+from tests.conftest import run_world, run_world_mt
+
+GEOM_1 = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, 1))
+U_FULL = random_gauge_field(GEOM_1, 0, seed="suite")
+PSI_FULL = random_spinor_field(GEOM_1, 0, seed="suite")
+
+
+def _local_slice(geom, rank):
+    lo = geom.local_origin(rank)
+    return tuple(slice(o, o + l) for o, l in zip(lo, geom.local_dims))
+
+
+def _apply_full(sign=1):
+    def prog(comm):
+        D = DslashOperator(GEOM_1, comm, U_FULL)
+        return D.apply(PSI_FULL, sign=sign)
+
+    return World(1).run(prog, timeout=60)[0]
+
+
+REF_D = _apply_full(sign=1)
+
+
+class TestGammaAlgebra:
+    @pytest.mark.parametrize("mu", range(4))
+    def test_hermitian(self, mu):
+        assert np.allclose(GAMMA[mu].conj().T, GAMMA[mu])
+
+    @pytest.mark.parametrize("mu", range(4))
+    def test_squares_to_identity(self, mu):
+        assert np.allclose(GAMMA[mu] @ GAMMA[mu], np.eye(4))
+
+    def test_anticommutation(self):
+        for mu in range(4):
+            for nu in range(mu + 1, 4):
+                ac = GAMMA[mu] @ GAMMA[nu] + GAMMA[nu] @ GAMMA[mu]
+                assert np.allclose(ac, 0), (mu, nu)
+
+    def test_projectors_are_projectors(self):
+        for mu in range(4):
+            p = (np.eye(4) - GAMMA[mu]) / 2
+            assert np.allclose(p @ p, p)
+            assert np.allclose(np.trace(p), 2)
+
+
+class TestFreeField:
+    def test_unit_gauge_is_finite_difference(self):
+        """With identity links, D on a constant spinor gives 8x the
+        spinor (each of 8 neighbors contributes (1 ∓ γ)ψ whose γ parts
+        cancel pairwise)."""
+
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 4), (1, 1, 1, 1))
+            u = unit_gauge_field(geom)
+            psi = np.ones(geom.local_dims + (4, 3), dtype=np.complex128)
+            D = DslashOperator(geom, comm, u)
+            out = D.apply(psi)
+            np.testing.assert_allclose(out, 8.0 * psi)
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestReference:
+    def test_matches_site_loop_reference(self):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 2, 2), (1, 1, 1, 1))
+            u = random_gauge_field(geom, 0, seed="ref")
+            psi = random_spinor_field(geom, 0, seed="ref")
+            D = DslashOperator(geom, comm, u)
+            got = D.apply(psi)
+            ref = _site_loop_reference(geom, u, psi)
+            np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-12)
+            return True
+
+        assert all(run_world(1, prog))
+
+
+def _site_loop_reference(geom, u, psi, sign=1):
+    I4 = np.eye(4)
+    dims = geom.local_dims
+    out = np.zeros_like(psi)
+    for x in range(dims[0]):
+        for y in range(dims[1]):
+            for z in range(dims[2]):
+                for t in range(dims[3]):
+                    s = (x, y, z, t)
+                    for d in range(4):
+                        fw = list(s)
+                        fw[d] = (fw[d] + 1) % dims[d]
+                        bw = list(s)
+                        bw[d] = (bw[d] - 1) % dims[d]
+                        Pm = I4 - sign * GAMMA[d]
+                        Pp = I4 + sign * GAMMA[d]
+                        h = Pm @ psi[tuple(fw)]
+                        out[s] += (u[(*s, d)] @ h.T).T
+                        hb = Pp @ psi[tuple(bw)]
+                        out[s] += (u[(*tuple(bw), d)].conj().T @ hb.T).T
+    return out
+
+
+class TestDecompositionInvariance:
+    @pytest.mark.parametrize(
+        "grid", [(1, 1, 1, 2), (1, 1, 2, 2), (1, 1, 1, 4), (1, 2, 2, 2)]
+    )
+    def test_multi_rank_equals_single_rank(self, grid):
+        nranks = int(np.prod(grid))
+
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 8), grid)
+            slc = _local_slice(geom, comm.rank)
+            u = np.ascontiguousarray(U_FULL[slc])
+            psi = np.ascontiguousarray(PSI_FULL[slc])
+            D = DslashOperator(geom, comm, u)
+            out = D.apply(psi)
+            np.testing.assert_allclose(
+                out, REF_D[slc], rtol=1e-12, atol=1e-12
+            )
+            return True
+
+        assert all(run_world(nranks, prog))
+
+    def test_offloaded_identical(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                geom = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, 2))
+                slc = _local_slice(geom, comm.rank)
+                D = DslashOperator(
+                    geom, oc, np.ascontiguousarray(U_FULL[slc])
+                )
+                out = D.apply(np.ascontiguousarray(PSI_FULL[slc]))
+                np.testing.assert_allclose(
+                    out, REF_D[slc], rtol=1e-12, atol=1e-12
+                )
+            return True
+
+        assert all(run_world_mt(2, prog))
+
+
+class TestAdjoint:
+    def test_dagger_identity(self):
+        """⟨φ, Dψ⟩ == ⟨D†φ, ψ⟩ globally across ranks."""
+
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, comm.size))
+            slc = _local_slice(geom, comm.rank)
+            u = np.ascontiguousarray(U_FULL[slc])
+            psi = np.ascontiguousarray(PSI_FULL[slc])
+            phi = random_spinor_field(geom, comm.rank, seed="phi")
+            D = DslashOperator(geom, comm, u)
+            lhs = spinor_dot(comm, phi, D.apply(psi))
+            rhs = spinor_dot(comm, D.apply(phi, sign=-1), psi)
+            assert np.isclose(lhs, rhs), (lhs, rhs)
+            return True
+
+        assert all(run_world(2, prog))
+
+    def test_normal_operator_hermitian_positive(self):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 4), (1, 1, 1, 1))
+            u = random_gauge_field(geom, 0, seed="herm")
+            M = WilsonOperator(geom, comm, u, kappa=0.1)
+            v = random_spinor_field(geom, 0, seed="v")
+            mv = M.apply_normal(v)
+            ip = spinor_dot(comm, v, mv)
+            assert abs(ip.imag) < 1e-10 * abs(ip.real)
+            assert ip.real > 0
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestTimingsAndShapes:
+    def test_timings_recorded(self):
+        from repro.util.timing import TimeBreakdown
+
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, 2))
+            slc = _local_slice(geom, comm.rank)
+            D = DslashOperator(geom, comm, np.ascontiguousarray(U_FULL[slc]))
+            tb = TimeBreakdown()
+            D.apply(np.ascontiguousarray(PSI_FULL[slc]), timings=tb)
+            for phase in ("pack", "post", "interior", "wait", "boundary"):
+                assert phase in tb.phases
+            return True
+
+        assert all(run_world(2, prog))
+
+    def test_shape_validation(self):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 4), (1, 1, 1, 1))
+            u = unit_gauge_field(geom)
+            D = DslashOperator(geom, comm, u)
+            with pytest.raises(ValueError):
+                D.apply(np.zeros((2, 2, 2, 2, 4, 3), dtype=complex))
+            with pytest.raises(ValueError):
+                D.apply(
+                    np.zeros(geom.local_dims + (4, 3), dtype=complex),
+                    sign=0,
+                )
+            with pytest.raises(ValueError):
+                DslashOperator(geom, comm, np.zeros((1, 1)))
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_flops_accounting(self):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 4), (1, 1, 1, 1))
+            D = DslashOperator(geom, comm, unit_gauge_field(geom))
+            assert D.flops() == geom.local_volume * dslash_flops_per_site()
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_kappa_validation(self):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 4), (1, 1, 1, 1))
+            u = unit_gauge_field(geom)
+            with pytest.raises(ValueError):
+                WilsonOperator(geom, comm, u, kappa=0.2)
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestSolvers:
+    @pytest.mark.parametrize("nranks", [1, 2])
+    def test_cg_converges_and_solves(self, nranks):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, comm.size))
+            slc = _local_slice(geom, comm.rank)
+            u = np.ascontiguousarray(U_FULL[slc])
+            M = WilsonOperator(geom, comm, u, kappa=0.1)
+            b = np.ascontiguousarray(PSI_FULL[slc])
+            res = cg_solve(M, b, comm, tol=1e-8, max_iter=300)
+            assert res.converged
+            assert res.residual < 1e-7
+            # verify: M x == b
+            check = M.apply(res.x)
+            err = np.sqrt(
+                spinor_norm2(comm, check - b) / spinor_norm2(comm, b)
+            )
+            assert err < 1e-6
+            return res.iterations
+
+        iters = run_world(nranks, prog)
+        assert all(i > 1 for i in iters)
+
+    @pytest.mark.parametrize("nranks", [1, 2])
+    def test_bicgstab_agrees_with_cg(self, nranks):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, comm.size))
+            slc = _local_slice(geom, comm.rank)
+            u = np.ascontiguousarray(U_FULL[slc])
+            M = WilsonOperator(geom, comm, u, kappa=0.1)
+            b = np.ascontiguousarray(PSI_FULL[slc])
+            r1 = cg_solve(M, b, comm, tol=1e-9, max_iter=300)
+            r2 = bicgstab_solve(M, b, comm, tol=1e-9, max_iter=300)
+            assert r1.converged and r2.converged
+            assert np.allclose(r1.x, r2.x, atol=1e-6)
+            # BiCGStab typically needs fewer matvecs than CG-on-normal
+            assert r2.matvecs <= r1.matvecs
+            return True
+
+        assert all(run_world(nranks, prog))
+
+    def test_zero_rhs_short_circuits(self):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 4), (1, 1, 1, 1))
+            M = WilsonOperator(geom, comm, unit_gauge_field(geom))
+            b = np.zeros(geom.local_dims + (4, 3), dtype=np.complex128)
+            res = cg_solve(M, b, comm)
+            assert res.converged and res.iterations == 0
+            res2 = bicgstab_solve(M, b, comm)
+            assert res2.converged
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_solver_through_offload(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                geom = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, 2))
+                slc = _local_slice(geom, comm.rank)
+                u = np.ascontiguousarray(U_FULL[slc])
+                M = WilsonOperator(geom, oc, u, kappa=0.1)
+                b = np.ascontiguousarray(PSI_FULL[slc])
+                res = cg_solve(M, b, oc, tol=1e-8, max_iter=300)
+                assert res.converged
+            return True
+
+        assert all(run_world_mt(2, prog))
+
+
+class TestDslashProperties:
+    """Algebraic properties, hypothesis-driven on a single rank."""
+
+    def test_linearity(self):
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        geom = LatticeGeometry((2, 2, 2, 4), (1, 1, 1, 1))
+        u = random_gauge_field(geom, 0, seed="lin")
+
+        @settings(max_examples=15, deadline=None)
+        @given(
+            a_re=st.floats(-2, 2),
+            a_im=st.floats(-2, 2),
+            seed=st.integers(0, 1000),
+        )
+        def inner(a_re, a_im, seed):
+            def prog(comm):
+                D = DslashOperator(geom, comm, u)
+                x = random_spinor_field(geom, 0, seed=("x", seed))
+                y = random_spinor_field(geom, 0, seed=("y", seed))
+                a = complex(a_re, a_im)
+                lhs = D.apply(a * x + y)
+                rhs = a * D.apply(x) + D.apply(y)
+                np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+                return True
+
+            assert all(World(1).run(prog, timeout=60))
+
+        inner()
+
+    def test_gauge_covariance_free_field_norm(self):
+        """With unitary links, D preserves the free-field operator norm
+        bound ||D psi|| <= 8 ||psi||."""
+
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 4), (1, 1, 1, 1))
+            u = random_gauge_field(geom, 0, seed="cov")
+            D = DslashOperator(geom, comm, u)
+            psi = random_spinor_field(geom, 0, seed="cov")
+            out = D.apply(psi)
+            return float(
+                np.sqrt(np.vdot(out, out).real)
+                / np.sqrt(np.vdot(psi, psi).real)
+            )
+
+        ratio = World(1).run(prog, timeout=60)[0]
+        assert ratio <= 8.0 + 1e-9
+
+    def test_dagger_involution(self):
+        """(D†)† == D numerically."""
+
+        def prog(comm):
+            geom = LatticeGeometry((2, 2, 2, 4), (1, 1, 1, 1))
+            u = random_gauge_field(geom, 0, seed="inv")
+            D = DslashOperator(geom, comm, u)
+            psi = random_spinor_field(geom, 0, seed="inv")
+            phi = random_spinor_field(geom, 0, seed="inv2")
+            # <phi, D psi> == conj(<psi, D† phi>)
+            lhs = np.vdot(phi, D.apply(psi))
+            rhs = np.conj(np.vdot(psi, D.apply(phi, sign=-1)))
+            assert np.isclose(lhs, rhs)
+            return True
+
+        assert all(World(1).run(prog, timeout=60))

@@ -1,0 +1,125 @@
+"""Even-odd (Schur-preconditioned) Wilson solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.qcd import (
+    EvenOddWilsonOperator,
+    LatticeGeometry,
+    WilsonOperator,
+    cg_solve,
+    parity_mask,
+    random_gauge_field,
+    random_spinor_field,
+    spinor_dot,
+)
+from repro.mpisim import World
+
+from tests.conftest import run_world
+
+GEOM_1 = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, 1))
+U_FULL = random_gauge_field(GEOM_1, 0, seed="eo-suite")
+B_FULL = random_spinor_field(GEOM_1, 0, seed="eo-suite")
+
+
+def _slc(geom, rank):
+    lo = geom.local_origin(rank)
+    return tuple(slice(o, o + l) for o, l in zip(lo, geom.local_dims))
+
+
+class TestParityMask:
+    def test_masks_partition_lattice(self):
+        even = parity_mask(GEOM_1, 0, 0)
+        odd = parity_mask(GEOM_1, 0, 1)
+        assert not (even & odd).any()
+        assert (even | odd).all()
+        # exactly half the sites each
+        assert even.sum() == odd.sum() == GEOM_1.local_volume // 2
+
+    def test_global_parity_consistent_across_ranks(self):
+        """A site's parity must not depend on the decomposition."""
+        geom2 = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, 2))
+        full = parity_mask(GEOM_1, 0, 0)[..., 0, 0]
+        for rank in range(2):
+            local = parity_mask(geom2, rank, 0)[..., 0, 0]
+            lo = geom2.local_origin(rank)
+            slc = tuple(
+                slice(o, o + l) for o, l in zip(lo, geom2.local_dims)
+            )
+            np.testing.assert_array_equal(local, full[slc])
+
+    def test_invalid_parity(self):
+        with pytest.raises(ValueError):
+            parity_mask(GEOM_1, 0, 2)
+
+
+class TestOperatorStructure:
+    def test_dslash_flips_parity(self):
+        """D applied to an even field is supported on odd sites only —
+        the property the Schur trick rests on."""
+
+        def prog(comm):
+            eo = EvenOddWilsonOperator(GEOM_1, comm, U_FULL, kappa=0.1)
+            x = random_spinor_field(GEOM_1, 0, seed="flip") * eo.even
+            d = eo.dslash.apply(x)
+            even_part = np.abs(d * eo.even).max()
+            odd_part = np.abs(d * eo.odd).max()
+            assert even_part < 1e-12 * max(odd_part, 1.0)
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_hat_adjoint_identity(self):
+        def prog(comm):
+            eo = EvenOddWilsonOperator(GEOM_1, comm, U_FULL, kappa=0.1)
+            x = random_spinor_field(GEOM_1, 0, seed="hx") * eo.even
+            y = random_spinor_field(GEOM_1, 0, seed="hy") * eo.even
+            lhs = spinor_dot(comm, y, eo.apply_hat(x))
+            rhs = spinor_dot(comm, eo.apply_hat_dagger(y), x)
+            assert np.isclose(lhs, rhs), (lhs, rhs)
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_kappa_validation(self):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                EvenOddWilsonOperator(GEOM_1, comm, U_FULL, kappa=0.2)
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestSolver:
+    @pytest.mark.parametrize("nranks", [1, 2])
+    def test_matches_direct_solution(self, nranks):
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, comm.size))
+            slc = _slc(geom, comm.rank)
+            u = np.ascontiguousarray(U_FULL[slc])
+            b = np.ascontiguousarray(B_FULL[slc])
+            direct = cg_solve(
+                WilsonOperator(geom, comm, u, kappa=0.11),
+                b,
+                comm,
+                tol=1e-9,
+                max_iter=400,
+            )
+            eo = EvenOddWilsonOperator(geom, comm, u, kappa=0.11)
+            res = eo.solve(b, tol=1e-9, max_iter=400)
+            assert res.converged and direct.converged
+            assert np.allclose(res.x, direct.x, atol=1e-6)
+            return direct.iterations, res.iterations
+
+        for direct_it, eo_it in run_world(nranks, prog):
+            # the Schur system is better conditioned: ~half the iters
+            assert eo_it < direct_it, (direct_it, eo_it)
+
+    def test_small_residual_reported(self):
+        def prog(comm):
+            eo = EvenOddWilsonOperator(GEOM_1, comm, U_FULL, kappa=0.1)
+            res = eo.solve(B_FULL, tol=1e-8)
+            assert res.residual < 1e-7
+            return True
+
+        assert all(run_world(1, prog))

@@ -1,0 +1,113 @@
+"""QCD field helpers: unitarity, inner products, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.apps.qcd import (
+    LatticeGeometry,
+    random_gauge_field,
+    random_spinor_field,
+    spinor_dot,
+    spinor_norm2,
+    unit_gauge_field,
+)
+from repro.apps.qcd.fields import axpy, gauge_shape, spinor_shape
+
+from tests.conftest import run_world
+
+GEOM = LatticeGeometry((4, 4, 4, 4), (1, 1, 1, 1))
+
+
+class TestShapes:
+    def test_spinor_shape(self):
+        assert spinor_shape(GEOM) == (4, 4, 4, 4, 4, 3)
+
+    def test_gauge_shape(self):
+        assert gauge_shape(GEOM) == (4, 4, 4, 4, 4, 3, 3)
+
+
+class TestGaugeField:
+    def test_links_are_unitary(self):
+        u = random_gauge_field(GEOM, 0)
+        flat = u.reshape(-1, 3, 3)
+        prods = np.einsum("nij,nkj->nik", flat, flat.conj())
+        np.testing.assert_allclose(
+            prods, np.broadcast_to(np.eye(3), prods.shape), atol=1e-10
+        )
+
+    def test_unit_gauge_is_identity(self):
+        u = unit_gauge_field(GEOM)
+        flat = u.reshape(-1, 3, 3)
+        np.testing.assert_array_equal(
+            flat, np.broadcast_to(np.eye(3), flat.shape)
+        )
+
+    def test_deterministic_per_rank_and_seed(self):
+        a = random_gauge_field(GEOM, 0, seed="s")
+        b = random_gauge_field(GEOM, 0, seed="s")
+        c = random_gauge_field(GEOM, 1, seed="s")
+        d = random_gauge_field(GEOM, 0, seed="t")
+        assert (a == b).all()
+        assert not (a == c).all()
+        assert not (a == d).all()
+
+
+class TestSpinorField:
+    def test_normalized_variance(self):
+        psi = random_spinor_field(GEOM, 0)
+        # components drawn as (x + iy)/sqrt(2): unit variance overall
+        var = np.mean(np.abs(psi) ** 2)
+        assert 0.8 < var < 1.2
+
+    def test_deterministic(self):
+        a = random_spinor_field(GEOM, 2, seed="z")
+        b = random_spinor_field(GEOM, 2, seed="z")
+        assert (a == b).all()
+
+
+class TestGlobalReductions:
+    def test_dot_matches_vdot_single_rank(self):
+        def prog(comm):
+            a = random_spinor_field(GEOM, 0, seed="a")
+            b = random_spinor_field(GEOM, 0, seed="b")
+            got = spinor_dot(comm, a, b)
+            return got, complex(np.vdot(a, b))
+
+        got, ref = run_world(1, prog)[0]
+        assert np.isclose(got, ref)
+
+    def test_dot_sums_across_ranks(self):
+        def prog(comm):
+            a = np.full((1, 1, 1, 1, 4, 3), 1.0 + 0j)
+            b = np.full((1, 1, 1, 1, 4, 3), float(comm.rank) + 0j)
+            return spinor_dot(comm, a, b)
+
+        res = run_world(3, prog)
+        # sum over ranks of 12 * rank = 12 * 3
+        assert all(np.isclose(v, 36.0) for v in res)
+
+    def test_norm2_nonnegative_and_additive(self):
+        def prog(comm):
+            a = np.full((1, 1, 1, 1, 4, 3), 2.0 + 0j)
+            return spinor_norm2(comm, a)
+
+        res = run_world(4, prog)
+        assert all(np.isclose(v, 4 * 12 * 4.0) for v in res)
+
+    def test_dot_conjugate_symmetry(self):
+        def prog(comm):
+            a = random_spinor_field(GEOM, comm.rank, seed="p")
+            b = random_spinor_field(GEOM, comm.rank, seed="q")
+            ab = spinor_dot(comm, a, b)
+            ba = spinor_dot(comm, b, a)
+            return np.isclose(ab, np.conj(ba))
+
+        assert all(run_world(2, prog))
+
+
+class TestAxpy:
+    def test_in_place(self):
+        x = np.ones(4, dtype=complex)
+        y = np.full(4, 2.0, dtype=complex)
+        axpy(3.0, x, y)
+        assert (y == 5.0).all()

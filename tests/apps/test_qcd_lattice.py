@@ -1,0 +1,122 @@
+"""Lattice geometry and decomposition tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.qcd.lattice import LatticeGeometry
+
+
+class TestConstruction:
+    def test_basic(self):
+        g = LatticeGeometry((8, 8, 8, 16), (1, 1, 2, 4))
+        assert g.nranks == 8
+        assert g.local_dims == (8, 8, 4, 4)
+        assert g.global_volume == 8 * 8 * 8 * 16
+        assert g.local_volume == g.global_volume // 8
+
+    def test_indivisible_rejected(self):
+        with pytest.raises(ValueError):
+            LatticeGeometry((8, 8, 8, 9), (1, 1, 1, 2))
+
+    def test_local_extent_one_rejected(self):
+        with pytest.raises(ValueError):
+            LatticeGeometry((8, 8, 8, 2), (1, 1, 1, 2))
+
+    def test_wrong_dimensionality(self):
+        with pytest.raises(ValueError):
+            LatticeGeometry((8, 8, 8), (1, 1, 1))
+
+
+class TestPartition:
+    def test_prefers_t_dimension(self):
+        """The paper partitions T first."""
+        g = LatticeGeometry.partition((32, 32, 32, 256), 2)
+        assert g.proc_grid == (1, 1, 1, 2)
+
+    def test_large_partition_valid(self):
+        g = LatticeGeometry.partition((32, 32, 32, 256), 512)
+        assert g.nranks == 512
+        assert all(
+            l >= 2 for l in g.local_dims
+        )
+
+    def test_paper_message_size_at_256_nodes(self):
+        """§4.3: at 256 nodes (512 ranks) the 32^3x256 lattice's face
+        messages drop to ~48 KB, below the rendezvous threshold."""
+        g = LatticeGeometry.partition((32, 32, 32, 256), 512)
+        sizes = [g.halo_bytes(d, itemsize=8) for d in g.decomposed_dims()]
+        assert all(s < 128 * 1024 for s in sizes)
+        assert any(30_000 < s < 100_000 for s in sizes)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            LatticeGeometry.partition((8, 8, 8, 8), 3)
+
+    def test_impossible_partition_rejected(self):
+        with pytest.raises(ValueError):
+            LatticeGeometry.partition((4, 4, 4, 4), 1024)
+
+
+class TestRankAlgebra:
+    def test_coords_roundtrip(self):
+        g = LatticeGeometry((8, 8, 8, 16), (2, 1, 2, 2))
+        for r in range(g.nranks):
+            assert g.rank_of(g.coords_of(r)) == r
+
+    def test_x_fastest(self):
+        g = LatticeGeometry((8, 8, 8, 8), (2, 2, 1, 1))
+        assert g.coords_of(0) == (0, 0, 0, 0)
+        assert g.coords_of(1) == (1, 0, 0, 0)
+        assert g.coords_of(2) == (0, 1, 0, 0)
+
+    def test_neighbors_periodic(self):
+        g = LatticeGeometry((8, 8, 8, 8), (1, 1, 1, 4))
+        assert g.neighbor(0, 3, -1) == 3  # wraps
+        assert g.neighbor(3, 3, +1) == 0
+
+    def test_neighbor_inverse(self):
+        g = LatticeGeometry((8, 8, 8, 16), (2, 1, 2, 2))
+        for r in range(g.nranks):
+            for d in range(4):
+                fwd = g.neighbor(r, d, +1)
+                assert g.neighbor(fwd, d, -1) == r
+
+    def test_invalid_direction(self):
+        g = LatticeGeometry((8, 8, 8, 8), (1, 1, 1, 2))
+        with pytest.raises(ValueError):
+            g.neighbor(0, 0, 2)
+
+    def test_local_origin_tiles_lattice(self):
+        g = LatticeGeometry((8, 8, 8, 8), (2, 2, 1, 2))
+        origins = {g.local_origin(r) for r in range(g.nranks)}
+        assert len(origins) == g.nranks
+
+
+class TestDerived:
+    def test_face_sites(self):
+        g = LatticeGeometry((4, 6, 8, 10), (1, 1, 1, 1))
+        assert g.face_sites(0) == 6 * 8 * 10
+        assert g.face_sites(3) == 4 * 6 * 8
+
+    def test_halo_bytes_half_spinor(self):
+        g = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, 2))
+        # 2 spin x 3 color x itemsize per face site
+        assert g.halo_bytes(3, itemsize=8) == g.face_sites(3) * 48
+
+    def test_decomposed_dims(self):
+        g = LatticeGeometry((8, 8, 8, 8), (1, 2, 1, 2))
+        assert g.decomposed_dims() == (1, 3)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    log_ranks=st.integers(0, 6),
+)
+def test_partition_conserves_volume(log_ranks):
+    nranks = 2**log_ranks
+    g = LatticeGeometry.partition((16, 16, 16, 32), nranks)
+    assert g.local_volume * g.nranks == g.global_volume
+    # partition preference: grid extents never exceed global extents
+    for gd, pd in zip(g.global_dims, g.proc_grid):
+        assert gd % pd == 0

@@ -1,0 +1,40 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.mpisim.constants import THREAD_FUNNELED, THREAD_MULTIPLE
+from repro.mpisim.world import World
+from repro.util.rng import seeded_rng
+
+
+@pytest.fixture(autouse=True, scope="session")
+def fine_gil_slices():
+    """Dedicated progress threads need finer GIL slices than CPython's
+    5 ms default to act like the extra hardware thread they model."""
+    prev = sys.getswitchinterval()
+    sys.setswitchinterval(1e-4)
+    yield
+    sys.setswitchinterval(prev)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return seeded_rng("tests")
+
+
+def run_world(nranks, fn, *args, thread_level=THREAD_FUNNELED, **kwargs):
+    """Run an SPMD function with a bounded timeout (deadlock safety)."""
+    timeout = kwargs.pop("timeout", 60.0)
+    world = World(nranks, thread_level=thread_level, **kwargs)
+    return world.run(fn, *args, timeout=timeout)
+
+
+def run_world_mt(nranks, fn, *args, **kwargs):
+    return run_world(
+        nranks, fn, *args, thread_level=THREAD_MULTIPLE, **kwargs
+    )

@@ -1,0 +1,54 @@
+"""Command record validation and kind classification."""
+
+import pytest
+
+from repro.core.commands import (
+    Command,
+    CommandKind,
+    INLINE_KINDS,
+    NONBLOCKING_KINDS,
+)
+
+
+class TestCommandValidation:
+    def test_nonblocking_requires_slot(self):
+        with pytest.raises(ValueError):
+            Command(kind=CommandKind.ISEND)
+        cmd = Command(kind=CommandKind.ISEND, slot=3)
+        assert cmd.slot == 3
+        assert cmd.done is None  # completion lives in the pool slot
+
+    def test_blocking_gets_done_flag(self):
+        cmd = Command(kind=CommandKind.SEND)
+        assert cmd.done is not None
+        assert not cmd.done.is_set()
+
+    def test_shutdown_needs_no_flag(self):
+        cmd = Command(kind=CommandKind.SHUTDOWN)
+        assert cmd.done is None
+
+    def test_call_command(self):
+        cmd = Command(kind=CommandKind.CALL, fn=lambda: 42)
+        assert cmd.done is not None
+        assert cmd.fn() == 42
+
+
+class TestKindClassification:
+    def test_nonblocking_kinds(self):
+        assert CommandKind.ISEND in NONBLOCKING_KINDS
+        assert CommandKind.IRECV in NONBLOCKING_KINDS
+        assert CommandKind.IALLREDUCE in NONBLOCKING_KINDS
+        assert CommandKind.SEND not in NONBLOCKING_KINDS
+
+    def test_inline_kinds_have_no_nonblocking_equivalent(self):
+        # the §3.3 acknowledged-limitation set
+        for k in INLINE_KINDS:
+            assert k not in NONBLOCKING_KINDS
+        assert CommandKind.REDUCE in INLINE_KINDS
+        assert CommandKind.ALLGATHER in INLINE_KINDS
+        # collectives with I-variants are NOT inline
+        assert CommandKind.ALLREDUCE not in INLINE_KINDS
+        assert CommandKind.BARRIER not in INLINE_KINDS
+
+    def test_kind_sets_disjoint(self):
+        assert not (NONBLOCKING_KINDS & INLINE_KINDS)

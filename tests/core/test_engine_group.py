@@ -1,0 +1,161 @@
+"""Multi-offload-thread extension (§7 future work) tests."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import OffloadEngineGroup, offloaded
+from repro.mpisim import THREAD_FUNNELED
+from repro.mpisim.exceptions import ThreadLevelError
+
+from tests.conftest import run_world, run_world_mt
+
+
+class TestConstruction:
+    def test_requires_thread_multiple(self):
+        def prog(comm):
+            with pytest.raises(ThreadLevelError):
+                OffloadEngineGroup(comm, nthreads=2)
+            return True
+
+        assert all(run_world(1, prog, thread_level=THREAD_FUNNELED))
+
+    def test_single_thread_group_any_level(self):
+        def prog(comm):
+            with OffloadEngineGroup(comm, nthreads=1) as g:
+                assert len(g.engines) == 1
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_invalid_nthreads(self):
+        def prog(comm):
+            with pytest.raises(ValueError):
+                OffloadEngineGroup(comm, nthreads=0)
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+
+class TestRouting:
+    def test_sticky_per_thread_assignment(self):
+        def prog(comm):
+            with OffloadEngineGroup(comm, nthreads=2) as g:
+                picks = {}
+                # all workers alive simultaneously: sequential threads
+                # can reuse OS thread idents and collapse onto one
+                # engine, which is legal but defeats the spread check
+                gate = threading.Barrier(4)
+
+                def worker(tid):
+                    gate.wait()
+                    a = g.route()
+                    b = g.route()
+                    picks[tid] = (a, b)
+                    gate.wait()
+
+                threads = [
+                    threading.Thread(target=worker, args=(t,))
+                    for t in range(4)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                # stickiness: both calls from one thread hit one engine
+                assert all(a is b for a, b in picks.values())
+                # spread: 4 threads over 2 engines -> both used
+                engines = {id(a) for a, _ in picks.values()}
+                assert len(engines) == 2
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+    def test_per_thread_ordering_preserved(self):
+        """A single app thread's sends arrive in program order even
+        with several offload threads in the group."""
+
+        def prog(comm):
+            with offloaded(comm, nthreads=3) as oc:
+                peer = 1 - comm.rank
+                n_msgs = 30
+                if comm.rank == 0:
+                    for i in range(n_msgs):
+                        oc.send(np.array([float(i)]), peer, tag=4)
+                    return None
+                got = []
+                buf = np.empty(1)
+                for _ in range(n_msgs):
+                    oc.recv(buf, peer, tag=4)
+                    got.append(buf[0])
+                return got
+
+        res = run_world_mt(2, prog)
+        assert res[1] == [float(i) for i in range(30)]
+
+
+class TestGroupWork:
+    def test_concurrent_threads_spread_over_engines(self):
+        def prog(comm):
+            with offloaded(comm, nthreads=3) as oc:
+                peer = 1 - comm.rank
+                errors = []
+
+                def worker(tid):
+                    try:
+                        for i in range(4):
+                            buf = np.empty(1)
+                            tag = tid * 100 + i
+                            r = oc.irecv(buf, peer, tag=tag)
+                            oc.isend(np.array([float(tag)]), peer, tag=tag)
+                            r.wait(timeout=30)
+                            assert buf[0] == tag
+                    except Exception as exc:  # pragma: no cover
+                        errors.append(exc)
+
+                threads = [
+                    threading.Thread(target=worker, args=(t,))
+                    for t in range(6)
+                ]
+                for t in threads:
+                    t.start()
+                for t in threads:
+                    t.join()
+                assert not errors, errors
+                busy = sum(
+                    1
+                    for e in oc.engine.engines
+                    if e.commands_processed > 0
+                )
+                stats = oc.engine.stats()
+                assert stats["engines"] == 3
+                return busy
+
+        busy = run_world_mt(2, prog)
+        assert all(b >= 2 for b in busy)
+
+    def test_collectives_through_group(self):
+        def prog(comm):
+            with offloaded(comm, nthreads=2) as oc:
+                s = oc.allreduce(np.array([1.0]))
+                assert s[0] == comm.size
+                g = oc.gather(np.array([comm.rank]), root=0)
+                if comm.rank == 0:
+                    assert list(g.ravel()) == list(range(comm.size))
+                oc.barrier()
+            return True
+
+        assert all(run_world_mt(4, prog))
+
+    def test_group_lifecycle_restart(self):
+        def prog(comm):
+            g = OffloadEngineGroup(comm, nthreads=2)
+            g.start()
+            g.stop()
+            # a fresh group over the same comm works
+            with OffloadEngineGroup(comm, nthreads=2):
+                pass
+            return True
+
+        assert all(run_world_mt(1, prog))

@@ -1,0 +1,199 @@
+"""Failure injection: engine death, bad commands, backpressure."""
+
+import numpy as np
+import pytest
+
+from repro.core import OffloadEngine, OffloadError, offloaded
+from repro.core.commands import Command, CommandKind
+from repro.core.request_pool import OffloadEngineDied
+from repro.mpisim import THREAD_MULTIPLE, World
+
+from tests.conftest import run_world_mt
+
+
+class TestCommandErrors:
+    def test_bad_call_surfaces_at_caller_not_engine(self):
+        """An exception inside one offloaded call fails that call only;
+        the engine keeps serving."""
+
+        def prog(comm):
+            with offloaded(comm) as oc:
+                with pytest.raises(OffloadError):
+                    oc.send(np.zeros(1), dest=99)  # invalid rank
+                # engine still alive and functional
+                s = oc.allreduce(np.array([1.0]))
+                return s[0]
+
+        assert run_world_mt(2, prog) == [2.0, 2.0]
+
+    def test_bad_nonblocking_call_fails_its_handle(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                h = oc.isend(np.zeros(1), dest=99)
+                with pytest.raises(OffloadError):
+                    h.wait(timeout=10)
+                return oc.allreduce(np.array([1.0]))[0]
+
+        assert run_world_mt(2, prog) == [2.0, 2.0]
+
+    def test_call_command_error(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                from repro.core.commands import Command, CommandKind
+
+                def explode():
+                    raise RuntimeError("kaboom")
+
+                cmd = Command(kind=CommandKind.CALL, fn=explode)
+                with pytest.raises(OffloadError, match="kaboom"):
+                    oc._blocking(cmd)
+                return True
+
+        assert all(run_world_mt(1, prog))
+
+
+class TestEngineDeath:
+    def test_submissions_after_death_raise(self):
+        def prog(comm):
+            engine = OffloadEngine(comm)
+            engine.start()
+            # simulate a fatal internal failure
+            engine._dead = RuntimeError("simulated crash")
+            with pytest.raises(OffloadEngineDied):
+                engine.submit(Command(CommandKind.BARRIER, comm=comm))
+            engine._dead = None
+            engine.stop()
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+    def test_fail_pending_drains_queue(self):
+        def prog(comm):
+            engine = OffloadEngine(comm)
+            # engine NOT started: queue up work, then fail it
+            slot = engine.pool.alloc()
+            from repro.core.request_pool import OffloadRequest
+
+            handle = OffloadRequest(engine.pool, slot)
+            engine.queue.enqueue(
+                Command(CommandKind.ISEND, comm=comm, buf=np.zeros(1),
+                        peer=0, slot=slot)
+            )
+            blocking = Command(CommandKind.BARRIER, comm=comm)
+            engine.queue.enqueue(blocking)
+            engine._fail_pending(RuntimeError("injected"))
+            with pytest.raises(OffloadError):
+                handle.wait(timeout=1)
+            assert blocking.done.is_set()
+            assert blocking.error is not None
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+
+class TestBackpressure:
+    def test_tiny_queue_applies_backpressure_not_loss(self):
+        """With a 4-slot command ring, a burst of calls must all
+        eventually execute (enqueue spins, nothing is dropped)."""
+
+        def prog(comm):
+            from repro.core.interpose import offloaded
+
+            with offloaded(comm, queue_capacity=4, pool_capacity=256) as oc:
+                peer = 1 - oc.rank
+                n = 40
+                recvs = [np.empty(1) for _ in range(n)]
+                rreqs = [
+                    oc.irecv(recvs[i], peer, tag=i) for i in range(n)
+                ]
+                sreqs = [
+                    oc.isend(np.array([float(i)]), peer, tag=i)
+                    for i in range(n)
+                ]
+                for r in rreqs + sreqs:
+                    r.wait(timeout=60)
+                return [int(b[0]) for b in recvs] == list(range(n))
+
+        assert all(run_world_mt(2, prog))
+
+    def test_pool_exhaustion_raises_cleanly(self):
+        from repro.lockfree.freelist import FreeListExhausted
+
+        def prog(comm):
+            with offloaded(comm, pool_capacity=4) as oc:
+                h1 = oc.irecv(np.empty(1), 0, tag=1)
+                h2 = oc.irecv(np.empty(1), 0, tag=2)
+                s1 = oc.isend(np.array([1.0]), 0, tag=1)
+                s2 = oc.isend(np.array([2.0]), 0, tag=2)
+                # all four slots busy until completion is collected
+                with pytest.raises(FreeListExhausted):
+                    oc.irecv(np.empty(1), 0, tag=3)
+                for h in (h1, h2, s1, s2):
+                    h.wait(timeout=10)
+                # slots recycled: allocation works again
+                h3 = oc.irecv(np.empty(1), 0, tag=3)
+                oc.isend(np.array([3.0]), 0, tag=3)
+                h3.wait(timeout=10)
+                return True
+
+        assert all(run_world_mt(1, prog))
+
+
+class TestShutdown:
+    def test_stop_drains_inflight_work(self):
+        def prog(comm):
+            peer = 1 - comm.rank
+            from repro.core.engine import OffloadEngine
+            from repro.core.offload_comm import OffloadCommunicator
+
+            engine = OffloadEngine(comm).start()
+            oc = OffloadCommunicator(comm, engine)
+            out = np.empty(1)
+            r = oc.irecv(out, peer, tag=1)
+            oc.isend(np.array([float(comm.rank)]), peer, tag=1)
+            engine.stop()  # must drain, not abandon
+            assert r.done
+            return out[0]
+
+        assert run_world_mt(2, prog) == [1.0, 0.0]
+
+    def test_double_start_rejected(self):
+        def prog(comm):
+            engine = OffloadEngine(comm).start()
+            with pytest.raises(RuntimeError):
+                engine.start()
+            engine.stop()
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+    def test_stop_idempotent(self):
+        def prog(comm):
+            engine = OffloadEngine(comm).start()
+            engine.stop()
+            engine.stop()  # no-op
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+
+class TestAbort:
+    def test_abort_fails_stuck_requests(self):
+        """abort() tears down an engine whose requests can never
+        complete (the MPI_Finalize-with-pending-requests situation)."""
+
+        def prog(comm):
+            engine = OffloadEngine(comm).start()
+            from repro.core.offload_comm import OffloadCommunicator
+            from repro.core.request_pool import OffloadError
+
+            oc = OffloadCommunicator(comm, engine)
+            stuck = oc.irecv(np.empty(1), 0, tag=404)  # never sent
+            engine.abort("test teardown")
+            with pytest.raises(OffloadError):
+                stuck.wait(timeout=5)
+            with pytest.raises(OffloadEngineDied):
+                engine.submit(Command(CommandKind.BARRIER, comm=comm))
+            return True
+
+        assert all(run_world_mt(1, prog))

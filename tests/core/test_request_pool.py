@@ -1,0 +1,112 @@
+"""Unit tests for the offload request pool and handles."""
+
+import threading
+
+import pytest
+
+from repro.core.request_pool import (
+    OffloadError,
+    OffloadRequest,
+    OffloadRequestPool,
+)
+from repro.lockfree.freelist import FreeListExhausted
+from repro.mpisim.status import Status
+
+
+class TestPool:
+    def test_alloc_release_cycle(self):
+        pool = OffloadRequestPool(4)
+        idx = pool.alloc()
+        assert pool.allocated == 1
+        pool.release(idx)
+        assert pool.allocated == 0
+
+    def test_exhaustion(self):
+        pool = OffloadRequestPool(2)
+        pool.alloc()
+        pool.alloc()
+        with pytest.raises(FreeListExhausted):
+            pool.alloc()
+
+    def test_complete_sets_flag_payload(self):
+        pool = OffloadRequestPool(2)
+        idx = pool.alloc()
+        st = Status(1, 2, 3)
+        pool.complete(idx, st)
+        assert pool.slot(idx).flag.payload is st
+
+
+class TestHandle:
+    def test_wait_returns_status(self):
+        pool = OffloadRequestPool(2)
+        idx = pool.alloc()
+        handle = OffloadRequest(pool, idx)
+        pool.complete(idx, Status(0, 5, 8))
+        st = handle.wait(timeout=1)
+        assert st.tag == 5 and st.count == 8
+        # slot was recycled
+        assert pool.allocated == 0
+
+    def test_test_before_and_after(self):
+        pool = OffloadRequestPool(2)
+        idx = pool.alloc()
+        handle = OffloadRequest(pool, idx)
+        done, st = handle.test()
+        assert not done and st is None
+        pool.complete(idx, None)
+        done, st = handle.test()
+        assert done
+
+    def test_error_propagates(self):
+        pool = OffloadRequestPool(2)
+        idx = pool.alloc()
+        handle = OffloadRequest(pool, idx)
+        pool.fail(idx, RuntimeError("inner"))
+        with pytest.raises(OffloadError, match="inner"):
+            handle.wait(timeout=1)
+
+    def test_wait_timeout(self):
+        pool = OffloadRequestPool(2)
+        handle = OffloadRequest(pool, pool.alloc())
+        with pytest.raises(TimeoutError):
+            handle.wait(timeout=0.01)
+
+    def test_stale_handle_detected(self):
+        """Using a handle after its slot was recycled must raise, not
+        silently read another operation's state (generation check)."""
+        pool = OffloadRequestPool(1)
+        idx = pool.alloc()
+        h1 = OffloadRequest(pool, idx)
+        pool.complete(idx, None)
+        h1.wait(timeout=1)
+        # slot 0 recycled to a new operation
+        idx2 = pool.alloc()
+        assert idx2 == idx
+        h2 = OffloadRequest(pool, idx2)
+        with pytest.raises(OffloadError):
+            h1.test()
+        pool.complete(idx2, None)
+        assert h2.wait(timeout=1) is not None
+
+    def test_double_finish_rejected(self):
+        pool = OffloadRequestPool(2)
+        idx = pool.alloc()
+        handle = OffloadRequest(pool, idx)
+        pool.complete(idx, None)
+        handle.wait(timeout=1)
+        with pytest.raises(OffloadError):
+            handle.wait(timeout=1)
+
+    def test_cross_thread_completion(self):
+        pool = OffloadRequestPool(2)
+        idx = pool.alloc()
+        handle = OffloadRequest(pool, idx)
+
+        def completer():
+            pool.complete(idx, Status(0, 0, 1))
+
+        t = threading.Thread(target=completer)
+        t.start()
+        st = handle.wait(timeout=5)
+        t.join()
+        assert st.count == 1

@@ -1,0 +1,87 @@
+"""OffloadWindow unit behaviours not covered by the integration tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import offloaded
+from repro.mpisim import LOCK_SHARED
+
+from tests.conftest import run_world_mt
+
+
+class TestOffloadWindow:
+    def test_local_property_exposes_window_memory(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                mem = np.zeros(4, dtype=np.float64)
+                win = oc.win_create(mem)
+                win.put(np.array([3.0]), 0, target_offset=1)
+                win.fence()
+                ok = win.local[1] == 3.0 and win.local is not mem
+                # the view aliases the user's array
+                ok = ok and mem[1] == 3.0
+                win.free()
+                return ok
+
+        assert all(run_world_mt(1, prog))
+
+    def test_flush_per_target(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                mem = np.zeros(2, dtype=np.float64)
+                win = oc.win_create(mem)
+                peer = 1 - oc.rank
+                win.put(np.array([1.0]), peer, target_offset=oc.rank)
+                win.flush(peer)
+                oc.barrier()
+                ok = mem[peer] == 1.0
+                win.free()
+                return ok
+
+        assert all(run_world_mt(2, prog))
+
+    def test_shared_lock_roundtrip(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                win = oc.win_create(np.zeros(2, dtype=np.float64))
+                win.lock(0, LOCK_SHARED)
+                out = np.empty(1, dtype=np.float64)
+                win.get(out, 0).wait(timeout=30)
+                win.unlock(0)
+                win.free()
+                return out[0] == 0.0
+
+        assert all(run_world_mt(2, prog))
+
+    def test_accumulate_with_explicit_op(self):
+        from repro.mpisim import MIN
+
+        def prog(comm):
+            with offloaded(comm) as oc:
+                mem = np.full(1, 100.0)
+                win = oc.win_create(mem)
+                win.accumulate(
+                    np.array([float(oc.rank)]), 0, target_offset=0, op=MIN
+                )
+                win.fence()
+                result = mem[0] if oc.rank == 0 else None
+                win.free()
+                return result
+
+        res = run_world_mt(3, prog)
+        assert res[0] == 0.0
+
+    def test_error_propagates_through_offload(self):
+        from repro.core import OffloadError
+
+        def prog(comm):
+            with offloaded(comm) as oc:
+                win = oc.win_create(np.zeros(1, dtype=np.float64))
+                # dtype mismatch surfaces from the offload thread as
+                # an OffloadError wrapping the RMAError
+                with pytest.raises(OffloadError):
+                    win.get(np.empty(1, dtype=np.int32), 0)
+                win.free()
+            return True
+
+        assert all(run_world_mt(1, prog))

@@ -1,0 +1,53 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out and "fig14" in out and "tab1" in out
+        assert "15 reproducible artifacts" in out
+
+    def test_run_single_artifact(self, capsys):
+        assert main(["run", "fig04"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "checks PASS" in out
+
+    def test_run_unknown_artifact(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().out
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro 1.0.0" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 0
+        assert "usage" in capsys.readouterr().out
+
+
+class TestReport:
+    def test_report_single_artifact_markdown(self, tmp_path):
+        from repro.experiments.report import generate_report
+
+        text = generate_report(fast=True, artifacts=["fig04"])
+        assert "# Reproduction report" in text
+        assert "| size | approach | isend_us |" in text
+        assert "Qualitative checks: PASS" in text
+        assert "1/1 artifacts" in text
+
+    def test_report_cli_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        # patch the registry walk down to one artifact via generate_report
+        from repro.experiments import report as report_mod
+
+        text = report_mod.generate_report(fast=True, artifacts=["fig06"])
+        out.write_text(text)
+        assert out.exists()
+        assert "fig06" in out.read_text()

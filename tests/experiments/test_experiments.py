@@ -1,0 +1,59 @@
+"""Every experiment regenerates its paper artifact (fast sweeps) and
+passes the paper's qualitative checks."""
+
+import pytest
+
+from repro.experiments import REGISTRY, load
+
+CHEAP = [
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "tab2",
+    "fig10",
+]
+EXPENSIVE = ["tab1", "fig09", "fig11", "fig12", "fig13", "fig14"]
+
+
+class TestRegistry:
+    def test_all_fifteen_artifacts_covered(self):
+        assert len(REGISTRY) == 15
+        assert set(REGISTRY) == set(CHEAP) | set(EXPENSIVE)
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            load("fig99")
+
+    def test_modules_expose_protocol(self):
+        for eid in REGISTRY:
+            mod = load(eid)
+            assert callable(mod.run)
+            assert callable(mod.check)
+            assert callable(mod.main)
+
+
+@pytest.mark.parametrize("exp_id", CHEAP)
+def test_cheap_experiment_reproduces_paper_claims(exp_id):
+    mod = load(exp_id)
+    table = mod.run(fast=True)
+    assert table.rows, exp_id
+    mod.check(table)
+
+
+@pytest.mark.parametrize("exp_id", EXPENSIVE)
+def test_expensive_experiment_reproduces_paper_claims(exp_id):
+    mod = load(exp_id)
+    table = mod.run(fast=True)
+    assert table.rows, exp_id
+    mod.check(table)
+
+
+def test_tables_render_printably():
+    mod = load("fig04")
+    text = mod.run(fast=True).render()
+    assert "Figure 4" in text
+    assert "offload" in text

@@ -1,0 +1,119 @@
+"""Unit and concurrency tests for the atomic primitives."""
+
+import threading
+
+from repro.lockfree.atomics import AtomicCell, AtomicCounter, AtomicFlag
+
+
+class TestAtomicCell:
+    def test_load_store_swap(self):
+        c = AtomicCell(1)
+        assert c.load() == 1
+        c.store(2)
+        assert c.load() == 2
+        assert c.swap(3) == 2
+        assert c.load() == 3
+
+    def test_cas_success_and_failure(self):
+        c = AtomicCell("a")
+        ok, seen = c.compare_and_swap("a", "b")
+        assert ok and seen == "a"
+        ok, seen = c.compare_and_swap("a", "c")
+        assert not ok and seen == "b"
+        assert c.cas_failures == 1
+
+    def test_cas_compares_tuples_by_equality(self):
+        c = AtomicCell((1, 2))
+        ok, _ = c.compare_and_swap((1, 2), (3, 4))
+        assert ok
+        assert c.load() == (3, 4)
+
+    def test_concurrent_cas_increments_exactly(self):
+        c = AtomicCell(0)
+        iters, nthreads = 2000, 8
+
+        def worker():
+            for _ in range(iters):
+                while True:
+                    cur = c.load()
+                    ok, _ = c.compare_and_swap(cur, cur + 1)
+                    if ok:
+                        break
+
+        threads = [threading.Thread(target=worker) for _ in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.load() == iters * nthreads
+
+
+class TestAtomicCounter:
+    def test_fetch_add_returns_previous(self):
+        c = AtomicCounter(5)
+        assert c.fetch_add(3) == 5
+        assert c.load() == 8
+
+    def test_cas(self):
+        c = AtomicCounter(0)
+        ok, _ = c.compare_and_swap(0, 7)
+        assert ok and c.load() == 7
+        ok, seen = c.compare_and_swap(0, 9)
+        assert not ok and seen == 7
+
+    def test_concurrent_fetch_add_is_exact(self):
+        c = AtomicCounter(0)
+        n, iters = 8, 5000
+
+        def worker():
+            for _ in range(iters):
+                c.fetch_add(1)
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.load() == n * iters
+
+    def test_store(self):
+        c = AtomicCounter(1)
+        c.store(99)
+        assert c.load() == 99
+
+
+class TestAtomicFlag:
+    def test_set_and_payload(self):
+        f = AtomicFlag()
+        assert not f.is_set()
+        f.set("payload")
+        assert f.is_set()
+        assert f.payload == "payload"
+
+    def test_wait_immediate(self):
+        f = AtomicFlag()
+        f.set()
+        assert f.wait(timeout=0.01)
+
+    def test_wait_timeout(self):
+        f = AtomicFlag()
+        assert not f.wait(timeout=0.01)
+
+    def test_wait_cross_thread(self):
+        f = AtomicFlag()
+
+        def setter():
+            f.set(42)
+
+        t = threading.Thread(target=setter)
+        t.start()
+        assert f.wait(timeout=2.0)
+        t.join()
+        assert f.payload == 42
+
+    def test_clear(self):
+        f = AtomicFlag()
+        f.set(1)
+        f.clear()
+        assert not f.is_set()
+        assert f.payload is None

@@ -1,0 +1,114 @@
+"""Unit, stress and property tests for the request-slot free list."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lockfree.freelist import FreeList, FreeListExhausted
+
+
+class TestBasics:
+    def test_alloc_unique_until_exhausted(self):
+        fl = FreeList(4)
+        got = {fl.alloc() for _ in range(4)}
+        assert got == {0, 1, 2, 3}
+        with pytest.raises(FreeListExhausted):
+            fl.alloc()
+
+    def test_free_then_realloc(self):
+        fl = FreeList(2)
+        a = fl.alloc()
+        b = fl.alloc()
+        fl.free(a)
+        c = fl.alloc()
+        assert c == a
+        fl.free(b)
+        fl.free(c)
+        assert fl.free_count() == 2
+
+    def test_free_out_of_range(self):
+        fl = FreeList(2)
+        with pytest.raises(IndexError):
+            fl.free(5)
+        with pytest.raises(IndexError):
+            fl.free(-1)
+
+    def test_free_clears_slot_payload(self):
+        fl = FreeList(2)
+        i = fl.alloc()
+        fl.slots[i] = "payload"
+        fl.free(i)
+        assert fl.slots[i] is None
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FreeList(0)
+
+    def test_allocated_counter(self):
+        fl = FreeList(4)
+        a = fl.alloc()
+        assert fl.allocated == 1
+        fl.free(a)
+        assert fl.allocated == 0
+
+
+class TestConcurrency:
+    def test_no_double_allocation_under_contention(self):
+        """The paper-critical invariant: two threads must never be
+        handed the same request slot."""
+        fl = FreeList(32)
+        iters, nthreads = 2000, 8
+        errors = []
+
+        def worker(tid):
+            try:
+                for _ in range(iters):
+                    try:
+                        idx = fl.alloc()
+                    except FreeListExhausted:
+                        continue
+                    # claim the slot; detect double allocation
+                    if fl.slots[idx] is not None:
+                        errors.append(("double-alloc", idx))
+                    fl.slots[idx] = tid
+                    if fl.slots[idx] != tid:
+                        errors.append(("stolen", idx))
+                    fl.slots[idx] = None
+                    fl.free(idx)
+            except Exception as exc:  # pragma: no cover
+                errors.append(("exception", repr(exc)))
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors[:5]
+        assert fl.free_count() == 32
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=st.lists(st.booleans(), max_size=300))
+def test_matches_set_model(ops):
+    """Property: alloc/free against a set-based reference model."""
+    cap = 8
+    fl = FreeList(cap)
+    live: list[int] = []
+    for is_alloc in ops:
+        if is_alloc:
+            if len(live) < cap:
+                idx = fl.alloc()
+                assert idx not in live
+                assert 0 <= idx < cap
+                live.append(idx)
+            else:
+                with pytest.raises(FreeListExhausted):
+                    fl.alloc()
+        elif live:
+            fl.free(live.pop())
+    assert fl.free_count() == cap - len(live)

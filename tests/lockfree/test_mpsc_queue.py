@@ -1,0 +1,178 @@
+"""Unit, stress and property tests for the MPSC command queue."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lockfree.mpsc_queue import MPSCQueue, QueueClosed, QueueFull
+
+
+class TestBasics:
+    def test_fifo_single_producer(self):
+        q = MPSCQueue(8)
+        for i in range(5):
+            q.enqueue(i)
+        assert q.drain() == [0, 1, 2, 3, 4]
+
+    def test_empty_dequeue(self):
+        q = MPSCQueue(8)
+        ok, v = q.try_dequeue()
+        assert not ok and v is None
+
+    def test_full_raises(self):
+        q = MPSCQueue(4)
+        for i in range(4):
+            q.enqueue(i)
+        with pytest.raises(QueueFull):
+            q.enqueue(99)
+
+    def test_slot_recycling(self):
+        q = MPSCQueue(4)
+        for round_ in range(10):
+            for i in range(4):
+                q.enqueue((round_, i))
+            assert q.drain() == [(round_, i) for i in range(4)]
+
+    def test_len_tracks_occupancy(self):
+        q = MPSCQueue(8)
+        assert q.empty()
+        q.enqueue(1)
+        q.enqueue(2)
+        assert len(q) == 2
+        q.try_dequeue()
+        assert len(q) == 1
+
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            MPSCQueue(3)
+        with pytest.raises(ValueError):
+            MPSCQueue(0)
+
+    def test_close_rejects_enqueue_but_allows_drain(self):
+        q = MPSCQueue(8)
+        q.enqueue(1)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.enqueue(2)
+        assert q.drain() == [1]
+
+    def test_drain_limit(self):
+        q = MPSCQueue(8)
+        for i in range(5):
+            q.enqueue(i)
+        assert q.drain(limit=2) == [0, 1]
+        assert q.drain() == [2, 3, 4]
+
+
+class TestConcurrency:
+    def test_no_loss_no_duplication_under_contention(self):
+        q = MPSCQueue(64)
+        nproducers, per = 8, 500
+        done = threading.Event()
+        received = []
+
+        def producer(pid):
+            for i in range(per):
+                while True:
+                    try:
+                        q.enqueue((pid, i))
+                        break
+                    except QueueFull:
+                        pass
+
+        def consumer():
+            while len(received) < nproducers * per:
+                ok, item = q.try_dequeue()
+                if ok:
+                    received.append(item)
+            done.set()
+
+        threads = [
+            threading.Thread(target=producer, args=(p,))
+            for p in range(nproducers)
+        ]
+        ct = threading.Thread(target=consumer)
+        ct.start()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert done.wait(30)
+        ct.join()
+        assert len(received) == nproducers * per
+        assert len(set(received)) == nproducers * per
+
+    def test_per_producer_fifo_preserved(self):
+        """MPI ordering requirement: each producer's items must be
+        dequeued in that producer's program order."""
+        q = MPSCQueue(32)
+        nproducers, per = 4, 400
+        received = []
+
+        def producer(pid):
+            for i in range(per):
+                while True:
+                    try:
+                        q.enqueue((pid, i))
+                        break
+                    except QueueFull:
+                        pass
+
+        stop = threading.Event()
+
+        def consumer():
+            while not stop.is_set() or not q.empty():
+                ok, item = q.try_dequeue()
+                if ok:
+                    received.append(item)
+
+        ct = threading.Thread(target=consumer)
+        ct.start()
+        threads = [
+            threading.Thread(target=producer, args=(p,))
+            for p in range(nproducers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stop.set()
+        ct.join()
+        for pid in range(nproducers):
+            seq = [i for p, i in received if p == pid]
+            assert seq == sorted(seq)
+            assert len(seq) == per
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("enq"), st.integers(0, 1000)),
+            st.tuples(st.just("deq"), st.just(0)),
+        ),
+        max_size=200,
+    )
+)
+def test_sequential_queue_matches_list_model(ops):
+    """Property: against a plain-list reference model, any sequential
+    interleaving of enqueue/dequeue behaves identically."""
+    q = MPSCQueue(16)
+    model: list[int] = []
+    for kind, value in ops:
+        if kind == "enq":
+            if len(model) < 16:
+                q.enqueue(value)
+                model.append(value)
+            else:
+                with pytest.raises(QueueFull):
+                    q.enqueue(value)
+        else:
+            ok, got = q.try_dequeue()
+            if model:
+                assert ok and got == model.pop(0)
+            else:
+                assert not ok
+    assert q.drain() == model

@@ -1,0 +1,104 @@
+"""Unit, stress and property tests for the SPSC ring."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lockfree.spsc_ring import SPSCRing
+
+
+class TestBasics:
+    def test_fifo(self):
+        r = SPSCRing(8)
+        for i in range(5):
+            assert r.try_enqueue(i)
+        got = []
+        while True:
+            ok, v = r.try_dequeue()
+            if not ok:
+                break
+            got.append(v)
+        assert got == list(range(5))
+
+    def test_capacity_is_minus_one(self):
+        r = SPSCRing(4)
+        assert r.capacity == 3
+        assert r.try_enqueue(1)
+        assert r.try_enqueue(2)
+        assert r.try_enqueue(3)
+        assert not r.try_enqueue(4)  # full
+
+    def test_empty_dequeue(self):
+        ok, v = SPSCRing(4).try_dequeue()
+        assert not ok and v is None
+
+    def test_wraparound(self):
+        r = SPSCRing(4)
+        for round_ in range(20):
+            assert r.try_enqueue(round_)
+            ok, v = r.try_dequeue()
+            assert ok and v == round_
+
+    @pytest.mark.parametrize("cap", [0, 1, 3, 6])
+    def test_invalid_capacity(self, cap):
+        with pytest.raises(ValueError):
+            SPSCRing(cap)
+
+    def test_len(self):
+        r = SPSCRing(8)
+        assert r.empty()
+        r.try_enqueue(1)
+        r.try_enqueue(2)
+        assert len(r) == 2
+
+
+class TestConcurrency:
+    def test_producer_consumer_stream(self):
+        r = SPSCRing(16)
+        n = 20_000
+        received = []
+
+        def producer():
+            for i in range(n):
+                while not r.try_enqueue(i):
+                    pass
+
+        def consumer():
+            while len(received) < n:
+                ok, v = r.try_dequeue()
+                if ok:
+                    received.append(v)
+
+        tp = threading.Thread(target=producer)
+        tc = threading.Thread(target=consumer)
+        tc.start()
+        tp.start()
+        tp.join()
+        tc.join()
+        assert received == list(range(n))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    ops=st.lists(st.booleans(), max_size=200),
+)
+def test_matches_list_model(ops):
+    r = SPSCRing(8)
+    model: list[int] = []
+    counter = 0
+    for is_enq in ops:
+        if is_enq:
+            ok = r.try_enqueue(counter)
+            assert ok == (len(model) < r.capacity)
+            if ok:
+                model.append(counter)
+            counter += 1
+        else:
+            ok, got = r.try_dequeue()
+            if model:
+                assert ok and got == model.pop(0)
+            else:
+                assert not ok
+    assert len(r) == len(model)

@@ -1,0 +1,120 @@
+"""Hypothesis stateful (model-based) tests for the lock-free
+structures: arbitrary operation sequences against reference models."""
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.lockfree.freelist import FreeList, FreeListExhausted
+from repro.lockfree.mpsc_queue import MPSCQueue, QueueFull
+from repro.lockfree.spsc_ring import SPSCRing
+
+CAP = 8
+
+
+class FreeListMachine(RuleBasedStateMachine):
+    """alloc/free in any order must behave like a set of slots."""
+
+    def __init__(self):
+        super().__init__()
+        self.fl = FreeList(CAP)
+        self.live: set[int] = set()
+
+    @rule()
+    def alloc(self):
+        if len(self.live) < CAP:
+            idx = self.fl.alloc()
+            assert idx not in self.live
+            assert 0 <= idx < CAP
+            self.live.add(idx)
+        else:
+            with pytest.raises(FreeListExhausted):
+                self.fl.alloc()
+
+    @rule(data=st.data())
+    def free(self, data):
+        if self.live:
+            idx = data.draw(st.sampled_from(sorted(self.live)))
+            self.fl.free(idx)
+            self.live.discard(idx)
+
+    @invariant()
+    def counts_consistent(self):
+        assert self.fl.free_count() == CAP - len(self.live)
+        assert self.fl.allocated == len(self.live)
+
+
+class QueueMachine(RuleBasedStateMachine):
+    """Sequential MPSC queue vs a bounded FIFO list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.q = MPSCQueue(CAP)
+        self.model: list[int] = []
+        self.counter = 0
+
+    @rule()
+    def enqueue(self):
+        if len(self.model) < CAP:
+            self.q.enqueue(self.counter)
+            self.model.append(self.counter)
+        else:
+            with pytest.raises(QueueFull):
+                self.q.enqueue(self.counter)
+        self.counter += 1
+
+    @rule()
+    def dequeue(self):
+        ok, item = self.q.try_dequeue()
+        if self.model:
+            assert ok and item == self.model.pop(0)
+        else:
+            assert not ok
+
+    @invariant()
+    def occupancy_matches(self):
+        assert len(self.q) == len(self.model)
+
+
+class RingMachine(RuleBasedStateMachine):
+    """SPSC ring vs a bounded FIFO list model (capacity - 1 usable)."""
+
+    def __init__(self):
+        super().__init__()
+        self.r = SPSCRing(CAP)
+        self.model: list[int] = []
+        self.counter = 0
+
+    @rule()
+    def enqueue(self):
+        ok = self.r.try_enqueue(self.counter)
+        assert ok == (len(self.model) < CAP - 1)
+        if ok:
+            self.model.append(self.counter)
+        self.counter += 1
+
+    @rule()
+    def dequeue(self):
+        ok, item = self.r.try_dequeue()
+        if self.model:
+            assert ok and item == self.model.pop(0)
+        else:
+            assert not ok
+
+    @invariant()
+    def occupancy_matches(self):
+        assert len(self.r) == len(self.model)
+
+
+TestFreeListStateful = FreeListMachine.TestCase
+TestQueueStateful = QueueMachine.TestCase
+TestRingStateful = RingMachine.TestCase
+
+for cls in (TestFreeListStateful, TestQueueStateful, TestRingStateful):
+    cls.settings = settings(max_examples=60, deadline=None)

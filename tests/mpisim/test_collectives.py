@@ -1,0 +1,291 @@
+"""Collectives vs a NumPy oracle, across sizes, dtypes and rank counts."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import (
+    BAND,
+    BOR,
+    LAND,
+    LOR,
+    MAX,
+    MIN,
+    PROD,
+    SUM,
+    World,
+)
+from repro.util.rng import seeded_rng
+
+from tests.conftest import run_world
+
+RANK_COUNTS = (1, 2, 3, 4, 8)
+
+
+def _inputs(nranks, shape=(6,), dtype=np.float64, key="coll"):
+    rng = seeded_rng(key, nranks, shape, str(dtype))
+    if np.issubdtype(dtype, np.integer):
+        return [
+            rng.integers(0, 64, size=shape).astype(dtype)
+            for _ in range(nranks)
+        ]
+    if np.issubdtype(dtype, np.complexfloating):
+        return [
+            (rng.standard_normal(shape) + 1j * rng.standard_normal(shape)).astype(dtype)
+            for _ in range(nranks)
+        ]
+    return [rng.standard_normal(shape).astype(dtype) for _ in range(nranks)]
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_barrier_synchronizes(self, n):
+        """After the barrier, every rank has observed every arrival."""
+        import threading
+
+        counter = {"v": 0}
+        lock = threading.Lock()
+
+        def prog(comm):
+            with lock:
+                counter["v"] += 1
+            comm.barrier()
+            with lock:
+                return counter["v"]
+
+        res = run_world(n, prog)
+        assert all(v == n for v in res)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    @pytest.mark.parametrize("root", [0, "last"])
+    def test_bcast(self, n, root):
+        root = n - 1 if root == "last" else 0
+        data = _inputs(1, shape=(5,))[0]
+
+        def prog(comm):
+            buf = data.copy() if comm.rank == root else np.zeros(5)
+            comm.bcast(buf, root=root)
+            return buf
+
+        for out in run_world(n, prog):
+            np.testing.assert_array_equal(out, data)
+
+    def test_bcast_obj(self):
+        def prog(comm):
+            obj = {"x": [1, 2]} if comm.rank == 1 else None
+            return comm.bcast_obj(obj, root=1)
+
+        res = run_world(3, prog)
+        assert all(r == {"x": [1, 2]} for r in res)
+
+
+class TestReduce:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    @pytest.mark.parametrize(
+        "op,npop",
+        [(SUM, np.sum), (MAX, np.max), (MIN, np.min), (PROD, np.prod)],
+    )
+    def test_reduce_ops(self, n, op, npop):
+        data = _inputs(n)
+
+        def prog(comm):
+            return comm.reduce(data[comm.rank], op=op, root=0)
+
+        res = run_world(n, prog)
+        expected = npop(np.stack(data), axis=0)
+        np.testing.assert_allclose(res[0], expected, rtol=1e-10)
+        assert all(r is None for r in res[1:])
+
+    def test_reduce_logical_and_bitwise(self):
+        n = 4
+        data = _inputs(n, dtype=np.int64, key="bits")
+
+        def prog(comm):
+            out = {}
+            out["land"] = comm.reduce(data[comm.rank], op=LAND, root=0)
+            out["lor"] = comm.reduce(data[comm.rank], op=LOR, root=0)
+            out["band"] = comm.reduce(data[comm.rank], op=BAND, root=0)
+            out["bor"] = comm.reduce(data[comm.rank], op=BOR, root=0)
+            return out
+
+        res = run_world(n, prog)[0]
+        stacked = np.stack(data)
+        np.testing.assert_array_equal(
+            res["land"], np.logical_and.reduce(stacked != 0).astype(np.int64)
+        )
+        np.testing.assert_array_equal(
+            res["lor"], np.logical_or.reduce(stacked != 0).astype(np.int64)
+        )
+        np.testing.assert_array_equal(
+            res["band"], np.bitwise_and.reduce(stacked, axis=0)
+        )
+        np.testing.assert_array_equal(
+            res["bor"], np.bitwise_or.reduce(stacked, axis=0)
+        )
+
+
+class TestAllreduce:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_sum_everywhere(self, n):
+        data = _inputs(n)
+
+        def prog(comm):
+            return comm.allreduce(data[comm.rank])
+
+        expected = np.sum(np.stack(data), axis=0)
+        for out in run_world(n, prog):
+            np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_complex_dtype(self):
+        n = 3
+        data = _inputs(n, dtype=np.complex128, key="cx")
+
+        def prog(comm):
+            return comm.allreduce(data[comm.rank])
+
+        expected = np.sum(np.stack(data), axis=0)
+        for out in run_world(n, prog):
+            np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    def test_nonpow2_falls_back(self):
+        # size 5 and 7 take the reduce+bcast path
+        for n in (5, 7):
+            data = _inputs(n)
+
+            def prog(comm):
+                return comm.allreduce(data[comm.rank], op=MAX)
+
+            expected = np.max(np.stack(data), axis=0)
+            for out in run_world(n, prog):
+                np.testing.assert_allclose(out, expected)
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_gather(self, n):
+        def prog(comm):
+            return comm.gather(np.array([comm.rank, comm.rank * 10]), root=0)
+
+        res = run_world(n, prog)
+        np.testing.assert_array_equal(
+            res[0], np.array([[r, r * 10] for r in range(n)])
+        )
+
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_scatter(self, n):
+        src = np.arange(n * 3, dtype=np.float64).reshape(n, 3)
+
+        def prog(comm):
+            recv = np.empty(3)
+            comm.scatter(src if comm.rank == 0 else None, recv, root=0)
+            return recv
+
+        res = run_world(n, prog)
+        for r, out in enumerate(res):
+            np.testing.assert_array_equal(out, src[r])
+
+    def test_scatter_requires_root_sendbuf(self):
+        from repro.mpisim.exceptions import WorldError
+
+        def prog(comm):
+            comm.scatter(None, np.empty(3), root=0)
+
+        with pytest.raises(WorldError):
+            run_world(1, prog)
+
+    def test_gather_scatter_roundtrip(self):
+        n = 4
+
+        def prog(comm):
+            mine = np.array([float(comm.rank)] * 2)
+            g = comm.gather(mine, root=0)
+            out = np.empty(2)
+            comm.scatter(g if comm.rank == 0 else None, out, root=0)
+            return (out == mine).all()
+
+        assert all(run_world(n, prog))
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_allgather(self, n):
+        def prog(comm):
+            return comm.allgather(np.array([comm.rank + 0.5]))
+
+        expected = np.array([[r + 0.5] for r in range(n)])
+        for out in run_world(n, prog):
+            np.testing.assert_array_equal(out, expected)
+
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_alltoall_transpose_identity(self, n):
+        """alltoall twice with symmetric data returns the start."""
+
+        def prog(comm):
+            send = np.array(
+                [[comm.rank * n + d] for d in range(n)], dtype=np.int64
+            )
+            recv = comm.alltoall(send)
+            # recv[i] = i*n + rank
+            expected = np.array(
+                [[i * n + comm.rank] for i in range(n)], dtype=np.int64
+            )
+            return np.array_equal(recv, expected)
+
+        assert all(run_world(n, prog))
+
+    def test_alltoall_shape_validation(self):
+        from repro.mpisim.exceptions import WorldError
+
+        def prog(comm):
+            comm.alltoall(np.zeros((3, 2)))  # wrong leading dim for 2 ranks
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+
+class TestReduceScatterScan:
+    @pytest.mark.parametrize("n", (1, 2, 4))
+    def test_reduce_scatter(self, n):
+        data = [
+            np.arange(n * 2, dtype=np.float64).reshape(n, 2) * (r + 1)
+            for r in range(n)
+        ]
+
+        def prog(comm):
+            return comm.reduce_scatter(data[comm.rank])
+
+        res = run_world(n, prog)
+        total = np.sum(np.stack(data), axis=0)
+        for r, out in enumerate(res):
+            np.testing.assert_allclose(out, total[r])
+
+    @pytest.mark.parametrize("n", (1, 2, 5))
+    def test_scan_inclusive_prefix(self, n):
+        def prog(comm):
+            return comm.scan(np.array([float(comm.rank + 1)]))
+
+        res = run_world(n, prog)
+        for r, out in enumerate(res):
+            assert out[0] == sum(range(1, r + 2))
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.sampled_from([2, 3, 4]),
+    shape=st.sampled_from([(1,), (4,), (2, 3)]),
+    seed=st.integers(0, 10_000),
+)
+def test_allreduce_matches_numpy_property(n, shape, seed):
+    """Property: allreduce(SUM) == numpy sum for arbitrary inputs."""
+    rng = seeded_rng("prop", seed)
+    data = [rng.standard_normal(shape) for _ in range(n)]
+
+    def prog(comm):
+        return comm.allreduce(np.ascontiguousarray(data[comm.rank]))
+
+    expected = np.sum(np.stack(data), axis=0)
+    for out in World(n).run(prog, timeout=30):
+        np.testing.assert_allclose(out, expected, rtol=1e-9)

@@ -1,0 +1,107 @@
+"""Unit tests for buffer normalization and object packing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import datatypes
+from repro.mpisim.exceptions import TruncationError
+
+
+class TestSendBuffer:
+    def test_ndarray_view_no_copy(self):
+        a = np.arange(4, dtype=np.float64)
+        v = datatypes.as_send_buffer(a)
+        assert v.dtype == np.uint8
+        assert v.nbytes == a.nbytes
+        assert np.shares_memory(v, a)
+
+    def test_bytes(self):
+        v = datatypes.as_send_buffer(b"abc")
+        assert bytes(v) == b"abc"
+
+    def test_noncontiguous_copied(self):
+        a = np.arange(16, dtype=np.int64).reshape(4, 4)
+        v = datatypes.as_send_buffer(a[:, ::2])
+        assert v.flags.c_contiguous
+
+    def test_multidim(self):
+        a = np.ones((2, 3), dtype=np.complex128)
+        assert datatypes.as_send_buffer(a).nbytes == a.nbytes
+
+
+class TestRecvBuffer:
+    def test_writable_view(self):
+        a = np.zeros(4)
+        v = datatypes.as_recv_buffer(a)
+        v[:8] = 255
+        assert a[0] != 0
+
+    def test_bytearray(self):
+        buf = bytearray(4)
+        v = datatypes.as_recv_buffer(buf)
+        v[0] = 7
+        assert buf[0] == 7
+
+    def test_readonly_rejected(self):
+        a = np.zeros(4)
+        a.flags.writeable = False
+        with pytest.raises(TypeError):
+            datatypes.as_recv_buffer(a)
+        with pytest.raises(TypeError):
+            datatypes.as_recv_buffer(b"abc")
+
+    def test_noncontiguous_rejected(self):
+        a = np.zeros((4, 4))
+        with pytest.raises(TypeError):
+            datatypes.as_recv_buffer(a[:, ::2])
+
+
+class TestCopyInto:
+    def test_exact(self):
+        src = np.arange(4, dtype=np.uint8)
+        dst = np.zeros(4, dtype=np.uint8)
+        assert datatypes.copy_into(dst, src) == 4
+        assert (dst == src).all()
+
+    def test_short_message_ok(self):
+        dst = np.full(8, 9, dtype=np.uint8)
+        n = datatypes.copy_into(dst, np.zeros(2, dtype=np.uint8))
+        assert n == 2
+        assert dst[2] == 9  # untouched tail
+
+    def test_truncation(self):
+        with pytest.raises(TruncationError):
+            datatypes.copy_into(
+                np.zeros(2, dtype=np.uint8), np.zeros(4, dtype=np.uint8)
+            )
+
+    def test_empty(self):
+        assert datatypes.copy_into(np.zeros(0, np.uint8), np.zeros(0, np.uint8)) == 0
+
+
+class TestObjectPacking:
+    @pytest.mark.parametrize(
+        "obj",
+        [42, "hello", {"k": [1, 2, 3]}, (None, True), [1.5, 2 + 3j]],
+    )
+    def test_roundtrip(self, obj):
+        assert datatypes.unpack_object(datatypes.pack_object(obj)) == obj
+
+    def test_ndarray_roundtrip(self):
+        a = np.arange(10.0)
+        b = datatypes.unpack_object(datatypes.pack_object(a))
+        assert (a == b).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.recursive(
+            st.none() | st.integers() | st.floats(allow_nan=False) | st.text(),
+            lambda inner: st.lists(inner, max_size=4)
+            | st.dictionaries(st.text(max_size=4), inner, max_size=4),
+            max_leaves=10,
+        )
+    )
+    def test_roundtrip_property(self, obj):
+        assert datatypes.unpack_object(datatypes.pack_object(obj)) == obj

@@ -1,0 +1,123 @@
+"""Unit and property tests for MPI matching semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim.constants import ANY_SOURCE, ANY_TAG
+from repro.mpisim.envelope import Envelope, EnvelopeKind
+from repro.mpisim.matching import PostedReceiveQueue, UnexpectedQueue
+from repro.mpisim.requests import RecvRequest
+
+
+def env(src=0, tag=0, ctx=0, nbytes=4):
+    return Envelope(
+        kind=EnvelopeKind.EAGER,
+        src=src,
+        dst=1,
+        context_id=ctx,
+        tag=tag,
+        nbytes=nbytes,
+        payload=np.zeros(nbytes, dtype=np.uint8),
+    )
+
+
+def recv(src=0, tag=0, ctx=0):
+    return RecvRequest(None, np.zeros(8, np.uint8), src, tag, ctx)
+
+
+class TestEnvelopeMatching:
+    def test_exact_match(self):
+        assert env(src=2, tag=5).matches(2, 5, 0)
+
+    def test_wildcards(self):
+        assert env(src=2, tag=5).matches(ANY_SOURCE, 5, 0)
+        assert env(src=2, tag=5).matches(2, ANY_TAG, 0)
+        assert env(src=2, tag=5).matches(ANY_SOURCE, ANY_TAG, 0)
+
+    def test_mismatches(self):
+        assert not env(src=2, tag=5).matches(3, 5, 0)
+        assert not env(src=2, tag=5).matches(2, 6, 0)
+        assert not env(src=2, tag=5, ctx=1).matches(2, 5, 0)
+
+    def test_context_never_wildcarded(self):
+        assert not env(ctx=1).matches(ANY_SOURCE, ANY_TAG, 0)
+
+
+class TestPostedReceiveQueue:
+    def test_fifo_among_candidates(self):
+        q = PostedReceiveQueue()
+        r1, r2 = recv(tag=ANY_TAG), recv(tag=ANY_TAG)
+        q.post(r1)
+        q.post(r2)
+        assert q.match(env(tag=3)) is r1
+        assert q.match(env(tag=9)) is r2
+
+    def test_skips_nonmatching(self):
+        q = PostedReceiveQueue()
+        r1, r2 = recv(tag=1), recv(tag=2)
+        q.post(r1)
+        q.post(r2)
+        assert q.match(env(tag=2)) is r2
+        assert len(q) == 1
+
+    def test_remove(self):
+        q = PostedReceiveQueue()
+        r = recv()
+        q.post(r)
+        assert q.remove(r)
+        assert not q.remove(r)
+        assert len(q) == 0
+
+
+class TestUnexpectedQueue:
+    def test_fifo_arrival_order(self):
+        q = UnexpectedQueue()
+        e1, e2 = env(nbytes=1), env(nbytes=2)
+        q.add(e1)
+        q.add(e2)
+        assert q.match(0, 0, 0) is e1
+        assert q.match(0, 0, 0) is e2
+
+    def test_peek_does_not_remove(self):
+        q = UnexpectedQueue()
+        e = env()
+        q.add(e)
+        assert q.peek(0, 0, 0) is e
+        assert len(q) == 1
+        assert q.match(ANY_SOURCE, ANY_TAG, 0) is e
+        assert len(q) == 0
+
+    def test_no_match(self):
+        q = UnexpectedQueue()
+        q.add(env(tag=1))
+        assert q.match(0, 2, 0) is None
+        assert q.peek(0, 2, 0) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    posts=st.lists(
+        st.tuples(
+            st.sampled_from([0, 1, ANY_SOURCE]),
+            st.sampled_from([0, 1, 2, ANY_TAG]),
+        ),
+        max_size=12,
+    ),
+    arrival=st.tuples(st.sampled_from([0, 1]), st.sampled_from([0, 1, 2])),
+)
+def test_match_is_earliest_posted_candidate(posts, arrival):
+    """MPI rule: an arrival matches the *earliest posted* receive
+    among all whose pattern accepts it."""
+    q = PostedReceiveQueue()
+    reqs = [recv(src=s, tag=t) for s, t in posts]
+    for r in reqs:
+        q.post(r)
+    src, tag = arrival
+    e = env(src=src, tag=tag)
+    expected = None
+    for r in reqs:
+        if (r.source in (ANY_SOURCE, src)) and (r.tag in (ANY_TAG, tag)):
+            expected = r
+            break
+    assert q.match(e) is expected

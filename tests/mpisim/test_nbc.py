@@ -1,0 +1,166 @@
+"""Nonblocking collectives: correctness and progress semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import SUM, MAX
+from repro.mpisim.requests import waitall
+from repro.util.rng import seeded_rng
+
+from tests.conftest import run_world
+
+RANK_COUNTS = (1, 2, 3, 4, 8)
+
+
+class TestIBarrier:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_completes(self, n):
+        def prog(comm):
+            comm.ibarrier().wait(timeout=30)
+            return True
+
+        assert all(run_world(n, prog))
+
+
+class TestIBcast:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    @pytest.mark.parametrize("root", [0, "mid"])
+    def test_matches_blocking(self, n, root):
+        root = n // 2 if root == "mid" else 0
+        data = seeded_rng("ibcast", n).standard_normal(6)
+
+        def prog(comm):
+            buf = data.copy() if comm.rank == root else np.zeros(6)
+            comm.ibcast(buf, root=root).wait(timeout=30)
+            return buf
+
+        for out in run_world(n, prog):
+            np.testing.assert_array_equal(out, data)
+
+
+class TestIAllreduce:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_sum(self, n):
+        data = [
+            seeded_rng("iar", n, r).standard_normal(5) for r in range(n)
+        ]
+
+        def prog(comm):
+            out = np.empty(5)
+            comm.iallreduce(data[comm.rank], out).wait(timeout=30)
+            return out
+
+        expected = np.sum(np.stack(data), axis=0)
+        for out in run_world(n, prog):
+            np.testing.assert_allclose(out, expected, rtol=1e-10)
+
+    @pytest.mark.parametrize("n", (3, 5, 6))
+    def test_nonpow2_path(self, n):
+        def prog(comm):
+            out = np.empty(1)
+            comm.iallreduce(
+                np.array([float(comm.rank)]), out, op=MAX
+            ).wait(timeout=30)
+            return out[0]
+
+        assert all(v == n - 1 for v in run_world(n, prog))
+
+    def test_aliased_buffers_rejected(self):
+        from repro.mpisim.exceptions import WorldError
+
+        def prog(comm):
+            buf = np.zeros(2)
+            comm.iallreduce(buf, buf)
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+
+class TestIGather:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_gather(self, n):
+        def prog(comm):
+            send = np.array([comm.rank], dtype=np.int64)
+            recv = (
+                np.empty((n, 1), dtype=np.int64) if comm.rank == 0 else None
+            )
+            comm.igather(send, recv, root=0).wait(timeout=30)
+            return recv
+
+        res = run_world(n, prog)
+        np.testing.assert_array_equal(res[0].ravel(), np.arange(n))
+
+    def test_root_needs_recvbuf(self):
+        from repro.mpisim.exceptions import WorldError
+
+        def prog(comm):
+            comm.igather(np.zeros(1), None, root=0)
+
+        with pytest.raises(WorldError):
+            run_world(1, prog)
+
+
+class TestIAlltoall:
+    @pytest.mark.parametrize("n", RANK_COUNTS)
+    def test_alltoall(self, n):
+        def prog(comm):
+            send = np.array(
+                [[comm.rank * n + d] for d in range(n)], dtype=np.int64
+            )
+            recv = np.empty_like(send)
+            comm.ialltoall(send, recv).wait(timeout=30)
+            expected = np.array(
+                [[i * n + comm.rank] for i in range(n)], dtype=np.int64
+            )
+            return np.array_equal(recv, expected)
+
+        assert all(run_world(n, prog))
+
+
+class TestNBCProgressSemantics:
+    def test_nbc_stalls_without_progress_then_completes_in_wait(self):
+        """A posted iallreduce must not finish while only one rank
+        pumps — then finish for everyone once all wait."""
+
+        def prog(comm):
+            out = np.empty(1)
+            req = comm.iallreduce(np.array([1.0]), out)
+            if comm.rank == 0:
+                import time
+
+                time.sleep(0.02)  # rank 1 hasn't waited yet, but it
+                # posted; progress advances only when pumped
+            req.wait(timeout=30)
+            return out[0]
+
+        assert run_world(2, prog) == [2.0, 2.0]
+
+    def test_overlapping_nbc_operations(self):
+        """Several in-flight NBCs on one comm must not cross-match."""
+
+        def prog(comm):
+            outs = [np.empty(1) for _ in range(4)]
+            reqs = [
+                comm.iallreduce(np.array([float(i + comm.rank)]), outs[i])
+                for i in range(4)
+            ]
+            waitall(reqs, timeout=30)
+            return [o[0] for o in outs]
+
+        res = run_world(2, prog)
+        # sum over ranks of (i + rank) = 2i + 1
+        assert res[0] == [1.0, 3.0, 5.0, 7.0]
+
+    def test_nbc_mixed_with_p2p(self):
+        """NBC traffic must not match user point-to-point receives."""
+
+        def prog(comm):
+            out = np.empty(1)
+            req = comm.iallreduce(np.array([1.0]), out)
+            peer = 1 - comm.rank
+            buf = np.empty(1)
+            comm.sendrecv(np.array([9.0]), peer, buf, peer, sendtag=0)
+            req.wait(timeout=30)
+            return (out[0], buf[0])
+
+        assert run_world(2, prog) == [(2.0, 9.0), (2.0, 9.0)]

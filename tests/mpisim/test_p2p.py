@@ -1,0 +1,326 @@
+"""Integration tests: point-to-point messaging on the substrate."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import ANY_SOURCE, ANY_TAG, PROC_NULL, World
+from repro.mpisim.exceptions import (
+    InvalidRankError,
+    InvalidTagError,
+    TruncationError,
+    WorldError,
+)
+from repro.util.units import KIB, MIB
+
+from tests.conftest import run_world
+
+
+class TestBlockingP2P:
+    def test_simple_send_recv(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.arange(4.0), dest=1, tag=3)
+                return None
+            buf = np.empty(4)
+            st = comm.recv(buf, source=0, tag=3)
+            assert st.source == 0 and st.tag == 3
+            assert st.count == 32
+            return buf.tolist()
+
+        res = run_world(2, prog)
+        assert res[1] == [0.0, 1.0, 2.0, 3.0]
+
+    @pytest.mark.parametrize("nbytes", [0, 1, 100, 4 * KIB, 1 * MIB])
+    def test_sizes_cross_protocols(self, nbytes):
+        """Exercises eager (<=128KB) and rendezvous (>128KB) paths."""
+
+        def prog(comm):
+            data = np.arange(nbytes, dtype=np.uint8)
+            if comm.rank == 0:
+                comm.send(data, 1)
+            else:
+                buf = np.empty(nbytes, dtype=np.uint8)
+                comm.recv(buf, 0)
+                assert np.array_equal(buf, data)
+            return True
+
+        run_world(2, prog)
+
+    def test_ring_exchange(self):
+        def prog(comm):
+            n = comm.size
+            out = np.empty(1)
+            comm.sendrecv(
+                np.array([float(comm.rank)]),
+                (comm.rank + 1) % n,
+                out,
+                (comm.rank - 1) % n,
+            )
+            return out[0]
+
+        res = run_world(5, prog)
+        assert res == [4.0, 0.0, 1.0, 2.0, 3.0]
+
+    def test_any_source_any_tag(self):
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.empty(1)
+                sts = [comm.recv(buf, ANY_SOURCE, ANY_TAG) for _ in range(2)]
+                return sorted(s.source for s in sts)
+            comm.send(np.array([1.0]), 0, tag=comm.rank)
+            return None
+
+        res = run_world(3, prog)
+        assert res[0] == [1, 2]
+
+    def test_proc_null(self):
+        def prog(comm):
+            comm.send(np.zeros(4), PROC_NULL)
+            st = comm.recv(np.zeros(4), PROC_NULL)
+            assert st.count == 0
+            return True
+
+        run_world(1, prog)
+
+    def test_self_send_nonblocking(self):
+        def prog(comm):
+            buf = np.empty(2)
+            r = comm.irecv(buf, 0, tag=1)
+            comm.send(np.array([5.0, 6.0]), 0, tag=1)
+            r.wait()
+            return buf.tolist()
+
+        assert run_world(1, prog) == [[5.0, 6.0]]
+
+
+class TestNonblocking:
+    def test_isend_irecv_waitall(self):
+        from repro.mpisim.requests import waitall
+
+        def prog(comm):
+            peer = 1 - comm.rank
+            out = np.empty(8)
+            reqs = [
+                comm.irecv(out, peer, tag=1),
+                comm.isend(np.full(8, float(comm.rank)), peer, tag=1),
+            ]
+            waitall(reqs)
+            return out[0]
+
+        assert run_world(2, prog) == [1.0, 0.0]
+
+    def test_rendezvous_requires_progress(self):
+        """Above the eager threshold, an isend alone must NOT complete:
+        the rendezvous needs the receiver to match and the sender to
+        pump progress — the paper's Section 2 hazard, for real."""
+
+        def prog(comm):
+            big = np.zeros(512 * KIB, dtype=np.uint8)
+            if comm.rank == 0:
+                req = comm.isend(big, 1, tag=9)
+                import time
+
+                time.sleep(0.05)  # no progress calls here
+                stalled = not req.done
+                req.wait()
+                return stalled
+            import time
+
+            time.sleep(0.01)
+            buf = np.empty(512 * KIB, dtype=np.uint8)
+            comm.recv(buf, 0, tag=9)
+            return None
+
+        res = run_world(2, prog)
+        assert res[0] is True
+
+    def test_eager_isend_completes_immediately(self):
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.zeros(64, dtype=np.uint8), 1, tag=2)
+                done = req.done  # eager: buffered, locally complete
+                req.wait()
+                return done
+            buf = np.empty(64, dtype=np.uint8)
+            comm.recv(buf, 0, tag=2)
+            return None
+
+        assert run_world(2, prog)[0] is True
+
+    def test_waitany_and_waitsome(self):
+        from repro.mpisim.requests import waitany, waitsome
+
+        def prog(comm):
+            if comm.rank == 0:
+                bufs = [np.empty(1) for _ in range(3)]
+                reqs = [
+                    comm.irecv(bufs[i], 1, tag=i) for i in range(3)
+                ]
+                idx, _ = waitany(reqs, timeout=30)
+                indices, _ = waitsome(reqs, timeout=30)
+                for r in reqs:
+                    r.wait()
+                return idx in (0, 1, 2) and len(indices) >= 1
+            for i in range(3):
+                comm.send(np.array([float(i)]), 0, tag=i)
+            return None
+
+        assert run_world(2, prog)[0] is True
+
+    def test_cancel_unmatched_recv(self):
+        def prog(comm):
+            buf = np.empty(1)
+            req = comm.irecv(buf, 0, tag=77)
+            assert req.cancel()
+            st = req.wait()
+            assert st.cancelled
+            # cancelling twice fails gracefully
+            assert not req.cancel()
+            return True
+
+        run_world(1, prog)
+
+
+class TestOrdering:
+    def test_non_overtaking_same_pair(self):
+        """Messages between one pair on one tag arrive in send order."""
+
+        def prog(comm):
+            n_msgs = 50
+            if comm.rank == 0:
+                for i in range(n_msgs):
+                    comm.send(np.array([float(i)]), 1, tag=4)
+                return None
+            got = []
+            buf = np.empty(1)
+            for _ in range(n_msgs):
+                comm.recv(buf, 0, tag=4)
+                got.append(buf[0])
+            return got
+
+        res = run_world(2, prog)
+        assert res[1] == [float(i) for i in range(50)]
+
+    def test_tag_selective_reordering(self):
+        """A receive for tag B may overtake an earlier-sent tag A."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.array([1.0]), 1, tag=1)
+                comm.send(np.array([2.0]), 1, tag=2)
+                return None
+            buf = np.empty(1)
+            comm.recv(buf, 0, tag=2)
+            first = buf[0]
+            comm.recv(buf, 0, tag=1)
+            return (first, buf[0])
+
+        assert run_world(2, prog)[1] == (2.0, 1.0)
+
+
+class TestErrors:
+    def test_invalid_rank(self):
+        def prog(comm):
+            comm.send(np.zeros(1), dest=5)
+
+        with pytest.raises(WorldError) as ei:
+            run_world(2, prog)
+        assert any(
+            isinstance(e, InvalidRankError) for e in ei.value.failures.values()
+        )
+
+    def test_invalid_tag(self):
+        def prog(comm):
+            comm.send(np.zeros(1), dest=0, tag=-3)
+
+        with pytest.raises(WorldError) as ei:
+            run_world(1, prog)
+        assert any(
+            isinstance(e, InvalidTagError) for e in ei.value.failures.values()
+        )
+
+    def test_truncation_eager(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(100, dtype=np.uint8), 1, tag=1)
+                return None
+            buf = np.empty(10, dtype=np.uint8)
+            comm.recv(buf, 0, tag=1)
+
+        with pytest.raises(WorldError) as ei:
+            run_world(2, prog)
+        assert any(
+            isinstance(e, TruncationError)
+            for e in ei.value.failures.values()
+        )
+
+    def test_truncation_rendezvous_fails_both_sides(self):
+        def prog(comm):
+            big = np.zeros(512 * KIB, dtype=np.uint8)
+            if comm.rank == 0:
+                comm.send(big, 1, tag=1)
+                return None
+            buf = np.empty(10, dtype=np.uint8)
+            comm.recv(buf, 0, tag=1)
+
+        with pytest.raises(WorldError) as ei:
+            run_world(2, prog)
+        # both the sender's and receiver's operations error out
+        assert len(ei.value.failures) == 2
+
+
+class TestProbe:
+    def test_probe_reports_size_without_consuming(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.zeros(24, dtype=np.uint8), 1, tag=6)
+                return None
+            st = comm.probe(0, 6, timeout=30)
+            assert st.count == 24
+            buf = np.empty(24, dtype=np.uint8)
+            st2 = comm.recv(buf, st.source, st.tag)
+            assert st2.count == 24
+            return True
+
+        run_world(2, prog)
+
+    def test_iprobe_none_when_empty(self):
+        def prog(comm):
+            return comm.iprobe(ANY_SOURCE, ANY_TAG)
+
+        assert run_world(1, prog) == [None]
+
+    def test_probe_rendezvous_message(self):
+        def prog(comm):
+            big = np.zeros(256 * KIB, dtype=np.uint8)
+            if comm.rank == 0:
+                comm.send(big, 1, tag=1)
+                return None
+            st = comm.probe(0, 1, timeout=30)
+            assert st.count == 256 * KIB
+            buf = np.empty(256 * KIB, dtype=np.uint8)
+            comm.recv(buf, 0, 1)
+            return True
+
+        run_world(2, prog)
+
+
+class TestObjectAPI:
+    def test_send_recv_obj(self):
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send_obj({"data": [1, 2, 3]}, dest=1, tag=5)
+                return None
+            return comm.recv_obj(source=0, tag=5, timeout=30)
+
+        assert run_world(2, prog)[1] == {"data": [1, 2, 3]}
+
+    def test_isend_obj(self):
+        def prog(comm):
+            if comm.rank == 0:
+                r = comm.isend_obj((1, "two"), 1)
+                r.wait()
+                return None
+            return comm.recv_obj(source=0, timeout=30)
+
+        assert run_world(2, prog)[1] == (1, "two")

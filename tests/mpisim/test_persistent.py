@@ -1,0 +1,162 @@
+"""Persistent-request (MPI_Send_init family) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import offloaded
+from repro.mpisim import start_all, wait_all_persistent
+from repro.mpisim.exceptions import MPIError
+
+from tests.conftest import run_world, run_world_mt
+
+
+class TestLifecycle:
+    def test_restartable_ring_exchange(self):
+        def prog(comm):
+            n = comm.size
+            right, left = (comm.rank + 1) % n, (comm.rank - 1) % n
+            sendbuf = np.zeros(4)
+            recvbuf = np.empty(4)
+            ps = comm.send_init(sendbuf, right, tag=1)
+            pr = comm.recv_init(recvbuf, left, tag=1)
+            for it in range(6):
+                sendbuf[:] = comm.rank * 100 + it
+                start_all([pr, ps])
+                wait_all_persistent([pr, ps], timeout=30)
+                assert recvbuf[0] == left * 100 + it
+            return (ps.starts, ps.completions)
+
+        assert run_world(3, prog) == [(6, 6)] * 3
+
+    def test_start_while_active_rejected(self):
+        def prog(comm):
+            pr = comm.recv_init(np.empty(1), 0, tag=9)
+            pr.start()
+            with pytest.raises(MPIError):
+                pr.start()
+            # complete it so the world shuts down cleanly
+            comm.send(np.array([1.0]), 0, tag=9)
+            pr.wait(timeout=10)
+            pr.start()  # restart after completion is legal
+            comm.send(np.array([2.0]), 0, tag=9)
+            pr.wait(timeout=10)
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_wait_before_start_rejected(self):
+        def prog(comm):
+            pr = comm.recv_init(np.empty(1), 0)
+            with pytest.raises(MPIError):
+                pr.wait()
+            with pytest.raises(MPIError):
+                pr.test()
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_each_start_snapshots_buffer(self):
+        """Eager semantics: data sent is the buffer content at start."""
+
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.zeros(1)
+                ps = comm.send_init(buf, 1, tag=2)
+                for v in (1.0, 2.0, 3.0):
+                    buf[0] = v
+                    ps.start()
+                    ps.wait(timeout=10)
+                return None
+            got = []
+            recv = np.empty(1)
+            pr = comm.recv_init(recv, 0, tag=2)
+            for _ in range(3):
+                pr.start()
+                pr.wait(timeout=10)
+                got.append(recv[0])
+            return got
+
+        assert run_world(2, prog)[1] == [1.0, 2.0, 3.0]
+
+    def test_test_deactivates_on_completion(self):
+        def prog(comm):
+            buf = np.empty(1)
+            pr = comm.recv_init(buf, 0, tag=3)
+            pr.start()
+            done, _ = pr.test()
+            assert not done and pr.active
+            comm.send(np.array([5.0]), 0, tag=3)
+            import time
+
+            deadline = time.perf_counter() + 10
+            while True:
+                done, st = pr.test()
+                if done:
+                    break
+                assert time.perf_counter() < deadline
+            assert not pr.active
+            return buf[0]
+
+        assert run_world(1, prog) == [5.0]
+
+    def test_validation_at_init(self):
+        from repro.mpisim.exceptions import InvalidRankError
+
+        def prog(comm):
+            with pytest.raises(InvalidRankError):
+                comm.send_init(np.zeros(1), dest=7)
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestOffloadedPersistent:
+    def test_restart_through_offload(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                n = comm.size
+                right, left = (comm.rank + 1) % n, (comm.rank - 1) % n
+                sendbuf = np.zeros(2)
+                recvbuf = np.empty(2)
+                ps = oc.send_init(sendbuf, right, tag=4)
+                pr = oc.recv_init(recvbuf, left, tag=4)
+                for it in range(4):
+                    sendbuf[:] = comm.rank + it * 10
+                    start_all([pr, ps])
+                    wait_all_persistent([pr, ps], timeout=30)
+                    assert recvbuf[0] == left + it * 10
+            return True
+
+        assert all(run_world_mt(2, prog))
+
+
+class TestPersistentDslash:
+    def test_matches_nonpersistent(self):
+        from repro.apps.qcd import (
+            DslashOperator,
+            LatticeGeometry,
+            random_gauge_field,
+            random_spinor_field,
+        )
+
+        geom1 = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, 1))
+        u_full = random_gauge_field(geom1, 0, seed="pd")
+        psi_full = random_spinor_field(geom1, 0, seed="pd")
+
+        def prog(comm):
+            geom = LatticeGeometry((4, 4, 4, 8), (1, 1, 1, comm.size))
+            lo = geom.local_origin(comm.rank)
+            slc = tuple(
+                slice(o, o + l) for o, l in zip(lo, geom.local_dims)
+            )
+            u = np.ascontiguousarray(u_full[slc])
+            psi = np.ascontiguousarray(psi_full[slc])
+            normal = DslashOperator(geom, comm, u).apply(psi)
+            dp = DslashOperator(geom, comm, u, persistent=True)
+            for _ in range(3):  # restart across applications
+                pers = dp.apply(psi)
+            np.testing.assert_allclose(pers, normal, atol=1e-12)
+            assert dp._preqs[0].starts == 3
+            return True
+
+        assert all(run_world(2, prog))

@@ -1,0 +1,126 @@
+"""Request objects and the wait/test family, in isolation."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim.exceptions import MPIError
+from repro.mpisim.requests import CompletedRequest, Request
+from repro.mpisim.requests import testall as req_testall
+from repro.mpisim.requests import testany as req_testany
+from repro.mpisim.requests import waitall, waitany, waitsome
+from repro.mpisim.status import EMPTY_STATUS, Status
+
+
+class TestRequestBasics:
+    def test_completed_request_born_done(self):
+        r = CompletedRequest(Status(1, 2, 3))
+        assert r.done
+        done, st = r.test()
+        assert done and st.count == 3
+        assert r.wait() is not None
+
+    def test_wait_timeout(self):
+        r = Request(None)
+        with pytest.raises(TimeoutError):
+            r.wait(timeout=0.01)
+
+    def test_fail_propagates_on_wait_and_test(self):
+        r = Request(None)
+        r._fail(ValueError("inner"))
+        with pytest.raises(ValueError):
+            r.wait(timeout=1)
+        r2 = Request(None)
+        r2._fail(ValueError("x"))
+        with pytest.raises(ValueError):
+            r2.test()
+
+    def test_cross_thread_completion_wakes_waiter(self):
+        import threading
+
+        r = Request(None)
+
+        def completer():
+            r._complete(EMPTY_STATUS)
+
+        t = threading.Thread(target=completer)
+        t.start()
+        assert r.wait(timeout=5) is EMPTY_STATUS
+        t.join()
+
+    def test_base_request_not_cancellable(self):
+        with pytest.raises(MPIError):
+            Request(None).cancel()
+
+
+class TestFamilies:
+    def _mixed(self, ndone=2, npending=1):
+        done = [CompletedRequest(Status(0, i, i)) for i in range(ndone)]
+        pending = [Request(None) for _ in range(npending)]
+        return done, pending
+
+    def test_testall(self):
+        done, pending = self._mixed()
+        ok, sts = req_testall(done)
+        assert ok and [s.count for s in sts] == [0, 1]
+        ok, sts = req_testall(done + pending)
+        assert not ok and sts is None
+
+    def test_testany_prefers_first_done(self):
+        done, pending = self._mixed(1, 2)
+        idx, st = req_testany(pending[:1] + done)
+        assert idx == 1
+        idx, st = req_testany(pending)
+        assert idx is None and st is None
+
+    def test_waitall_empty_list(self):
+        assert waitall([]) == []
+
+    def test_waitall_timeout_reports_pending(self):
+        _, pending = self._mixed(0, 2)
+        with pytest.raises(TimeoutError, match="2 request"):
+            waitall(pending, timeout=0.02)
+
+    def test_waitany_empty_rejected(self):
+        with pytest.raises(ValueError):
+            waitany([])
+
+    def test_waitany_timeout(self):
+        _, pending = self._mixed(0, 1)
+        with pytest.raises(TimeoutError):
+            waitany(pending, timeout=0.02)
+
+    def test_waitsome_returns_all_completed(self):
+        done, _ = self._mixed(3, 0)
+        indices, sts = waitsome(done)
+        assert indices == [0, 1, 2]
+        assert len(sts) == 3
+
+    def test_error_in_family_raises(self):
+        bad = Request(None)
+        bad._fail(RuntimeError("op failed"))
+        with pytest.raises(RuntimeError):
+            waitall([bad], timeout=1)
+        with pytest.raises(RuntimeError):
+            req_testall([bad])
+        with pytest.raises(RuntimeError):
+            req_testany([bad])
+
+
+class TestStatus:
+    def test_get_count_elements(self):
+        st = Status(0, 0, 32)
+        assert st.get_count(8) == 4
+        assert st.get_count() == 32
+
+    def test_get_count_non_multiple(self):
+        with pytest.raises(ValueError):
+            Status(0, 0, 10).get_count(8)
+
+    def test_get_count_bad_itemsize(self):
+        with pytest.raises(ValueError):
+            Status(0, 0, 8).get_count(0)
+
+    def test_frozen(self):
+        st = Status(0, 1, 2)
+        with pytest.raises(Exception):
+            st.count = 5  # type: ignore[misc]

@@ -1,0 +1,303 @@
+"""One-sided (RMA) tests: semantics, progress dependence, epochs,
+errors, and the Casper connection (paper §7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommSelfProgressThread, offloaded
+from repro.mpisim import LOCK_EXCLUSIVE, LOCK_SHARED, RMAError, World
+from repro.mpisim.exceptions import WorldError
+
+from tests.conftest import run_world, run_world_mt
+
+
+class TestPutGetAccumulate:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_put_fence_visibility(self, n):
+        def prog(comm):
+            mem = np.zeros(max(n, 4), dtype=np.float64)
+            win = comm.win_create(mem)
+            win.put(
+                np.array([float(comm.rank + 1)]), 0, target_offset=comm.rank
+            )
+            win.fence()
+            result = mem[:n].copy() if comm.rank == 0 else None
+            win.free()
+            return result
+
+        res = run_world(n, prog)
+        np.testing.assert_array_equal(
+            res[0], [float(i + 1) for i in range(n)]
+        )
+
+    def test_put_vector(self):
+        def prog(comm):
+            mem = np.zeros(8, dtype=np.int64)
+            win = comm.win_create(mem)
+            if comm.rank == 1:
+                win.put(np.arange(8, dtype=np.int64), 0)
+            win.fence()
+            ok = comm.rank != 0 or (mem == np.arange(8)).all()
+            win.free()
+            return ok
+
+        assert all(run_world(2, prog))
+
+    def test_get_roundtrip(self):
+        def prog(comm):
+            mem = np.full(4, float(comm.rank * 10), dtype=np.float64)
+            win = comm.win_create(mem)
+            win.fence()
+            out = np.empty(4, dtype=np.float64)
+            peer = (comm.rank + 1) % comm.size
+            win.get(out, peer).wait(timeout=30)
+            win.fence()
+            win.free()
+            return out[0] == peer * 10
+
+        assert all(run_world(3, prog))
+
+    @pytest.mark.parametrize("n", [2, 4])
+    def test_accumulate_sums_all_origins(self, n):
+        def prog(comm):
+            mem = np.zeros(2, dtype=np.float64)
+            win = comm.win_create(mem)
+            win.accumulate(np.array([1.0, float(comm.rank)]), 0)
+            win.fence()
+            result = mem.copy() if comm.rank == 0 else None
+            win.free()
+            return result
+
+        res = run_world(n, prog)
+        assert res[0][0] == n
+        assert res[0][1] == n * (n - 1) / 2
+
+    def test_accumulate_with_max(self):
+        from repro.mpisim import MAX
+
+        def prog(comm):
+            mem = np.zeros(1, dtype=np.float64)
+            win = comm.win_create(mem)
+            win.accumulate(np.array([float(comm.rank)]), 0, op=MAX)
+            win.fence()
+            result = mem[0] if comm.rank == 0 else None
+            win.free()
+            return result
+
+        assert run_world(4, prog)[0] == 3.0
+
+    def test_self_rma(self):
+        def prog(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = comm.win_create(mem)
+            win.put(np.array([7.0]), 0, target_offset=2)
+            win.flush()
+            assert mem[2] == 7.0
+            win.free()
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestProgressDependence:
+    def test_put_not_applied_until_target_progresses(self):
+        """The Casper problem, for real: a put to a rank that never
+        enters MPI sits unapplied."""
+
+        def prog(comm):
+            import time
+
+            mem = np.zeros(1, dtype=np.float64)
+            win = comm.win_create(mem)
+            if comm.rank == 0:
+                req = win.put(np.array([5.0]), 1)
+                time.sleep(0.05)
+                # target is quiet: no ack has come back
+                stalled = not req.done
+                win.fence()
+                win.free()
+                return stalled
+            # rank 1 computes without touching MPI for a while
+            time.sleep(0.1)
+            win.fence()  # only now does the put land
+            applied = bool(mem[0] == 5.0)
+            win.free()
+            return applied
+
+        res = run_world(2, prog)
+        assert res[0] is True  # origin saw the stall
+        assert res[1] is True  # applied by fence time
+
+    def test_commself_thread_applies_puts_during_compute(self):
+        """With a comm-self progress thread at the target (Casper-style
+        asynchronous agent), the put lands while the target computes."""
+
+        def prog(comm):
+            import time
+
+            with CommSelfProgressThread(comm):
+                mem = np.zeros(1, dtype=np.float64)
+                win = comm.win_create(mem)
+                if comm.rank == 0:
+                    req = win.put(np.array([5.0]), 1)
+                    req.wait(timeout=10)  # completes without target calls
+                    ok = True
+                else:
+                    deadline = time.perf_counter() + 5
+                    while mem[0] != 5.0:  # target only computes
+                        assert time.perf_counter() < deadline
+                        time.sleep(1e-3)
+                    ok = True
+                win.fence()
+                win.free()
+            return ok
+
+        assert all(run_world_mt(2, prog))
+
+
+class TestPassiveTarget:
+    def test_exclusive_lock_serializes_epochs(self):
+        def prog(comm):
+            mem = np.zeros(2, dtype=np.float64)
+            win = comm.win_create(mem)
+            if comm.rank > 0:
+                win.lock(0, LOCK_EXCLUSIVE, timeout=60)
+                # read-modify-write on rank 0's counter
+                cur = np.empty(1, dtype=np.float64)
+                win.get(cur, 0).wait(timeout=30)
+                win.put(cur + 1.0, 0)
+                win.unlock(0, timeout=60)
+            comm.barrier()
+            result = mem[0] if comm.rank == 0 else None
+            win.free()
+            return result
+
+        res = run_world(4, prog)
+        assert res[0] == 3.0  # all increments serialized, none lost
+
+    def test_shared_locks_coexist(self):
+        def prog(comm):
+            mem = np.zeros(4, dtype=np.float64)
+            win = comm.win_create(mem)
+            if comm.rank > 0:
+                win.lock(0, LOCK_SHARED, timeout=60)
+                win.put(np.array([1.0]), 0, target_offset=comm.rank)
+                win.unlock(0, timeout=60)
+            comm.barrier()
+            result = mem.sum() if comm.rank == 0 else None
+            win.free()
+            return result
+
+        assert run_world(3, prog)[0] == 2.0
+
+    def test_unlock_without_lock(self):
+        def prog(comm):
+            mem = np.zeros(1)
+            win = comm.win_create(mem)
+            with pytest.raises(RMAError):
+                win.unlock(0)
+            win.free()
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_double_lock_rejected(self):
+        def prog(comm):
+            win = comm.win_create(np.zeros(1))
+            win.lock(0)
+            with pytest.raises(RMAError):
+                win.lock(0)
+            win.unlock(0)
+            win.free()
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestErrors:
+    def test_out_of_range_put_fails_origin(self):
+        def prog(comm):
+            win = comm.win_create(np.zeros(2, dtype=np.float64))
+            req = win.put(np.zeros(10), 0, target_offset=0)
+            with pytest.raises(RMAError):
+                req.wait(timeout=10)
+            win._pending.clear()  # the failed op is not flushable
+            win.free()
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_dtype_mismatch_on_get(self):
+        def prog(comm):
+            win = comm.win_create(np.zeros(2, dtype=np.float64))
+            with pytest.raises(RMAError):
+                win.get(np.empty(2, dtype=np.int32), 0)
+            win.free()
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_noncontiguous_memory_rejected(self):
+        def prog(comm):
+            with pytest.raises(TypeError):
+                comm.win_create(np.zeros((4, 4))[:, ::2])
+            return True
+
+        assert all(run_world(1, prog))
+
+
+class TestOffloadedRMA:
+    def test_put_get_accumulate_through_offload(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                mem = np.zeros(4, dtype=np.float64)
+                win = oc.win_create(mem)
+                win.put(
+                    np.array([float(oc.rank + 1)]), 0, target_offset=oc.rank
+                )
+                win.fence()
+                ok = True
+                if oc.rank == 0:
+                    ok = list(mem[: oc.size]) == [
+                        float(i + 1) for i in range(oc.size)
+                    ]
+                win.accumulate(np.array([2.0]), 0, target_offset=3)
+                win.fence()
+                if oc.rank == 0:
+                    ok = ok and mem[3] == 2.0 * oc.size
+                out = np.empty(1, dtype=np.float64)
+                win.get(out, 0, target_offset=0).wait(timeout=30)
+                ok = ok and out[0] == 1.0
+                win.lock(0, LOCK_EXCLUSIVE)
+                win.unlock(0)
+                win.free()
+                return ok
+
+        assert all(run_world_mt(2, prog))
+
+    def test_offload_thread_provides_target_progress(self):
+        """An offloaded target applies puts while its app thread
+        computes — the offload thread is the RMA async-progress agent
+        (what the paper's §7 extension is for)."""
+
+        def prog(comm):
+            import time
+
+            with offloaded(comm) as oc:
+                mem = np.zeros(1, dtype=np.float64)
+                win = oc.win_create(mem)
+                if comm.rank == 0:
+                    req = win.put(np.array([9.0]), 1)
+                    req.wait(timeout=10)
+                    ok = True
+                else:
+                    deadline = time.perf_counter() + 5
+                    while mem[0] != 9.0:  # app thread only computes
+                        assert time.perf_counter() < deadline
+                        time.sleep(1e-3)
+                    ok = True
+                win.fence()
+                win.free()
+                return ok
+
+        assert all(run_world_mt(2, prog))

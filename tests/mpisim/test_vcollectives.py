@@ -1,0 +1,179 @@
+"""Variable-count collectives (gatherv / scatterv / alltoallv)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import offloaded
+from repro.mpisim import World
+from repro.mpisim.exceptions import WorldError
+from repro.util.rng import seeded_rng
+
+from tests.conftest import run_world, run_world_mt
+
+
+class TestGatherv:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_uneven_blocks(self, n):
+        counts = [r + 1 for r in range(n)]
+
+        def prog(comm):
+            mine = np.full(comm.rank + 1, float(comm.rank))
+            return comm.gatherv(mine, counts, root=0)
+
+        res = run_world(n, prog)
+        expected = np.concatenate(
+            [np.full(r + 1, float(r)) for r in range(n)]
+        )
+        np.testing.assert_array_equal(res[0], expected)
+        assert all(r is None for r in res[1:])
+
+    def test_zero_count_ranks(self):
+        counts = [2, 0, 1]
+
+        def prog(comm):
+            mine = np.full(counts[comm.rank], float(comm.rank))
+            return comm.gatherv(mine, counts, root=0)
+
+        res = run_world(3, prog)
+        np.testing.assert_array_equal(res[0], [0.0, 0.0, 2.0])
+
+    def test_count_mismatch_rejected(self):
+        def prog(comm):
+            comm.gatherv(np.zeros(5), [1, 1], root=0)
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+    def test_nonroot_gets_none(self):
+        def prog(comm):
+            return comm.gatherv(np.zeros(1), [1, 1], root=1)
+
+        res = run_world(2, prog)
+        assert res[0] is None and res[1] is not None
+
+
+class TestScatterv:
+    @pytest.mark.parametrize("n", [1, 2, 4])
+    def test_roundtrip_with_gatherv(self, n):
+        counts = [2 * r + 1 for r in range(n)]
+
+        def prog(comm):
+            mine = np.full(counts[comm.rank], float(comm.rank + 1))
+            packed = comm.gatherv(mine, counts, root=0)
+            out = np.empty(counts[comm.rank])
+            comm.scatterv(packed, counts, out, root=0)
+            return (out == comm.rank + 1).all()
+
+        assert all(run_world(n, prog))
+
+    def test_root_needs_sendbuf(self):
+        def prog(comm):
+            comm.scatterv(None, [1], np.empty(1), root=0)
+
+        with pytest.raises(WorldError):
+            run_world(1, prog)
+
+    def test_recvbuf_size_mismatch(self):
+        def prog(comm):
+            comm.scatterv(np.zeros(2), [1, 1], np.empty(5), root=0)
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+
+class TestAlltoallv:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4])
+    def test_triangular_exchange(self, n):
+        """Rank p sends (q+1) copies of p to rank q."""
+
+        def prog(comm):
+            scounts = [q + 1 for q in range(n)]
+            rcounts = [comm.rank + 1] * n
+            sbuf = np.concatenate(
+                [np.full(q + 1, float(comm.rank)) for q in range(n)]
+            )
+            rbuf = np.empty(sum(rcounts))
+            comm.alltoallv(sbuf, scounts, rbuf, rcounts)
+            expected = np.concatenate(
+                [np.full(comm.rank + 1, float(p)) for p in range(n)]
+            )
+            return np.array_equal(rbuf, expected)
+
+        assert all(run_world(n, prog))
+
+    def test_sparse_pattern_with_zeros(self):
+        """Only neighbors exchange; everything else is a zero count."""
+
+        def prog(comm):
+            n = comm.size
+            right = (comm.rank + 1) % n
+            scounts = [0] * n
+            scounts[right] = 3
+            rcounts = [0] * n
+            rcounts[(comm.rank - 1) % n] = 3
+            sbuf = np.full(3, float(comm.rank))
+            rbuf = np.empty(3)
+            comm.alltoallv(sbuf, scounts, rbuf, rcounts)
+            return rbuf[0] == (comm.rank - 1) % n
+
+        assert all(run_world(4, prog))
+
+    def test_buffer_size_validation(self):
+        def prog(comm):
+            comm.alltoallv(np.zeros(3), [1, 1], np.empty(2), [1, 1])
+
+        with pytest.raises(WorldError):
+            run_world(2, prog)
+
+    def test_through_offload(self):
+        def prog(comm):
+            n = comm.size
+            with offloaded(comm) as oc:
+                scounts = [q + 1 for q in range(n)]
+                rcounts = [oc.rank + 1] * n
+                sbuf = np.concatenate(
+                    [np.full(q + 1, float(oc.rank)) for q in range(n)]
+                )
+                rbuf = np.empty(sum(rcounts))
+                oc.alltoallv(sbuf, scounts, rbuf, rcounts)
+                expected = np.concatenate(
+                    [np.full(oc.rank + 1, float(p)) for p in range(n)]
+                )
+                ok = np.array_equal(rbuf, expected)
+                g = oc.gatherv(
+                    np.full(oc.rank + 1, 1.0),
+                    [r + 1 for r in range(n)],
+                    root=0,
+                )
+                if oc.rank == 0:
+                    ok = ok and g.size == n * (n + 1) // 2
+                out = np.empty(oc.rank + 1)
+                oc.scatterv(
+                    g if oc.rank == 0 else None,
+                    [r + 1 for r in range(n)],
+                    out,
+                    root=0,
+                )
+                return ok and (out == 1.0).all()
+
+        assert all(run_world_mt(3, prog))
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_alltoallv_matches_dense_alltoall_property(seed):
+    """With uniform counts, alltoallv must equal plain alltoall."""
+    n = 3
+    rng = seeded_rng("a2av", seed)
+    blocks = rng.standard_normal((n, n, 2))  # [src][dst][elem]
+
+    def prog(comm):
+        dense = comm.alltoall(np.ascontiguousarray(blocks[comm.rank]))
+        flat = np.ascontiguousarray(blocks[comm.rank].reshape(-1))
+        rbuf = np.empty(n * 2)
+        comm.alltoallv(flat, [2] * n, rbuf, [2] * n)
+        return np.allclose(dense.reshape(-1), rbuf)
+
+    assert all(World(n).run(prog, timeout=30))

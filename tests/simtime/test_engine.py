@@ -1,0 +1,241 @@
+"""Unit and property tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simtime.engine import Resource, SimEvent, Simulator, Store
+
+
+class TestEvents:
+    def test_timeout_fires_at_time(self):
+        sim = Simulator()
+        evt = sim.timeout(5.0, value="x")
+        assert sim.run(evt) == "x"
+        assert sim.now == 5.0
+
+    def test_event_fires_once(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed(1)
+        with pytest.raises(RuntimeError):
+            evt.succeed(2)
+
+    def test_callback_after_fire_still_runs(self):
+        sim = Simulator()
+        evt = sim.event()
+        evt.succeed(9)
+        seen = []
+        evt.add_callback(lambda e: seen.append(e.value))
+        sim.run()
+        assert seen == [9]
+
+    def test_any_of_first_wins(self):
+        sim = Simulator()
+        a = sim.timeout(2.0, "a")
+        b = sim.timeout(1.0, "b")
+        first = sim.run(sim.any_of([a, b]))
+        assert first.value == "b"
+        assert sim.now == 1.0
+
+    def test_all_of_collects_values(self):
+        sim = Simulator()
+        evts = [sim.timeout(t, t) for t in (3.0, 1.0, 2.0)]
+        vals = sim.run(sim.all_of(evts))
+        assert vals == [3.0, 1.0, 2.0]
+        assert sim.now == 3.0
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        assert sim.run(sim.all_of([])) == []
+
+
+class TestProcesses:
+    def test_yield_delay_advances_clock(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.5
+            yield 2.5
+            return "done"
+
+        p = sim.process(proc())
+        assert sim.run(p) == "done"
+        assert sim.now == 4.0
+
+    def test_yield_event_receives_value(self):
+        sim = Simulator()
+
+        def proc():
+            v = yield sim.timeout(1.0, 42)
+            return v
+
+        assert sim.run(sim.process(proc())) == 42
+
+    def test_process_is_awaitable_event(self):
+        sim = Simulator()
+
+        def inner():
+            yield 2.0
+            return "inner result"
+
+        def outer():
+            v = yield sim.process(inner())
+            return v
+
+        assert sim.run(sim.process(outer())) == "inner result"
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.process(proc())
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_bad_yield_type_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nope"
+
+        sim.process(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+        never = sim.event()
+
+        def proc():
+            yield never
+
+        p = sim.process(proc())
+        with pytest.raises(RuntimeError, match="deadlock"):
+            sim.run(p)
+
+    def test_determinism_same_instant_fifo(self):
+        """Events at equal times fire in schedule order."""
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_run_until_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(3.0, lambda: fired.append(3))
+        sim.run(until=2.0)
+        assert fired == [1]
+        assert sim.now == 2.0
+
+
+class TestResource:
+    def test_serializes_holders(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        log = []
+
+        def user(name, hold):
+            yield res.request()
+            log.append((sim.now, name, "acquire"))
+            yield hold
+            res.release()
+            log.append((sim.now, name, "release"))
+
+        sim.process(user("a", 2.0))
+        sim.process(user("b", 1.0))
+        sim.run()
+        assert log == [
+            (0.0, "a", "acquire"),
+            (2.0, "a", "release"),
+            (2.0, "b", "acquire"),
+            (3.0, "b", "release"),
+        ]
+        assert res.waits == 1
+
+    def test_capacity_two(self):
+        sim = Simulator()
+        res = Resource(sim, 2)
+        done = []
+
+        def user(name):
+            yield from res.use(1.0)
+            done.append((sim.now, name))
+
+        for n in "abc":
+            sim.process(user(n))
+        sim.run()
+        assert done == [(1.0, "a"), (1.0, "b"), (2.0, "c")]
+
+    def test_release_without_request(self):
+        sim = Simulator()
+        with pytest.raises(RuntimeError):
+            Resource(sim).release()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), 0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("x")
+        got = []
+
+        def getter():
+            v = yield store.get()
+            got.append(v)
+
+        sim.process(getter())
+        sim.run()
+        assert got == ["x"]
+
+    def test_get_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def getter():
+            v = yield store.get()
+            got.append((sim.now, v))
+
+        def putter():
+            yield 3.0
+            store.put("late")
+
+        sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert got == [(3.0, "late")]
+
+    def test_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        ok, v = store.try_get()
+        assert not ok
+        store.put(1)
+        ok, v = store.try_get()
+        assert ok and v == 1
+        assert len(store) == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(delays=st.lists(st.floats(0.0, 100.0), min_size=1, max_size=20))
+def test_clock_monotonic_property(delays):
+    """Property: observed event times are sorted regardless of the
+    order delays were scheduled in."""
+    sim = Simulator()
+    seen = []
+    for d in delays:
+        sim.schedule(d, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(delays)

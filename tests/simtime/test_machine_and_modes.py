@@ -1,0 +1,105 @@
+"""Machine configs and approach policies."""
+
+import pytest
+
+from repro.simtime.machine import (
+    EDISON,
+    ENDEAVOR_PHI,
+    ENDEAVOR_XEON,
+    MACHINES,
+)
+from repro.simtime.progress_modes import APPROACHES, Approach
+from repro.util.units import KIB
+
+
+class TestMachines:
+    def test_registry_complete(self):
+        assert set(MACHINES) == {
+            "endeavor-xeon",
+            "endeavor-phi",
+            "edison",
+        }
+
+    def test_paper_constants(self):
+        # §4.1: eager threshold 128 KB on every platform
+        for m in MACHINES.values():
+            assert m.eager_threshold == 128 * KIB
+        # §4.2: ~140 ns offload enqueue on Xeon
+        assert ENDEAVOR_XEON.offload_enqueue == pytest.approx(140e-9)
+        # §4.2: ~2.5 us TM overhead on Xeon
+        assert ENDEAVOR_XEON.tm_call_overhead == pytest.approx(2.5e-6)
+        # §4.5: comm-self halves bandwidth between 4 KB and 256 KB
+        assert ENDEAVOR_XEON.commself_bw_factor == 0.5
+        assert ENDEAVOR_XEON.commself_bw_range == (4 * KIB, 256 * KIB)
+
+    def test_phi_is_slower_per_call(self):
+        assert ENDEAVOR_PHI.sw_call_base > ENDEAVOR_XEON.sw_call_base
+        assert ENDEAVOR_PHI.offload_dispatch > ENDEAVOR_XEON.offload_dispatch
+
+    def test_platform_features(self):
+        assert not ENDEAVOR_PHI.thread_multiple_available  # §5.2
+        assert EDISON.corespec_available  # Fig. 9b
+        assert not ENDEAVOR_XEON.corespec_available
+
+
+class TestApproaches:
+    def test_registry(self):
+        assert set(APPROACHES) == {
+            "baseline",
+            "iprobe",
+            "comm-self",
+            "offload",
+            "corespec",
+        }
+
+    def test_dedicated_thread_costs_a_core(self):
+        for name in ("comm-self", "offload", "corespec"):
+            a = APPROACHES[name]
+            assert (
+                a.compute_cores(ENDEAVOR_XEON)
+                == ENDEAVOR_XEON.cores_per_rank - 1
+            )
+        for name in ("baseline", "iprobe"):
+            a = APPROACHES[name]
+            assert (
+                a.compute_cores(ENDEAVOR_XEON)
+                == ENDEAVOR_XEON.cores_per_rank
+            )
+
+    def test_compute_cores_floor(self):
+        import dataclasses
+
+        tiny = dataclasses.replace(ENDEAVOR_XEON, cores_per_rank=1)
+        assert APPROACHES["offload"].compute_cores(tiny) == 1
+
+    def test_call_cost_policy(self):
+        base = 1e-6
+        assert APPROACHES["offload"].call_cost(
+            ENDEAVOR_XEON, base
+        ) == pytest.approx(ENDEAVOR_XEON.offload_enqueue)
+        assert APPROACHES["baseline"].call_cost(
+            ENDEAVOR_XEON, base
+        ) == pytest.approx(base)
+        assert APPROACHES["comm-self"].call_cost(
+            ENDEAVOR_XEON, base
+        ) == pytest.approx(base + ENDEAVOR_XEON.tm_call_overhead)
+
+    def test_commself_bandwidth_dip_window(self):
+        a = APPROACHES["comm-self"]
+        full = ENDEAVOR_XEON.net_bandwidth
+        assert a.eager_bandwidth(ENDEAVOR_XEON, 1 * KIB) == full
+        assert a.eager_bandwidth(ENDEAVOR_XEON, 64 * KIB) == full * 0.5
+        assert a.eager_bandwidth(ENDEAVOR_XEON, 512 * KIB) == full
+        # other approaches never derate
+        assert (
+            APPROACHES["offload"].eager_bandwidth(ENDEAVOR_XEON, 64 * KIB)
+            == full
+        )
+
+    def test_progress_policy_flags(self):
+        assert not APPROACHES["baseline"].continuous_progress
+        assert not APPROACHES["iprobe"].continuous_progress
+        for n in ("comm-self", "offload", "corespec"):
+            assert APPROACHES[n].continuous_progress
+        assert APPROACHES["comm-self"].requires_thread_multiple
+        assert not APPROACHES["offload"].requires_thread_multiple

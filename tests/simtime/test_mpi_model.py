@@ -1,0 +1,314 @@
+"""Behavioural tests for the simulated MPI model.
+
+These assert the *mechanisms* the figures rely on, independent of the
+calibration constants.
+"""
+
+import pytest
+
+from repro.simtime.engine import Simulator
+from repro.simtime.machine import ENDEAVOR_XEON
+from repro.simtime.mpi_model import SimCluster
+from repro.simtime.progress_modes import APPROACHES
+from repro.util.units import KIB, MIB
+
+
+def two_rank_run(approach, body0, body1, thread_multiple=False):
+    sim = Simulator()
+    cluster = SimCluster(
+        sim,
+        ENDEAVOR_XEON,
+        APPROACHES[approach],
+        2,
+        thread_multiple=thread_multiple,
+    )
+    p0 = sim.process(body0(sim, cluster.ranks[0]))
+    p1 = sim.process(body1(sim, cluster.ranks[1]))
+    sim.run(sim.all_of([p0, p1]))
+    return sim, cluster
+
+
+class TestProtocolSelection:
+    def test_eager_send_completes_locally(self):
+        def sender(sim, mpi):
+            req = yield from mpi.isend(1, 1024, tag=1)
+            assert req.done  # buffered eagerly
+            yield from mpi.wait(req)
+
+        def receiver(sim, mpi):
+            req = yield from mpi.irecv(0, 1024, tag=1)
+            yield from mpi.wait(req)
+
+        two_rank_run("baseline", sender, receiver)
+
+    def test_rendezvous_send_stalls_without_progress(self):
+        """The central mechanism: above the threshold, the send is not
+        complete after posting plus arbitrary quiet time."""
+        observed = {}
+
+        def sender(sim, mpi):
+            req = yield from mpi.isend(1, 1 * MIB, tag=1)
+            yield 1.0  # a full virtual second of 'compute', no MPI
+            observed["done_after_compute"] = req.done
+            yield from mpi.wait(req)
+
+        def receiver(sim, mpi):
+            req = yield from mpi.irecv(0, 1 * MIB, tag=1)
+            yield 1.0
+            yield from mpi.wait(req)
+
+        two_rank_run("baseline", sender, receiver)
+        assert observed["done_after_compute"] is False
+
+    def test_rendezvous_completes_during_compute_with_offload(self):
+        observed = {}
+
+        def sender(sim, mpi):
+            req = yield from mpi.isend(1, 1 * MIB, tag=1)
+            yield 0.1
+            observed["done"] = req.done
+            yield from mpi.wait(req)
+
+        def receiver(sim, mpi):
+            req = yield from mpi.irecv(0, 1 * MIB, tag=1)
+            yield 0.1
+            yield from mpi.wait(req)
+
+        two_rank_run("offload", sender, receiver)
+        assert observed["done"] is True
+
+
+class TestUnexpectedMessages:
+    def test_late_recv_matches_unexpected_eager(self):
+        def sender(sim, mpi):
+            req = yield from mpi.isend(1, 64, tag=5)
+            yield from mpi.wait(req)
+
+        def receiver(sim, mpi):
+            yield 0.01  # the message arrives before any recv is posted
+            req = yield from mpi.irecv(0, 64, tag=5)
+            yield from mpi.wait(req)
+            assert req.done
+
+        two_rank_run("baseline", sender, receiver)
+
+    def test_late_recv_matches_unexpected_rts(self):
+        def sender(sim, mpi):
+            req = yield from mpi.isend(1, 1 * MIB, tag=5)
+            yield from mpi.wait(req)
+
+        def receiver(sim, mpi):
+            yield 0.01
+            req = yield from mpi.irecv(0, 1 * MIB, tag=5)
+            yield from mpi.wait(req)
+
+        sim, _ = two_rank_run("baseline", sender, receiver)
+        assert sim.now > 0.01
+
+
+class TestCallCosts:
+    @pytest.mark.parametrize(
+        "approach,expected",
+        [
+            ("baseline", ENDEAVOR_XEON.sw_call_base),
+            (
+                "comm-self",
+                ENDEAVOR_XEON.sw_call_base
+                + ENDEAVOR_XEON.tm_call_overhead,
+            ),
+            ("offload", ENDEAVOR_XEON.offload_enqueue),
+        ],
+    )
+    def test_small_isend_app_cost(self, approach, expected):
+        measured = {}
+
+        def sender(sim, mpi):
+            t0 = sim.now
+            req = yield from mpi.isend(1, 0, tag=1)
+            measured["cost"] = sim.now - t0
+            yield from mpi.wait(req)
+
+        def receiver(sim, mpi):
+            req = yield from mpi.irecv(0, 0, tag=1)
+            yield from mpi.wait(req)
+
+        two_rank_run(approach, sender, receiver)
+        assert measured["cost"] == pytest.approx(expected, rel=0.01)
+
+    def test_eager_copy_grows_with_size_for_baseline(self):
+        costs = {}
+        for nbytes in (1 * KIB, 64 * KIB):
+
+            def sender(sim, mpi, nbytes=nbytes):
+                t0 = sim.now
+                req = yield from mpi.isend(1, nbytes, tag=1)
+                costs[nbytes] = sim.now - t0
+                yield from mpi.wait(req)
+
+            def receiver(sim, mpi, nbytes=nbytes):
+                req = yield from mpi.irecv(0, nbytes, tag=1)
+                yield from mpi.wait(req)
+
+            two_rank_run("baseline", sender, receiver)
+        assert costs[64 * KIB] > costs[1 * KIB] * 10
+
+    def test_offload_cost_size_independent(self):
+        costs = {}
+        for nbytes in (8, 2 * MIB):
+
+            def sender(sim, mpi, nbytes=nbytes):
+                t0 = sim.now
+                req = yield from mpi.isend(1, nbytes, tag=1)
+                costs[nbytes] = sim.now - t0
+                yield from mpi.wait(req)
+
+            def receiver(sim, mpi, nbytes=nbytes):
+                req = yield from mpi.irecv(0, nbytes, tag=1)
+                yield from mpi.wait(req)
+
+            two_rank_run("offload", sender, receiver)
+        assert costs[8] == pytest.approx(costs[2 * MIB])
+
+
+class TestLibraryLock:
+    def test_tm_concurrent_calls_queue(self):
+        """Two app threads calling concurrently under TM serialize on
+        the lock; total elapsed exceeds one thread's cost."""
+        sim = Simulator()
+        cluster = SimCluster(
+            sim,
+            ENDEAVOR_XEON,
+            APPROACHES["baseline"],
+            2,
+            thread_multiple=True,
+        )
+        mpi = cluster.ranks[0]
+        finish = []
+
+        def thread(tid):
+            req = yield from mpi.isend(1, 1024, tag=tid)
+            finish.append(sim.now)
+            yield from mpi.wait(req)
+
+        def receiver():
+            r0 = yield from cluster.ranks[1].irecv(0, 1024, tag=0)
+            r1 = yield from cluster.ranks[1].irecv(0, 1024, tag=1)
+            yield from cluster.ranks[1].wait_all([r0, r1])
+
+        procs = [sim.process(thread(t)) for t in range(2)]
+        procs.append(sim.process(receiver()))
+        sim.run(sim.all_of(procs))
+        assert len(finish) == 2
+        # second call waited for the first to release the lock
+        assert max(finish) >= 2 * min(finish) * 0.9
+        assert mpi.lib_lock.waits >= 1
+
+    def test_funneled_has_no_lock_cost(self):
+        sim = Simulator()
+        cluster = SimCluster(
+            sim, ENDEAVOR_XEON, APPROACHES["baseline"], 2
+        )
+        assert cluster.effective_tm is False
+
+    def test_offload_never_tm(self):
+        sim = Simulator()
+        cluster = SimCluster(
+            sim,
+            ENDEAVOR_XEON,
+            APPROACHES["offload"],
+            2,
+            thread_multiple=True,
+        )
+        assert cluster.effective_tm is False
+
+
+class TestCollectiveModel:
+    @pytest.mark.parametrize("approach", ["baseline", "offload"])
+    def test_collective_completes_all_ranks(self, approach):
+        sim = Simulator()
+        cluster = SimCluster(sim, ENDEAVOR_XEON, APPROACHES[approach], 4)
+        done = []
+
+        def prog(rank):
+            mpi = cluster.ranks[rank]
+            req = yield from mpi.iallreduce(1024)
+            yield from mpi.wait(req)
+            done.append(rank)
+
+        procs = [sim.process(prog(r)) for r in range(4)]
+        sim.run(sim.all_of(procs))
+        assert sorted(done) == [0, 1, 2, 3]
+
+    def test_collective_gates_on_last_arrival(self):
+        """A straggler delays everyone's completion."""
+        sim = Simulator()
+        cluster = SimCluster(sim, ENDEAVOR_XEON, APPROACHES["offload"], 2)
+        finish = {}
+
+        def prog(rank, delay):
+            mpi = cluster.ranks[rank]
+            yield delay
+            req = yield from mpi.ibcast(8)
+            yield from mpi.wait(req)
+            finish[rank] = sim.now
+
+        procs = [
+            sim.process(prog(0, 0.0)),
+            sim.process(prog(1, 0.5)),
+        ]
+        sim.run(sim.all_of(procs))
+        assert finish[0] >= 0.5
+
+    def test_nbc_advances_only_with_progress_for_baseline(self):
+        """Figure 3's mechanism: the schedule sits still during compute
+        without a progress context."""
+        results = {}
+
+        def post_compute_wait(approach):
+            sim = Simulator()
+            cluster = SimCluster(
+                sim, ENDEAVOR_XEON, APPROACHES[approach], 2
+            )
+            out = {}
+
+            def prog(rank):
+                mpi = cluster.ranks[rank]
+                req = yield from mpi.iallreduce(16 * KIB)
+                yield 0.01  # compute
+                out.setdefault(rank, req.done)
+                yield from mpi.wait(req)
+
+            procs = [sim.process(prog(r)) for r in range(2)]
+            sim.run(sim.all_of(procs))
+            return out[0]
+
+        results["baseline"] = post_compute_wait("baseline")
+        results["offload"] = post_compute_wait("offload")
+        assert results["baseline"] is False
+        assert results["offload"] is True
+
+
+class TestRMAModel:
+    """Simulated one-sided operations (§7 extension)."""
+
+    def test_put_stalls_without_target_progress(self):
+        from repro.simtime.workloads.micro import rma_put_overlap
+
+        wait, during = rma_put_overlap(ENDEAVOR_XEON, "baseline", 64 * KIB)
+        assert during is False
+        assert wait > 0
+
+    def test_put_applied_by_progress_contexts(self):
+        from repro.simtime.workloads.micro import rma_put_overlap
+
+        for approach in ("comm-self", "offload", "corespec"):
+            wait, during = rma_put_overlap(
+                ENDEAVOR_XEON, approach, 64 * KIB
+            )
+            assert during is True, approach
+
+    def test_offload_origin_wait_is_flag_check(self):
+        from repro.simtime.workloads.micro import rma_put_overlap
+
+        wait, _ = rma_put_overlap(ENDEAVOR_XEON, "offload", 64 * KIB)
+        assert wait <= 2 * ENDEAVOR_XEON.offload_enqueue

@@ -1,0 +1,92 @@
+"""Every workload driver runs under every approach (cheap configs):
+no approach/workload combination may crash or produce nonsense."""
+
+import pytest
+
+from repro.simtime.machine import ENDEAVOR_PHI, ENDEAVOR_XEON
+from repro.simtime.progress_modes import APPROACHES
+from repro.simtime.workloads import cnn, fft, micro, qcd
+
+ALL = tuple(APPROACHES)
+
+
+@pytest.mark.parametrize("approach", ALL)
+class TestApproachSweep:
+    def test_overlap_p2p(self, approach):
+        r = micro.overlap_p2p(ENDEAVOR_XEON, approach, 4096)
+        assert 0 <= r.overlap_pct <= 100
+        assert r.comm_time > 0
+
+    def test_overlap_collective(self, approach):
+        r = micro.overlap_collective(
+            ENDEAVOR_XEON, approach, "iallreduce", 1024, nranks=4
+        )
+        assert 0 <= r.overlap_pct <= 100
+
+    def test_osu_latency(self, approach):
+        lat = micro.osu_latency(ENDEAVOR_XEON, approach, 1024)
+        assert 0 < lat < 1.0
+
+    def test_osu_bandwidth(self, approach):
+        bw = micro.osu_bandwidth(ENDEAVOR_XEON, approach, 65536, window=4)
+        assert 0 < bw <= ENDEAVOR_XEON.net_bandwidth
+
+    def test_mt_latency(self, approach):
+        lat = micro.osu_mt_latency(ENDEAVOR_XEON, approach, 64, 2)
+        assert lat > 0
+
+    def test_qcd_iteration(self, approach):
+        t = qcd.dslash_iteration(
+            ENDEAVOR_XEON, approach, (8, 8, 8, 16), 2
+        )
+        assert t.total > 0
+        assert t.internal_compute > 0
+
+    def test_qcd_thread_groups(self, approach):
+        t = qcd.dslash_iteration(
+            ENDEAVOR_XEON, approach, (8, 8, 8, 16), 2, comm_threads=2
+        )
+        assert t.total > 0
+
+    def test_fft_iteration(self, approach):
+        t = fft.fft_iteration(ENDEAVOR_PHI, approach, 2**16, 2)
+        assert t.total > 0
+
+    def test_cnn_iteration(self, approach):
+        t = cnn.cnn_iteration(ENDEAVOR_XEON, approach, 2)
+        assert t > 0
+
+    def test_solver(self, approach):
+        t = qcd.solver_tflops(ENDEAVOR_XEON, approach, (8, 8, 8, 16), 2)
+        assert t > 0
+
+    def test_rma_put(self, approach):
+        wait, _during = micro.rma_put_overlap(
+            ENDEAVOR_XEON, approach, 4096
+        )
+        assert wait >= 0
+
+
+class TestDeterminism:
+    """Identical inputs must give bit-identical virtual timings."""
+
+    @pytest.mark.parametrize("approach", ("baseline", "offload"))
+    def test_qcd_deterministic(self, approach):
+        a = qcd.dslash_iteration(ENDEAVOR_XEON, approach, (8, 8, 8, 16), 2)
+        b = qcd.dslash_iteration(ENDEAVOR_XEON, approach, (8, 8, 8, 16), 2)
+        assert a == b
+
+    def test_cnn_deterministic(self):
+        assert cnn.cnn_iteration(
+            ENDEAVOR_XEON, "comm-self", 4
+        ) == cnn.cnn_iteration(ENDEAVOR_XEON, "comm-self", 4)
+
+    def test_fft_deterministic(self):
+        a = fft.fft_iteration(ENDEAVOR_PHI, "corespec", 2**16, 4)
+        b = fft.fft_iteration(ENDEAVOR_PHI, "corespec", 2**16, 4)
+        assert a == b
+
+    def test_micro_deterministic(self):
+        a = micro.osu_mt_latency(ENDEAVOR_XEON, "comm-self", 512, 4)
+        b = micro.osu_mt_latency(ENDEAVOR_XEON, "comm-self", 512, 4)
+        assert a == b

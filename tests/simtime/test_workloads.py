@@ -1,0 +1,153 @@
+"""Workload-driver invariants (cheap configurations only; the full
+paper sweeps live in tests/experiments and benchmarks/)."""
+
+import pytest
+
+from repro.simtime.machine import ENDEAVOR_PHI, ENDEAVOR_XEON
+from repro.simtime.workloads import cnn, fft, micro, qcd
+from repro.util.units import KIB, MIB
+
+
+class TestMicro:
+    def test_overlap_result_percentages_sane(self):
+        r = micro.overlap_p2p(ENDEAVOR_XEON, "offload", 4 * KIB)
+        assert 0 <= r.post_pct < 100
+        assert 0 <= r.overlap_pct <= 100
+        assert r.comm_time > 0
+
+    def test_overlap_deterministic(self):
+        a = micro.overlap_p2p(ENDEAVOR_XEON, "baseline", 64 * KIB)
+        b = micro.overlap_p2p(ENDEAVOR_XEON, "baseline", 64 * KIB)
+        assert a == b
+
+    def test_latency_increases_with_size(self):
+        small = micro.osu_latency(ENDEAVOR_XEON, "baseline", 8)
+        big = micro.osu_latency(ENDEAVOR_XEON, "baseline", 64 * KIB)
+        assert big > small
+
+    def test_bandwidth_approaches_link_rate(self):
+        bw = micro.osu_bandwidth(ENDEAVOR_XEON, "baseline", 4 * MIB)
+        assert 0.5 * ENDEAVOR_XEON.net_bandwidth < bw <= (
+            ENDEAVOR_XEON.net_bandwidth
+        )
+
+    def test_mt_latency_contention_grows(self):
+        l2 = micro.osu_mt_latency(ENDEAVOR_XEON, "baseline", 8, 2)
+        l8 = micro.osu_mt_latency(ENDEAVOR_XEON, "baseline", 8, 8)
+        assert l8 > l2
+
+    def test_unknown_collective_rejected(self):
+        with pytest.raises(ValueError):
+            micro.overlap_collective(ENDEAVOR_XEON, "baseline", "ibogus", 8)
+
+
+class TestQCD:
+    def test_breakdown_fields_positive(self):
+        t = qcd.dslash_iteration(ENDEAVOR_XEON, "baseline", (16, 16, 16, 32), 4)
+        assert t.internal_compute > 0
+        assert t.post > 0
+        assert t.misc > 0
+        assert t.total == pytest.approx(
+            t.internal_compute + t.post + t.wait + t.misc
+        )
+
+    def test_offload_posts_cheaper(self):
+        base = qcd.dslash_iteration(
+            ENDEAVOR_XEON, "baseline", (16, 16, 16, 32), 4
+        )
+        off = qcd.dslash_iteration(
+            ENDEAVOR_XEON, "offload", (16, 16, 16, 32), 4
+        )
+        assert off.post < base.post
+
+    def test_tflops_scale_with_nodes(self):
+        small = qcd.dslash_tflops(ENDEAVOR_XEON, "offload", (16, 16, 16, 64), 2)
+        large = qcd.dslash_tflops(ENDEAVOR_XEON, "offload", (16, 16, 16, 64), 8)
+        assert large > small
+
+    def test_ranks_per_node(self):
+        assert qcd.ranks_per_node(ENDEAVOR_XEON) == 2
+        assert qcd.ranks_per_node(ENDEAVOR_PHI) == 1
+
+    def test_cache_factor_ramps(self):
+        big_vol = 10**9
+        small_vol = 10**3
+        assert qcd._cache_factor(ENDEAVOR_XEON, big_vol) == 1.0
+        assert (
+            qcd._cache_factor(ENDEAVOR_XEON, small_vol)
+            == ENDEAVOR_XEON.cache_speedup
+        )
+        mid = 2 * ENDEAVOR_XEON.cache_bytes // qcd.WORKING_SET_BYTES_PER_SITE
+        f = qcd._cache_factor(ENDEAVOR_XEON, mid)
+        assert 1.0 < f < ENDEAVOR_XEON.cache_speedup
+
+    def test_solver_below_dslash(self):
+        d = qcd.dslash_tflops(ENDEAVOR_XEON, "offload", (16, 16, 16, 64), 4)
+        s = qcd.solver_tflops(ENDEAVOR_XEON, "offload", (16, 16, 16, 64), 4)
+        assert s < d
+
+    def test_thread_groups_mode_runs(self):
+        t = qcd.dslash_iteration(
+            ENDEAVOR_XEON,
+            "offload",
+            (16, 16, 16, 32),
+            4,
+            comm_threads=4,
+        )
+        assert t.total > 0
+
+
+class TestFFT:
+    def test_breakdown_consistency(self):
+        t = fft.fft_iteration(ENDEAVOR_PHI, "baseline", 2**18, 4)
+        assert t.total == pytest.approx(
+            t.internal_compute + t.post + t.wait + t.misc
+        )
+
+    def test_single_node_no_comm(self):
+        t = fft.fft_iteration(ENDEAVOR_PHI, "baseline", 2**18, 1)
+        assert t.wait == 0.0
+
+    def test_alltoall_bw_factor_monotone(self):
+        vals = [fft.alltoall_bw_factor(n) for n in (2, 32, 64, 256, 1024)]
+        assert vals[0] == 1.0
+        assert all(a >= b for a, b in zip(vals, vals[1:]))
+
+    def test_offload_beats_baseline(self):
+        b = fft.fft_gflops(ENDEAVOR_PHI, "baseline", 2**18, 4)
+        o = fft.fft_gflops(ENDEAVOR_PHI, "offload", 2**18, 4)
+        assert o > b
+
+    def test_segments_validated(self):
+        t1 = fft.fft_iteration(
+            ENDEAVOR_PHI, "offload", 2**18, 2, segments=1
+        )
+        t8 = fft.fft_iteration(
+            ENDEAVOR_PHI, "offload", 2**18, 2, segments=8
+        )
+        # pipelining with more segments can only help the offload case
+        assert t8.total <= t1.total * 1.05
+
+
+class TestCNN:
+    def test_iteration_positive_and_deterministic(self):
+        a = cnn.cnn_iteration(ENDEAVOR_XEON, "baseline", 2)
+        b = cnn.cnn_iteration(ENDEAVOR_XEON, "baseline", 2)
+        assert a == b > 0
+
+    def test_throughput_grows_with_nodes(self):
+        t1 = cnn.cnn_images_per_sec(ENDEAVOR_XEON, "offload", 1)
+        t8 = cnn.cnn_images_per_sec(ENDEAVOR_XEON, "offload", 8)
+        assert t8 > t1
+
+    def test_offload_ahead_at_scale(self):
+        b = cnn.cnn_images_per_sec(ENDEAVOR_XEON, "baseline", 32)
+        o = cnn.cnn_images_per_sec(ENDEAVOR_XEON, "offload", 32)
+        assert o > b
+
+    def test_layer_inventory_shapes(self):
+        convs = [l for l in cnn.ALEXNET_LIKE if l.kind == "conv"]
+        fcs = [l for l in cnn.ALEXNET_LIKE if l.kind == "fc"]
+        assert len(convs) == 5 and len(fcs) == 3
+        assert all(l.weight_bytes > 0 and l.flops_per_image > 0
+                   for l in cnn.ALEXNET_LIKE)

@@ -1,0 +1,50 @@
+"""Unit tests for table rendering."""
+
+import pytest
+
+from repro.util.tables import Table, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        # all rows share one width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_title(self):
+        out = format_table(["x"], [[1]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        out = format_table(["v"], [[0.000123], [1234.5], [3.14159]])
+        assert "0.000123" in out
+        assert "1,235" in out or "1,234" in out
+        assert "3.14" in out
+
+
+class TestTable:
+    def test_add_and_render(self):
+        t = Table(headers=("n", "v"))
+        t.add_row(1, 2.0)
+        t.add_row(2, 3.0)
+        assert "1" in t.render()
+        assert len(t.rows) == 2
+
+    def test_wrong_arity_rejected(self):
+        t = Table(headers=("n", "v"))
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_column(self):
+        t = Table(headers=("n", "v"))
+        t.add_row(1, 10)
+        t.add_row(2, 20)
+        assert t.column("v") == [10, 20]
+        with pytest.raises(KeyError):
+            t.column("missing")

@@ -1,0 +1,88 @@
+"""Unit tests for timing helpers."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Stopwatch, TimeBreakdown, busy_spin
+
+
+class TestBusySpin:
+    def test_spins_at_least_duration(self):
+        t0 = time.perf_counter()
+        busy_spin(0.002)
+        assert time.perf_counter() - t0 >= 0.002
+
+    def test_zero_and_negative_are_noops(self):
+        t0 = time.perf_counter()
+        busy_spin(0.0)
+        busy_spin(-1.0)
+        assert time.perf_counter() - t0 < 0.05
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        lap = sw.stop()
+        assert lap >= 0
+        assert sw.elapsed == pytest.approx(sum(sw.laps))
+
+    def test_double_start_rejected(self):
+        sw = Stopwatch()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_context_manager(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        assert len(sw.laps) == 1
+
+    def test_reset(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert sw.laps == []
+
+
+class TestTimeBreakdown:
+    def test_add_and_total(self):
+        tb = TimeBreakdown()
+        tb.add("post", 1.0)
+        tb.add("wait", 2.0)
+        tb.add("post", 0.5)
+        assert tb.get("post") == 1.5
+        assert tb.total == 3.5
+
+    def test_missing_phase_is_zero(self):
+        assert TimeBreakdown().get("nope") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimeBreakdown().add("x", -1.0)
+
+    def test_merge_does_not_mutate(self):
+        a = TimeBreakdown({"x": 1.0})
+        b = TimeBreakdown({"x": 2.0, "y": 3.0})
+        c = a.merge(b)
+        assert c.get("x") == 3.0
+        assert c.get("y") == 3.0
+        assert a.get("x") == 1.0
+
+    def test_scaled(self):
+        tb = TimeBreakdown({"x": 2.0})
+        assert tb.scaled(0.5).get("x") == 1.0
+        with pytest.raises(ValueError):
+            tb.scaled(-1)
+
+    def test_as_row(self):
+        tb = TimeBreakdown({"a": 1.0, "b": 2.0})
+        assert tb.as_row(("b", "a", "c")) == [2.0, 1.0, 0.0]

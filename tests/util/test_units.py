@@ -1,0 +1,102 @@
+"""Unit tests for byte/time formatting helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    format_bytes,
+    format_time,
+    parse_bytes,
+    pow2_sizes,
+)
+
+
+class TestParseBytes:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("8B", 8),
+            ("8", 8),
+            ("1KB", KIB),
+            ("128KB", 128 * KIB),
+            ("2MB", 2 * MIB),
+            ("1GB", GIB),
+            ("1.5KB", 1536),
+            ("1kib", KIB),
+        ],
+    )
+    def test_valid(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_int_passthrough(self):
+        assert parse_bytes(42) == 42
+
+    @pytest.mark.parametrize("text", ["", "abc", "12XB", "-5B"])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_bytes(text)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (8, "8B"),
+            (KIB, "1KB"),
+            (128 * KIB, "128KB"),
+            (2 * MIB, "2MB"),
+            (3 * GIB, "3GB"),
+        ],
+    )
+    def test_exact(self, n, expected):
+        assert format_bytes(n) == expected
+
+    def test_inexact_uses_decimal(self):
+        assert format_bytes(1536) == "1.5KB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)
+
+    @given(st.integers(min_value=0, max_value=2**40))
+    def test_roundtrip_when_exact(self, n):
+        text = format_bytes(n)
+        # exact representations round-trip
+        if "." not in text:
+            assert parse_bytes(text) == n
+
+
+class TestFormatTime:
+    @pytest.mark.parametrize(
+        "t,expected",
+        [
+            (0.0, "0s"),
+            (140e-9, "140.0ns"),
+            (2.5e-6, "2.5us"),
+            (3.25e-3, "3.250ms"),
+            (2.0, "2.000s"),
+        ],
+    )
+    def test_values(self, t, expected):
+        assert format_time(t) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_time(-1.0)
+
+
+class TestPow2Sizes:
+    def test_basic(self):
+        assert pow2_sizes(8, 64) == [8, 16, 32, 64]
+
+    def test_single(self):
+        assert pow2_sizes(16, 16) == [16]
+
+    @pytest.mark.parametrize("lo,hi", [(3, 8), (8, 12), (0, 8), (16, 8)])
+    def test_invalid(self, lo, hi):
+        with pytest.raises(ValueError):
+            pow2_sizes(lo, hi)
