@@ -27,11 +27,42 @@ def fine_gil_slices():
 
 
 @pytest.fixture
-def regenerate(benchmark):
+def engine_telemetry():
+    """Enable engine telemetry for this benchmark and collect the final
+    snapshots of every offload engine that ran inside it.
+
+    Engines created while telemetry is enabled record a snapshot into
+    the :mod:`repro.obs.report` registry at stop(); this fixture clears
+    the registry up front and drains it afterwards, yielding a mutable
+    holder whose ``snapshots``/``merged`` fields are filled in on exit.
+    """
+    from repro import obs
+
+    class _Holder:
+        snapshots: list = []
+        merged: dict = {}
+
+    holder = _Holder()
+    obs.drain_snapshots()  # discard anything stale from earlier runs
+    with obs.telemetry(True):
+        yield holder
+    holder.snapshots = obs.drain_snapshots()
+    holder.merged = obs.merge(holder.snapshots)
+
+
+@pytest.fixture
+def regenerate(benchmark, engine_telemetry):
     """Run an experiment under the benchmark fixture, print its table,
-    and run its qualitative checks."""
+    and run its qualitative checks.
+
+    Engine telemetry is enabled for the duration, so BENCH_*.json runs
+    carry engine counters alongside timings: any offload engine spun up
+    by the experiment lands in ``extra_info["telemetry"]`` (analytic
+    simtime experiments that run no engines record nothing).
+    """
 
     def _run(exp_id: str, fast: bool = True):
+        from repro import obs
         from repro.experiments import load
 
         mod = load(exp_id)
@@ -42,6 +73,12 @@ def regenerate(benchmark):
         print(table.render())
         mod.check(table)
         benchmark.extra_info["rows"] = len(table.rows)
+        snapshots = obs.drain_snapshots()
+        if snapshots:
+            merged = obs.merge(snapshots)
+            benchmark.extra_info["telemetry"] = merged
+            print()
+            print(obs.render(merged, title=f"{exp_id} engine telemetry"))
         return table
 
     return _run

@@ -18,6 +18,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.core import offloaded
 from repro.mpisim import THREAD_MULTIPLE, World
 from repro.util.timing import busy_spin
@@ -56,10 +57,13 @@ def program(comm):
     baseline = exchange(comm, "baseline (no progress):")
 
     # --- offload: the paper's dedicated communication thread ----------
-    with offloaded(comm) as ocomm:
+    # telemetry=True turns on the engine's counter/trace layer (it is
+    # off — and free — by default; see repro.obs)
+    with offloaded(comm, telemetry=True) as ocomm:
         offload = exchange(ocomm, "offload thread (paper §3):")
         # the offloaded communicator is a drop-in replacement:
         total = ocomm.allreduce(np.array([float(ocomm.rank)]))
+        snap = ocomm.engine.telemetry_snapshot()
         stats = ocomm.engine.stats()
 
     if comm.rank == 0:
@@ -69,7 +73,7 @@ def program(comm):
         print(f"  offload engine stats: "
               f"{stats['commands_processed']} commands, "
               f"{stats['progress_sweeps']} progress sweeps")
-    return (baseline, offload)
+    return (baseline, offload, snap)
 
 
 def main():
@@ -83,6 +87,15 @@ def main():
     print("\nsummary:")
     print(f"  baseline overlapped anywhere: {baseline_any}")
     print(f"  offload overlapped on every rank: {offload_all}")
+
+    # merged engine telemetry: sweeps > 0 proves the §3.2 Testany loop
+    # ran during compute; the balance line proves every command that
+    # was enqueued got drained and completed by shutdown.
+    merged = obs.merge([r[2] for r in results])
+    print()
+    print(obs.render(merged, title="offload engine telemetry"))
+    assert merged["counters"]["testany_sweeps"] > 0
+    assert obs.check_balance(merged)[0], "telemetry counters imbalanced"
 
 
 if __name__ == "__main__":

@@ -4,9 +4,14 @@ Subcommands:
 
 * ``list`` — show every reproducible paper artifact;
 * ``run <artifact>...`` — regenerate artifacts (``--full`` for
-  paper-scale sweeps); no names = all 15;
+  paper-scale sweeps); no names = all 15; ``--telemetry`` enables
+  engine telemetry and prints counter snapshots for any offload
+  engines the artifacts spin up;
 * ``report [--full] [-o FILE]`` — regenerate everything and write a
   markdown reproduction report;
+* ``telemetry`` — run the functional Figure-2 overlap exchange with
+  engine telemetry enabled and print the counter snapshot (the quick
+  way to see Testany sweeps / queue counters for a real engine run);
 * ``info`` — version and layer summary.
 """
 
@@ -28,7 +33,7 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(names: list[str], full: bool) -> int:
+def _cmd_run(names: list[str], full: bool, telemetry: bool = False) -> int:
     from repro.experiments import REGISTRY, load
 
     wanted = names or list(REGISTRY)
@@ -36,12 +41,28 @@ def _cmd_run(names: list[str], full: bool) -> int:
     if unknown:
         print(f"unknown artifact(s): {unknown}; try 'python -m repro list'")
         return 2
+    if telemetry:
+        from repro import obs
+
+        obs.set_enabled(True)
+        obs.drain_snapshots()
     failures = []
     for exp_id in wanted:
         mod = load(exp_id)
         t0 = time.perf_counter()
         table = mod.run(fast=not full)
         print(table.render())
+        if telemetry:
+            from repro import obs
+
+            snaps = obs.drain_snapshots()
+            if snaps:
+                print()
+                print(obs.render(obs.merge(snaps),
+                                 title=f"{exp_id} engine telemetry"))
+            else:
+                print(f"[{exp_id}: analytic artifact — no offload "
+                      "engines ran; try 'python -m repro telemetry']")
         try:
             mod.check(table)
             print(f"-> {exp_id}: checks PASS "
@@ -53,6 +74,36 @@ def _cmd_run(names: list[str], full: bool) -> int:
         print(f"failed: {failures}")
         return 1
     return 0
+
+
+def _cmd_telemetry(nbytes: int, nranks: int) -> int:
+    """Functional Figure-2 analogue with engine counters.
+
+    Runs the rendezvous-sized overlap exchange on real offload engines
+    with telemetry enabled, then prints the merged counter snapshot and
+    verifies the paper's §3.2 signature: Testany sweeps happened during
+    the compute phase and every enqueued command was accounted for.
+    """
+    from repro import obs
+    from repro.bench.overlap import overlap_benchmark
+
+    obs.drain_snapshots()
+    with obs.telemetry(True):
+        sample = overlap_benchmark("offload", nbytes, nranks=nranks)
+    snaps = obs.drain_snapshots()
+    merged = obs.merge(snaps)
+    print(f"functional overlap exchange: {nranks} ranks, "
+          f"{nbytes} B messages (rendezvous), offload approach")
+    print(f"  overlap achieved: {sample.overlap_fraction * 100:.0f}% "
+          f"(transfer done before wait: {sample.done_before_wait})\n")
+    print(obs.render(merged))
+    sweeps = merged["counters"].get("testany_sweeps", 0)
+    balanced, detail = obs.check_balance(merged)
+    ok = sweeps > 0 and balanced
+    print(f"\nTestany sweeps during run: {sweeps} "
+          f"({'OK' if sweeps > 0 else 'MISSING'})")
+    print(f"command accounting balanced: {balanced} ({detail})")
+    return 0 if ok else 1
 
 
 def _cmd_report(out_path: str | None, full: bool) -> int:
@@ -88,15 +139,31 @@ def main(argv: list[str] | None = None) -> int:
     runp.add_argument(
         "--full", action="store_true", help="paper-scale sweeps"
     )
+    runp.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable engine telemetry and print counter snapshots",
+    )
     rep = sub.add_parser("report", help="write a markdown report")
     rep.add_argument("-o", "--output", default=None)
     rep.add_argument("--full", action="store_true")
+    tel = sub.add_parser(
+        "telemetry",
+        help="run a functional overlap exchange and print engine counters",
+    )
+    tel.add_argument(
+        "--nbytes", type=int, default=1 << 21,
+        help="message size in bytes (default 2 MiB, rendezvous)",
+    )
+    tel.add_argument("--nranks", type=int, default=2)
     sub.add_parser("info", help="version and layout")
     args = parser.parse_args(argv)
     if args.cmd == "list":
         return _cmd_list()
     if args.cmd == "run":
-        return _cmd_run(args.names, args.full)
+        return _cmd_run(args.names, args.full, args.telemetry)
+    if args.cmd == "telemetry":
+        return _cmd_telemetry(args.nbytes, args.nranks)
     if args.cmd == "report":
         return _cmd_report(args.output, args.full)
     if args.cmd == "info":

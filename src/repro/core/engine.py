@@ -34,6 +34,7 @@ from repro.core.request_pool import (
 )
 from repro.lockfree.atomics import AtomicFlag
 from repro.lockfree.mpsc_queue import MPSCQueue, QueueFull
+from repro import obs
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpisim.communicator import Communicator
@@ -77,6 +78,7 @@ class OffloadEngine:
         comm: "Communicator",
         pool_capacity: int = 4096,
         queue_capacity: int = 4096,
+        telemetry: bool | None = None,
     ) -> None:
         self.comm = comm
         self.queue: MPSCQueue[Command] = MPSCQueue(queue_capacity)
@@ -87,6 +89,16 @@ class OffloadEngine:
         self._in_flight: list[_InFlight] = []
         self._flushes: list[Command] = []
         self._prev_funnel: int | None = None
+        # -- telemetry (zero-overhead when disabled: every hot path
+        # guards on a single `is None` check of self._telem) -------------
+        if telemetry is None:
+            telemetry = obs.enabled()
+        self._telem: obs.Telemetry | None = (
+            obs.Telemetry() if telemetry else None
+        )
+        if self._telem is not None:
+            self.queue.track_occupancy = True
+            self.pool.telemetry = self._telem.counters
         # -- statistics ---------------------------------------------------
         self.commands_processed = 0
         self.progress_sweeps = 0
@@ -137,6 +149,8 @@ class OffloadEngine:
                 "cannot complete); use abort() to force teardown"
             )
         self._thread = None
+        if self._telem is not None:
+            obs.record_snapshot(self.telemetry_snapshot())
 
     def abort(self, reason: str = "engine aborted") -> None:
         """Force-stop: fail everything pending and kill the loop."""
@@ -147,6 +161,8 @@ class OffloadEngine:
             self._thread.join(5.0)
             self._thread = None
         self._fail_pending(exc)
+        if self._telem is not None:
+            obs.record_snapshot(self.telemetry_snapshot())
 
     def __enter__(self) -> "OffloadEngine":
         return self.start()
@@ -165,8 +181,12 @@ class OffloadEngine:
 
         This is the app-side cost of an offloaded call: one lock-free
         enqueue (~140 ns in the paper's C implementation).  On a full
-        ring we spin-retry — backpressure, not failure.
+        ring we spin-retry — backpressure, not failure — but only while
+        a live engine thread can actually drain the ring: retrying
+        against a dead (or never-started) engine raises instead of
+        spinning forever.
         """
+        tm = self._telem
         if self._dead is not None:
             raise OffloadEngineDied(
                 f"offload engine terminated: {self._dead}"
@@ -177,8 +197,28 @@ class OffloadEngine:
                 break
             except QueueFull:
                 self.queue_full_retries += 1
+                if tm is not None:
+                    tm.counters.inc("queue_full_retries")
+                    if tm.trace is not None:
+                        tm.trace.append(
+                            "queue_full", rank=self.comm.engine.rank
+                        )
+                if self._dead is not None:
+                    raise OffloadEngineDied(
+                        f"offload engine terminated with the command "
+                        f"ring full: {self._dead}"
+                    ) from self._dead
+                thread = self._thread
+                if thread is None or not thread.is_alive():
+                    raise OffloadEngineDied(
+                        "command ring full and no offload thread is "
+                        "running to drain it (engine not started or "
+                        "already stopped)"
+                    )
                 self._wake.set()
                 threading.Event().wait(1e-5)
+        if tm is not None:
+            tm.counters.inc("enqueues")
         self._wake.set()
 
     # ------------------------------------------------------------ main loop
@@ -191,6 +231,19 @@ class OffloadEngine:
         self._started_evt.set()
         shutdown = False
         idle_sleep = _IDLE_SLEEP
+        tm = self._telem
+        counters = tm.counters if tm is not None else None
+        # Mirror engine telemetry into the substrate's progress engine
+        # (trace only; the progress engine keeps its own counters).
+        progress_engine = self.comm.engine
+        attached_trace = False
+        if (
+            tm is not None
+            and tm.trace is not None
+            and progress_engine.trace is None
+        ):
+            progress_engine.trace = tm.trace
+            attached_trace = True
         try:
             while self._dead is None:
                 did = 0
@@ -200,11 +253,17 @@ class OffloadEngine:
                         break
                     did += 1
                     assert cmd is not None
+                    if counters is not None:
+                        counters.inc("commands_drained")
                     if cmd.kind is CommandKind.SHUTDOWN:
+                        if counters is not None:
+                            counters.inc("control_commands")
                         shutdown = True
                         continue
                     self._process(cmd)
                 did += self._sweep()
+                if counters is not None:
+                    counters.inc("testany_sweeps")
                 self._check_flushes()
                 if shutdown and self.queue.empty() and not self._in_flight:
                     break
@@ -220,6 +279,8 @@ class OffloadEngine:
                         # backoff (still pumping progress each wake so
                         # incoming RMA/rendezvous traffic is served),
                         # wake immediately on a new command.
+                        if counters is not None:
+                            counters.inc("idle_backoff_entries")
                         self._wake.wait(idle_sleep)
                         self._wake.clear()
                         idle_sleep = min(idle_sleep * 2, _IDLE_SLEEP_MAX)
@@ -229,15 +290,26 @@ class OffloadEngine:
             self._dead = exc
             self._fail_pending(exc)
         finally:
+            if attached_trace:
+                progress_engine.trace = None
             world.set_funnel_thread(rank, self._prev_funnel)
 
     # ------------------------------------------------------------ processing
 
     def _process(self, cmd: Command) -> None:
         self.commands_processed += 1
+        tm = self._telem
+        if tm is not None and tm.trace is not None:
+            tm.trace.append(
+                f"dispatch:{cmd.kind.name.lower()}",
+                rank=self.comm.engine.rank,
+                slot=cmd.slot,
+            )
         try:
             self._dispatch(cmd)
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            if tm is not None:
+                tm.counters.inc("completions")
             if cmd.kind in NONBLOCKING_KINDS:
                 self.pool.fail(cmd.slot, exc)
             else:
@@ -271,6 +343,8 @@ class OffloadEngine:
             assert comm is not None
             cmd.result = comm.iprobe(cmd.peer, cmd.tag)
             assert cmd.done is not None
+            if self._telem is not None:
+                self._telem.counters.inc("completions")
             cmd.done.set(cmd.result)
         elif kind is K.BARRIER:
             assert comm is not None
@@ -327,6 +401,8 @@ class OffloadEngine:
         elif kind is K.CALL:
             cmd.result = cmd.fn()
             assert cmd.done is not None
+            if self._telem is not None:
+                self._telem.counters.inc("completions")
             cmd.done.set(cmd.result)
         elif kind is K.FLUSH:
             self._flushes.append(cmd)
@@ -360,6 +436,8 @@ class OffloadEngine:
         else:  # pragma: no cover - defensive
             raise ValueError(f"not an inline kind: {cmd.kind}")
         assert cmd.done is not None
+        if self._telem is not None:
+            self._telem.counters.inc("completions")
         cmd.done.set(cmd.result)
 
     def _track(
@@ -371,12 +449,20 @@ class OffloadEngine:
     ) -> None:
         if slot >= 0:
             self.pool.publish_inner(slot, inner)
+        if flag is not None and self._telem is not None:
+            # A done-flag (not a pool slot) means this was a blocking
+            # call the engine converted to its nonblocking form (§3.3).
+            self._telem.counters.inc("blocking_conversions")
         entry = _InFlight(inner=inner, slot=slot, flag=flag, command=cmd)
         if inner.done:
             self._finish(entry)
             return
         self._in_flight.append(entry)
         self.max_in_flight = max(self.max_in_flight, len(self._in_flight))
+        if self._telem is not None:
+            self._telem.counters.record_max(
+                "in_flight_hwm", len(self._in_flight)
+            )
 
     # ------------------------------------------------------------ progress
 
@@ -405,6 +491,15 @@ class OffloadEngine:
 
     def _finish(self, entry: _InFlight) -> None:
         self.completions += 1
+        tm = self._telem
+        if tm is not None:
+            tm.counters.inc("completions")
+            if tm.trace is not None:
+                tm.trace.append(
+                    "complete",
+                    rank=self.comm.engine.rank,
+                    slot=entry.slot,
+                )
         inner = entry.inner
         status = inner.status
         # Engine-level statuses carry global ranks; convert to the
@@ -431,12 +526,19 @@ class OffloadEngine:
             return
         for cmd in self._flushes:
             assert cmd.done is not None
+            if self._telem is not None:
+                self._telem.counters.inc("completions")
             cmd.done.set(None)
         self._flushes.clear()
 
     def _fail_pending(self, exc: BaseException) -> None:
         """Engine died: fail everything in flight and still queued."""
+        counters = (
+            self._telem.counters if self._telem is not None else None
+        )
         for entry in self._in_flight:
+            if counters is not None:
+                counters.inc("completions")
             if entry.slot >= 0:
                 self.pool.fail(entry.slot, exc)
             elif entry.flag is not None:
@@ -445,12 +547,23 @@ class OffloadEngine:
                 entry.flag.set(None)
         self._in_flight.clear()
         for cmd in self.queue.drain():
+            if counters is not None:
+                counters.inc("commands_drained")
             if cmd.kind in NONBLOCKING_KINDS:
+                if counters is not None:
+                    counters.inc("completions")
                 self.pool.fail(cmd.slot, exc)
             elif cmd.done is not None:
+                if counters is not None:
+                    counters.inc("completions")
                 cmd.error = exc
                 cmd.done.set(None)
+            elif counters is not None:
+                # SHUTDOWN (and any other flagless control command)
+                counters.inc("control_commands")
         for cmd in self._flushes:
+            if counters is not None:
+                counters.inc("completions")
             cmd.error = exc
             assert cmd.done is not None
             cmd.done.set(None)
@@ -458,8 +571,15 @@ class OffloadEngine:
 
     # ------------------------------------------------------------ stats
 
+    @property
+    def telemetry(self) -> "obs.Telemetry | None":
+        """This engine's telemetry bundle (``None`` when disabled)."""
+        return self._telem
+
     def stats(self) -> dict[str, int]:
-        return {
+        """Flat counter dict (always available; telemetry counters are
+        merged in when telemetry is enabled)."""
+        s = {
             "commands_processed": self.commands_processed,
             "progress_sweeps": self.progress_sweeps,
             "completions": self.completions,
@@ -468,3 +588,17 @@ class OffloadEngine:
             "queue_full_retries": self.queue_full_retries,
             "pool_allocated": self.pool.allocated,
         }
+        if self._telem is not None:
+            for name, value in self._telem.counters.snapshot().items():
+                # telemetry's exact per-thread counts win over the
+                # legacy best-effort shared-int counters on collisions
+                s[name] = value
+        return s
+
+    def telemetry_snapshot(self, include_trace: bool = False) -> dict:
+        """Structured snapshot (counters + queue/pool/progress state).
+
+        See :func:`repro.obs.report.snapshot_engine`; valid whether or
+        not telemetry is enabled (counters are empty when disabled).
+        """
+        return obs.snapshot_engine(self, include_trace=include_trace)

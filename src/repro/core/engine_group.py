@@ -48,6 +48,7 @@ class OffloadEngineGroup:
         nthreads: int = 2,
         pool_capacity: int = 4096,
         queue_capacity: int = 4096,
+        telemetry: bool | None = None,
     ) -> None:
         if nthreads < 1:
             raise ValueError("nthreads must be >= 1")
@@ -62,6 +63,7 @@ class OffloadEngineGroup:
                 comm,
                 pool_capacity=pool_capacity,
                 queue_capacity=queue_capacity,
+                telemetry=telemetry,
             )
             for _ in range(nthreads)
         ]
@@ -97,14 +99,34 @@ class OffloadEngineGroup:
     def queue(self):
         return self.route().queue
 
+    @property
+    def telemetry(self):
+        """The routed engine's telemetry bundle (facade compatibility)."""
+        return self.route().telemetry
+
     def stats(self) -> dict[str, int]:
-        """Aggregated statistics across the group."""
+        """Aggregated statistics across the group (sums; maxima for
+        ``*_hwm`` high-water marks)."""
         total: dict[str, int] = {}
         for e in self.engines:
             for k, v in e.stats().items():
-                total[k] = total.get(k, 0) + v
+                if k.endswith("_hwm") or k.startswith("max_"):
+                    total[k] = max(total.get(k, 0), v)
+                else:
+                    total[k] = total.get(k, 0) + v
         total["engines"] = len(self.engines)
         return total
+
+    def telemetry_snapshot(self, include_trace: bool = False) -> dict:
+        """Merged structured snapshot across the group's engines."""
+        from repro import obs
+
+        return obs.merge(
+            [
+                e.telemetry_snapshot(include_trace=include_trace)
+                for e in self.engines
+            ]
+        )
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -51,6 +51,7 @@ def offloaded(
     pool_capacity: int = 4096,
     queue_capacity: int = 4096,
     nthreads: int = 1,
+    telemetry: bool | None = None,
 ) -> Iterator[OffloadCommunicator]:
     """Context manager: spawn offload thread(s) for ``comm``'s rank,
     yield the interposed communicator, and tear them down on exit (the
@@ -58,7 +59,8 @@ def offloaded(
 
     ``nthreads > 1`` enables the §7 multi-offload-thread extension
     (requires ``MPI_THREAD_MULTIPLE``; see
-    :mod:`repro.core.engine_group`)."""
+    :mod:`repro.core.engine_group`).  ``telemetry`` overrides the
+    global :func:`repro.obs.enabled` default for these engines."""
     if nthreads > 1:
         from repro.core.engine_group import OffloadEngineGroup
 
@@ -67,6 +69,7 @@ def offloaded(
             nthreads=nthreads,
             pool_capacity=pool_capacity,
             queue_capacity=queue_capacity,
+            telemetry=telemetry,
         )
         group.start()
         try:
@@ -75,7 +78,10 @@ def offloaded(
             group.stop()
         return
     engine = OffloadEngine(
-        comm, pool_capacity=pool_capacity, queue_capacity=queue_capacity
+        comm,
+        pool_capacity=pool_capacity,
+        queue_capacity=queue_capacity,
+        telemetry=telemetry,
     )
     engine.start()
     try:

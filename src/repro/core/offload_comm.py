@@ -65,7 +65,10 @@ class OffloadCommunicator:
 
     def _blocking(self, cmd: Command) -> Any:
         assert cmd.done is not None
-        self.engine.route().submit(cmd)
+        engine = self.engine.route()
+        if engine.telemetry is not None:
+            engine.telemetry.counters.inc("app_blocking_calls")
+        engine.submit(cmd)
         cmd.done.wait()
         if cmd.error is not None:
             raise OffloadError(str(cmd.error)) from cmd.error
@@ -75,6 +78,8 @@ class OffloadCommunicator:
         # route() picks this thread's engine (a single engine routes to
         # itself; an OffloadEngineGroup shards threads over engines).
         engine = self.engine.route()
+        if engine.telemetry is not None:
+            engine.telemetry.counters.inc("app_nonblocking_calls")
         slot = engine.pool.alloc()
         cmd = Command(kind=cmd_kind, slot=slot, **fields)
         handle = OffloadRequest(engine.pool, slot)

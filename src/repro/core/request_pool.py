@@ -59,6 +59,9 @@ class OffloadRequestPool:
     def __init__(self, capacity: int = 4096) -> None:
         self._freelist: FreeList[None] = FreeList(capacity)
         self._slots = [_Slot() for _ in range(capacity)]
+        #: telemetry hook: a :class:`repro.obs.counters.Counters` the
+        #: owning engine installs when telemetry is enabled (else None)
+        self.telemetry = None
 
     @property
     def capacity(self) -> int:
@@ -70,13 +73,27 @@ class OffloadRequestPool:
 
     def alloc(self) -> int:
         """Claim a slot index; raises :class:`FreeListExhausted`."""
-        return self._freelist.alloc()
+        counters = self.telemetry
+        try:
+            idx = self._freelist.alloc()
+        except FreeListExhausted:
+            if counters is not None:
+                counters.inc("pool_exhausted")
+            raise
+        if counters is not None:
+            counters.inc("pool_allocs")
+            counters.record_max(
+                "pool_in_use_hwm", self._freelist.allocated
+            )
+        return idx
 
     def slot(self, idx: int) -> _Slot:
         return self._slots[idx]
 
     def release(self, idx: int) -> None:
         """Recycle a completed slot."""
+        if self.telemetry is not None:
+            self.telemetry.inc("pool_releases")
         self._slots[idx].reset()
         self._freelist.free(idx)
 

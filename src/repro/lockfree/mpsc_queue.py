@@ -59,6 +59,10 @@ class MPSCQueue(Generic[T]):
         self._closed = False
         self.enqueue_count = AtomicCounter(0)
         self.dequeue_count = 0
+        #: telemetry hook: when True, successful enqueues update the
+        #: occupancy high-water mark (off by default — zero overhead)
+        self.track_occupancy = False
+        self.occupancy_hwm = 0
 
     @property
     def capacity(self) -> int:
@@ -95,6 +99,11 @@ class MPSCQueue(Generic[T]):
                     cell.value = value
                     cell.seq = pos + 1  # publish
                     self.enqueue_count.fetch_add(1)
+                    if self.track_occupancy:
+                        # best-effort (racy reads are fine for a hwm)
+                        occ = len(self)
+                        if occ > self.occupancy_hwm:
+                            self.occupancy_hwm = occ
                     return
             elif dif < 0:
                 raise QueueFull(

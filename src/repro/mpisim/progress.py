@@ -64,6 +64,10 @@ class ProgressEngine:
         self.eager_sends = 0
         self.rendezvous_sends = 0
         self.bytes_sent = 0
+        self.envelopes_handled = 0
+        #: telemetry hook: a :class:`repro.obs.trace.TraceBuffer` an
+        #: offload engine attaches while it runs (else None)
+        self.trace = None
 
     # -- library lock ------------------------------------------------------
 
@@ -267,6 +271,11 @@ class ProgressEngine:
             self._handle(env)
 
     def _handle(self, env: Envelope) -> None:
+        self.envelopes_handled += 1
+        if self.trace is not None:
+            self.trace.append(
+                f"envelope:{env.kind.name.lower()}", rank=self.rank
+            )
         if env.kind is EnvelopeKind.CTS:
             self._handle_cts(env)
             return
@@ -366,3 +375,17 @@ class ProgressEngine:
             }
         finally:
             self._release()
+
+    def counters(self) -> dict[str, int]:
+        """All introspection counters plus current queue depths, as one
+        flat dict (consumed by :mod:`repro.obs.report`)."""
+        out = {
+            "progress_calls": self.progress_calls,
+            "lock_contentions": self.lock_contentions,
+            "eager_sends": self.eager_sends,
+            "rendezvous_sends": self.rendezvous_sends,
+            "bytes_sent": self.bytes_sent,
+            "envelopes_handled": self.envelopes_handled,
+        }
+        out.update(self.pending_counts())
+        return out

@@ -1,0 +1,103 @@
+"""Observability for the offload stack (counters, traces, reports).
+
+The paper's claims are statements about *internal engine behavior* —
+queue occupancy, Testany sweep frequency, rendezvous progress during
+compute — that timings alone cannot verify.  This package makes that
+behavior observable:
+
+* :mod:`repro.obs.counters` — per-thread counter sets merged on read
+  (the lock-free idiom of :mod:`repro.lockfree.atomics`: no lock on
+  the hot path);
+* :mod:`repro.obs.trace` — a bounded ring of structured trace events
+  with JSON export;
+* :mod:`repro.obs.report` — snapshot / merge / render helpers plus the
+  process-global registry benchmarks drain.
+
+Telemetry is **off by default and zero-overhead when off**: engines
+consult :func:`enabled` once at construction, and every instrumented
+hot path is guarded by a single ``is None`` check.  Enable it globally
+with :func:`set_enabled` (or the ``REPRO_TELEMETRY`` environment
+variable), per scope with :func:`telemetry`, or per engine with the
+``telemetry=`` keyword on :class:`~repro.core.engine.OffloadEngine` /
+:func:`~repro.core.interpose.offloaded`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from typing import Iterator
+
+from repro.obs.counters import COUNTER_GLOSSARY, Counters, merge_counters
+from repro.obs.trace import DEFAULT_TRACE_CAPACITY, TraceBuffer, TraceEvent
+from repro.obs.report import (
+    check_balance,
+    drain_snapshots,
+    merge,
+    peek_snapshots,
+    record_snapshot,
+    render,
+    snapshot_engine,
+)
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+_enabled = os.environ.get("REPRO_TELEMETRY", "").strip().lower() in _TRUTHY
+
+
+def enabled() -> bool:
+    """Is telemetry globally enabled (default for new engines)?"""
+    return _enabled
+
+
+def set_enabled(on: bool) -> None:
+    """Set the global default consulted at engine construction."""
+    global _enabled
+    _enabled = bool(on)
+
+
+@contextlib.contextmanager
+def telemetry(on: bool = True) -> Iterator[None]:
+    """Scope the global telemetry default; restores it on exit."""
+    global _enabled
+    prev = _enabled
+    _enabled = bool(on)
+    try:
+        yield
+    finally:
+        _enabled = prev
+
+
+class Telemetry:
+    """One engine's telemetry bundle: counters plus a trace ring."""
+
+    __slots__ = ("counters", "trace")
+
+    def __init__(
+        self, trace_capacity: int = DEFAULT_TRACE_CAPACITY
+    ) -> None:
+        self.counters = Counters()
+        self.trace: TraceBuffer | None = (
+            TraceBuffer(trace_capacity) if trace_capacity > 0 else None
+        )
+
+
+__all__ = [
+    "COUNTER_GLOSSARY",
+    "Counters",
+    "DEFAULT_TRACE_CAPACITY",
+    "Telemetry",
+    "TraceBuffer",
+    "TraceEvent",
+    "check_balance",
+    "drain_snapshots",
+    "enabled",
+    "merge",
+    "merge_counters",
+    "peek_snapshots",
+    "record_snapshot",
+    "render",
+    "set_enabled",
+    "snapshot_engine",
+    "telemetry",
+]

@@ -1,0 +1,128 @@
+"""Per-thread telemetry counters for the offload engine.
+
+The engine's hot paths (one enqueue per MPI call, one loop iteration
+per Testany sweep) cannot afford a shared lock per increment, and a
+single shared integer would drop updates under free-threaded builds.
+So — following the :mod:`repro.lockfree.atomics` idiom of "no lock on
+the hot path, locks only where they cannot race" — every thread owns a
+private counter dict:
+
+* ``inc``/``record_max`` touch only the calling thread's dict (plain
+  int stores, GIL-atomic, no contention);
+* the one-time registration of a new thread's dict takes a lock, but
+  never while counting;
+* ``snapshot`` merges all per-thread dicts: sums for event counters,
+  max for high-water marks (names ending in ``_hwm``).
+
+Dicts of threads that have exited stay registered, so their counts are
+never lost.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Counter names ending in this suffix are merged with ``max`` instead
+#: of ``+`` (they are high-water marks, not event counts).
+HWM_SUFFIX = "_hwm"
+
+#: Glossary of every counter the offload stack emits (name -> meaning).
+#: ``report.render`` and the docs table are generated from this, so a
+#: counter added to the engine should be added here too.
+COUNTER_GLOSSARY: dict[str, str] = {
+    "enqueues": "commands successfully enqueued on the command ring",
+    "queue_full_retries": "enqueue attempts bounced by a full ring "
+    "(backpressure events)",
+    "commands_drained": "commands dequeued by the engine loop",
+    "blocking_conversions": "blocking calls converted to nonblocking + "
+    "done-flag (paper §3.3)",
+    "testany_sweeps": "engine loop passes pumping progress over "
+    "in-flight requests (the §3.2 Testany loop)",
+    "completions": "commands that reached a terminal state (completed, "
+    "failed, or flushed)",
+    "idle_backoff_entries": "times the idle engine entered a timed "
+    "backoff wait",
+    "control_commands": "engine-control commands (SHUTDOWN)",
+    "app_blocking_calls": "blocking MPI calls issued by application "
+    "threads through the facade",
+    "app_nonblocking_calls": "nonblocking MPI calls issued by "
+    "application threads through the facade",
+    "pool_allocs": "request-pool slots claimed",
+    "pool_releases": "request-pool slots recycled",
+    "pool_exhausted": "request-pool allocation failures (pool empty)",
+    "in_flight_hwm": "peak number of simultaneously in-flight requests",
+    "pool_in_use_hwm": "peak number of simultaneously allocated "
+    "request-pool slots",
+    "queue_occupancy_hwm": "peak command-ring occupancy",
+}
+
+
+class Counters:
+    """A set of named counters, sharded per thread, merged on read."""
+
+    __slots__ = ("_local", "_shards", "_register_lock")
+
+    def __init__(self) -> None:
+        self._local = threading.local()
+        self._shards: list[dict[str, int]] = []
+        self._register_lock = threading.Lock()
+
+    # -- hot path ---------------------------------------------------------
+
+    def _mine(self) -> dict[str, int]:
+        try:
+            return self._local.shard
+        except AttributeError:
+            shard: dict[str, int] = {}
+            with self._register_lock:
+                self._shards.append(shard)
+            self._local.shard = shard
+            return shard
+
+    def inc(self, name: str, n: int = 1) -> None:
+        """Add ``n`` to this thread's shard of counter ``name``."""
+        shard = self._mine()
+        shard[name] = shard.get(name, 0) + n
+
+    def record_max(self, name: str, value: int) -> None:
+        """Raise this thread's shard of high-water mark ``name``."""
+        shard = self._mine()
+        if value > shard.get(name, 0):
+            shard[name] = value
+
+    # -- aggregation ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, int]:
+        """Merged view across all threads (sum; max for ``*_hwm``)."""
+        with self._register_lock:
+            shards = list(self._shards)
+        out: dict[str, int] = {}
+        for shard in shards:
+            # copy: the owning thread may be mutating concurrently
+            for name, value in list(shard.items()):
+                if name.endswith(HWM_SUFFIX):
+                    if value > out.get(name, 0):
+                        out[name] = value
+                else:
+                    out[name] = out.get(name, 0) + value
+        return out
+
+    def get(self, name: str) -> int:
+        """Merged value of one counter (0 if never incremented)."""
+        return self.snapshot().get(name, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counters({self.snapshot()!r})"
+
+
+def merge_counters(dicts: "list[dict[str, int]]") -> dict[str, int]:
+    """Merge counter dicts: sum event counts, max high-water marks."""
+    out: dict[str, int] = {}
+    for d in dicts:
+        for name, value in d.items():
+            if name.endswith(HWM_SUFFIX):
+                if value > out.get(name, 0):
+                    out[name] = value
+            else:
+                out[name] = out.get(name, 0) + value
+    return out

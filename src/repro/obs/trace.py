@@ -1,0 +1,112 @@
+"""Bounded structured trace ring for the offload engine.
+
+A fixed-capacity ring buffer of :class:`TraceEvent` records.  Appends
+claim a ticket with a fetch-and-add (the :mod:`repro.lockfree.atomics`
+idiom) and write into ``ticket % capacity``, so many threads can trace
+concurrently without a shared lock; the oldest events are overwritten
+when the ring wraps, and the number of overwritten events is reported
+as ``dropped``.
+
+The ring is diagnostic, not a transcript: a reader racing with writers
+may observe a torn *window* (an event overwritten mid-read is skipped),
+never a torn *event* (records are immutable once constructed).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+from repro.lockfree.atomics import AtomicCounter
+
+DEFAULT_TRACE_CAPACITY = 2048
+
+
+@dataclass(slots=True, frozen=True)
+class TraceEvent:
+    """One structured trace record."""
+
+    #: event kind, e.g. ``dispatch:isend``, ``complete``, ``queue_full``
+    kind: str
+    #: MPI rank the event happened on (-1 when not rank-specific)
+    rank: int
+    #: request-pool slot involved (-1 when none)
+    slot: int
+    #: monotonic timestamp (``time.perf_counter`` seconds)
+    t: float
+
+
+class TraceBuffer:
+    """Lock-free-style bounded ring of :class:`TraceEvent` records."""
+
+    __slots__ = ("_buf", "_capacity", "_ticket")
+
+    def __init__(self, capacity: int = DEFAULT_TRACE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self._capacity = capacity
+        self._buf: list[TraceEvent | None] = [None] * capacity
+        self._ticket = AtomicCounter(0)
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def recorded(self) -> int:
+        """Total events ever appended (including overwritten ones)."""
+        return self._ticket.load()
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten because the ring wrapped."""
+        return max(0, self._ticket.load() - self._capacity)
+
+    def append(self, kind: str, rank: int = -1, slot: int = -1) -> None:
+        """Record an event; O(1), overwrites the oldest on wrap."""
+        ticket = self._ticket.fetch_add(1)
+        self._buf[ticket % self._capacity] = TraceEvent(
+            kind=kind, rank=rank, slot=slot, t=time.perf_counter()
+        )
+
+    def events(self) -> list[TraceEvent]:
+        """Surviving events, oldest first (best-effort under writers)."""
+        end = self._ticket.load()
+        start = max(0, end - self._capacity)
+        out: list[TraceEvent] = []
+        for ticket in range(start, end):
+            ev = self._buf[ticket % self._capacity]
+            if ev is not None:
+                out.append(ev)
+        out.sort(key=lambda ev: ev.t)
+        return out
+
+    def clear(self) -> None:
+        self._buf = [None] * self._capacity
+        self._ticket.store(0)
+
+    def __len__(self) -> int:
+        return min(self._ticket.load(), self._capacity)
+
+    # -- export -----------------------------------------------------------
+
+    def to_dicts(self) -> list[dict]:
+        return [asdict(ev) for ev in self.events()]
+
+    def to_json(self, indent: int | None = None) -> str:
+        """JSON document: events plus drop accounting."""
+        return json.dumps(
+            {
+                "capacity": self._capacity,
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+                "events": self.to_dicts(),
+            },
+            indent=indent,
+        )
+
+    def export(self, path: str, indent: int | None = 2) -> None:
+        """Write :meth:`to_json` to ``path``."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json(indent=indent))

@@ -1,0 +1,122 @@
+"""The ``QueueFull`` retry path of ``OffloadEngine.submit``.
+
+Backpressure on a *live* engine spin-retries (flow control, not
+failure); but retrying against an engine whose thread is dead — never
+started, already stopped, crashed, or aborted — must raise
+``OffloadEngineDied`` instead of spinning forever, and every bounce
+must be counted.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import Command, CommandKind, OffloadEngine, OffloadEngineDied
+from repro.core.interpose import offloaded
+
+from tests.conftest import run_world, run_world_mt
+
+
+def _call_cmd(fn=lambda: None):
+    return Command(kind=CommandKind.CALL, fn=fn)
+
+
+class TestDeadEngineRaises:
+    def test_full_ring_on_never_started_engine_raises(self):
+        def prog(comm):
+            engine = OffloadEngine(comm, queue_capacity=2, telemetry=True)
+            # an unstarted engine accepts commands while the ring has
+            # room (they would run at start()) ...
+            engine.submit(_call_cmd())
+            engine.submit(_call_cmd())
+            # ... but a full ring with no thread to drain it must not
+            # spin forever
+            with pytest.raises(OffloadEngineDied, match="not started"):
+                engine.submit(_call_cmd())
+            assert engine.queue_full_retries >= 1
+            assert engine.stats()["queue_full_retries"] >= 1
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_full_ring_on_stopped_engine_raises(self):
+        def prog(comm):
+            engine = OffloadEngine(comm, queue_capacity=2).start()
+            engine.stop()
+            engine.submit(_call_cmd())
+            engine.submit(_call_cmd())
+            with pytest.raises(OffloadEngineDied):
+                engine.submit(_call_cmd())
+            return True
+
+        assert all(run_world(1, prog))
+
+    def test_spinning_producer_released_by_abort(self):
+        """A producer stuck in backpressure while the engine dies mid-
+        spin gets an exception, not an infinite loop."""
+
+        def prog(comm):
+            gate = threading.Event()
+            engine = OffloadEngine(comm, queue_capacity=2).start()
+            # wedge the engine on a blocking CALL, then fill the ring
+            engine.submit(_call_cmd(lambda: gate.wait(30)))
+            time.sleep(0.05)  # let the engine dequeue the wedge
+            engine.submit(_call_cmd())
+            engine.submit(_call_cmd())
+            raised = []
+
+            def producer():
+                try:
+                    engine.submit(_call_cmd())
+                except OffloadEngineDied as exc:
+                    raised.append(exc)
+
+            t = threading.Thread(target=producer)
+            t.start()
+            time.sleep(0.1)  # producer is now spin-retrying
+            engine.abort("test teardown")
+            gate.set()
+            t.join(timeout=10)
+            assert not t.is_alive(), "producer still spinning after abort"
+            assert len(raised) == 1
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+
+class TestLiveBackpressure:
+    def test_backpressure_resolves_and_counts_retries(self):
+        def prog(comm):
+            gate = threading.Event()
+            with offloaded(
+                comm, queue_capacity=4, telemetry=True
+            ) as oc:
+                engine = oc.engine
+                # wedge the engine so the ring genuinely fills
+                wedge = Command(
+                    kind=CommandKind.CALL, fn=lambda: gate.wait(30)
+                )
+                engine.submit(wedge)
+                done = []
+
+                def producer():
+                    for _ in range(12):
+                        engine.submit(_call_cmd())
+                    done.append(True)
+
+                t = threading.Thread(target=producer)
+                t.start()
+                time.sleep(0.1)  # producer hits the full ring
+                gate.set()
+                t.join(timeout=30)
+                assert done, "producer never got through backpressure"
+                oc.flush()
+                stats = engine.stats()
+                assert stats["queue_full_retries"] > 0
+                snap = engine.telemetry_snapshot()
+                assert snap["counters"]["queue_full_retries"] > 0
+                wedge.done.wait(timeout=30)
+            return True
+
+        assert all(run_world_mt(1, prog))

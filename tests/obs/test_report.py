@@ -1,0 +1,132 @@
+"""Snapshot / merge / render / registry tests against real engines."""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import offloaded
+
+from tests.conftest import run_world_mt
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    obs.drain_snapshots()
+    yield
+    obs.drain_snapshots()
+
+
+def _run_some_traffic(telemetry=True, nthreads=1):
+    def prog(comm):
+        with offloaded(comm, telemetry=telemetry, nthreads=nthreads) as oc:
+            peer = (comm.rank + 1) % comm.size
+            src = (comm.rank - 1) % comm.size
+            r = oc.irecv(np.empty(8), src, tag=0)
+            s = oc.isend(np.ones(8), peer, tag=0)
+            s.wait(timeout=30)
+            r.wait(timeout=30)
+            oc.allreduce(np.array([1.0]))
+            # single engine and engine group expose the same API
+            return oc.engine.telemetry_snapshot()
+
+    return run_world_mt(2, prog)
+
+
+class TestSnapshot:
+    def test_engine_snapshot_shape_and_balance(self):
+        snaps = _run_some_traffic()
+        for snap in snaps:
+            assert snap["rank"] in (0, 1)
+            for section in ("counters", "queue", "pool", "progress"):
+                assert isinstance(snap[section], dict)
+            c = snap["counters"]
+            assert c["enqueues"] == c["commands_drained"]
+            assert c["testany_sweeps"] > 0
+            assert c["blocking_conversions"] >= 1  # the allreduce
+            ok, detail = obs.check_balance(snap)
+            assert ok, detail
+
+    def test_snapshot_without_telemetry_has_empty_counters(self):
+        snaps = _run_some_traffic(telemetry=False)
+        for snap in snaps:
+            assert snap["counters"] == {}
+            # structural sections still present (queue/pool/progress)
+            assert snap["queue"]["enqueued"] > 0
+
+    def test_group_snapshot_merges_engines(self):
+        snaps = _run_some_traffic(nthreads=2)
+        for snap in snaps:
+            assert snap["engines"] == 2
+            ok, detail = obs.check_balance(snap)
+            assert ok, detail
+
+
+class TestMergeRender:
+    def test_merge_sums_and_unions_ranks(self):
+        snaps = _run_some_traffic()
+        merged = obs.merge(snaps)
+        assert merged["ranks"] == [0, 1]
+        assert merged["engines"] == 2
+        total = sum(s["counters"]["enqueues"] for s in snaps)
+        assert merged["counters"]["enqueues"] == total
+        ok, _ = obs.check_balance(merged)
+        assert ok
+
+    def test_merge_empty(self):
+        merged = obs.merge([])
+        assert merged["ranks"] == []
+        assert merged["engines"] == 0
+        ok, _ = obs.check_balance(merged)
+        assert ok  # 0 == 0 == 0
+
+    def test_render_mentions_counters_and_balance(self):
+        merged = obs.merge(_run_some_traffic())
+        text = obs.render(merged, title="t")
+        assert text.startswith("t:")
+        assert "testany_sweeps" in text
+        assert "balance:" in text
+        assert "OK" in text
+
+
+class TestRegistry:
+    def test_engines_record_final_snapshot_on_stop(self):
+        _run_some_traffic(telemetry=True)
+        snaps = obs.drain_snapshots()
+        # one snapshot per engine (2 ranks x 1 engine)
+        assert len(snaps) == 2
+        merged = obs.merge(snaps)
+        # at shutdown everything is drained: enqueued == completed+control
+        ok, detail = obs.check_balance(merged)
+        assert ok, detail
+        assert merged["counters"]["control_commands"] == 2  # SHUTDOWNs
+        assert obs.drain_snapshots() == []  # drained exactly once
+
+    def test_disabled_engines_record_nothing(self):
+        _run_some_traffic(telemetry=False)
+        assert obs.drain_snapshots() == []
+
+    def test_peek_does_not_drain(self):
+        obs.record_snapshot({"counters": {}, "in_flight": 0})
+        assert len(obs.peek_snapshots()) == 1
+        assert len(obs.peek_snapshots()) == 1
+        assert len(obs.drain_snapshots()) == 1
+
+
+class TestGlobalToggle:
+    def test_context_manager_scopes_default(self):
+        prev = obs.enabled()
+        with obs.telemetry(True):
+            assert obs.enabled()
+            with obs.telemetry(False):
+                assert not obs.enabled()
+            assert obs.enabled()
+        assert obs.enabled() == prev
+
+    def test_engine_picks_up_global_default(self):
+        def prog(comm):
+            with obs.telemetry(True):
+                with offloaded(comm) as oc:
+                    oc.allreduce(np.array([1.0]))
+                    return oc.engine.telemetry is not None
+
+        assert all(run_world_mt(2, prog))

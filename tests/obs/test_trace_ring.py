@@ -1,0 +1,83 @@
+"""Unit tests for the bounded trace ring."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import TraceBuffer, TraceEvent
+
+
+class TestTraceBuffer:
+    def test_append_and_order(self):
+        tb = TraceBuffer(capacity=8)
+        for i in range(5):
+            tb.append("ev", rank=0, slot=i)
+        events = tb.events()
+        assert [e.slot for e in events] == [0, 1, 2, 3, 4]
+        assert all(isinstance(e, TraceEvent) for e in events)
+        assert events[0].t <= events[-1].t
+        assert tb.dropped == 0
+        assert len(tb) == 5
+
+    def test_wraparound_keeps_newest_and_counts_dropped(self):
+        tb = TraceBuffer(capacity=4)
+        for i in range(10):
+            tb.append("ev", slot=i)
+        events = tb.events()
+        assert [e.slot for e in events] == [6, 7, 8, 9]
+        assert tb.dropped == 6
+        assert tb.recorded == 10
+        assert len(tb) == 4
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceBuffer(0)
+
+    def test_clear(self):
+        tb = TraceBuffer(capacity=4)
+        tb.append("ev")
+        tb.clear()
+        assert tb.events() == []
+        assert tb.recorded == 0
+
+    def test_json_roundtrip(self, tmp_path):
+        tb = TraceBuffer(capacity=16)
+        tb.append("dispatch:isend", rank=1, slot=3)
+        tb.append("complete", rank=1, slot=3)
+        doc = json.loads(tb.to_json())
+        assert doc["capacity"] == 16
+        assert doc["dropped"] == 0
+        assert [e["kind"] for e in doc["events"]] == [
+            "dispatch:isend",
+            "complete",
+        ]
+        assert doc["events"][0]["rank"] == 1
+        path = tmp_path / "trace.json"
+        tb.export(str(path))
+        assert json.loads(path.read_text())["recorded"] == 2
+
+    def test_concurrent_appends_never_error(self):
+        """Many writers may race; every surviving record is intact."""
+        tb = TraceBuffer(capacity=64)
+        nthreads, per_thread = 8, 500
+
+        def worker(tid):
+            for i in range(per_thread):
+                tb.append("ev", rank=tid, slot=i)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,))
+            for t in range(nthreads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tb.recorded == nthreads * per_thread
+        events = tb.events()
+        assert 0 < len(events) <= 64
+        for ev in events:
+            assert ev.kind == "ev"
+            assert 0 <= ev.rank < nthreads
+            assert 0 <= ev.slot < per_thread
