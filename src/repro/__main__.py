@@ -12,6 +12,9 @@ Subcommands:
 * ``telemetry`` — run the functional Figure-2 overlap exchange with
   engine telemetry enabled and print the counter snapshot (the quick
   way to see Testany sweeps / queue counters for a real engine run);
+* ``chaos`` — run a seeded fault-injection storm over the offloaded
+  stack and verify the robustness contract (no hang, no lost
+  completion, telemetry balance law); exits nonzero on violation;
 * ``info`` — version and layer summary.
 """
 
@@ -106,6 +109,35 @@ def _cmd_telemetry(nbytes: int, nranks: int) -> int:
     return 0 if ok else 1
 
 
+def _cmd_chaos(
+    nranks: int,
+    rounds: int,
+    seed: int,
+    profile: str,
+    op_timeout: float,
+    run_timeout: float,
+    as_json: bool,
+) -> int:
+    """Seeded chaos run; nonzero exit on any contract violation."""
+    from repro.faults.chaos import render_report, run_chaos
+
+    report = run_chaos(
+        nranks=nranks,
+        rounds=rounds,
+        seed=seed,
+        profile=profile,
+        op_timeout=op_timeout,
+        run_timeout=run_timeout,
+    )
+    if as_json:
+        import json
+
+        print(json.dumps(report, indent=2, default=str))
+    else:
+        print(render_report(report))
+    return 0 if report["ok"] else 1
+
+
 def _cmd_report(out_path: str | None, full: bool) -> int:
     from repro.experiments.report import generate_report
 
@@ -156,6 +188,28 @@ def main(argv: list[str] | None = None) -> int:
         help="message size in bytes (default 2 MiB, rendezvous)",
     )
     tel.add_argument("--nranks", type=int, default=2)
+    cha = sub.add_parser(
+        "chaos",
+        help="seeded fault-injection storm; nonzero exit on hang / "
+        "lost completion / balance violation",
+    )
+    cha.add_argument("--nranks", type=int, default=4)
+    cha.add_argument("--rounds", type=int, default=40)
+    cha.add_argument("--seed", type=int, default=0)
+    cha.add_argument(
+        "--profile",
+        default="mixed",
+        choices=["messages", "stragglers", "transient", "crash", "mixed"],
+    )
+    cha.add_argument(
+        "--op-timeout", type=float, default=1.0,
+        help="per-operation deadline in seconds",
+    )
+    cha.add_argument(
+        "--run-timeout", type=float, default=120.0,
+        help="hard wall-clock bound for the whole run",
+    )
+    cha.add_argument("--json", action="store_true")
     sub.add_parser("info", help="version and layout")
     args = parser.parse_args(argv)
     if args.cmd == "list":
@@ -164,6 +218,16 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args.names, args.full, args.telemetry)
     if args.cmd == "telemetry":
         return _cmd_telemetry(args.nbytes, args.nranks)
+    if args.cmd == "chaos":
+        return _cmd_chaos(
+            args.nranks,
+            args.rounds,
+            args.seed,
+            args.profile,
+            args.op_timeout,
+            args.run_timeout,
+            args.json,
+        )
     if args.cmd == "report":
         return _cmd_report(args.output, args.full)
     if args.cmd == "info":

@@ -39,6 +39,13 @@ from repro.core.request_pool import (
 )
 from repro.core.engine import OffloadEngine
 from repro.core.engine_group import OffloadEngineGroup
+from repro.core.recovery import (
+    EngineWatchdog,
+    OffloadStopTimeout,
+    OffloadTimeout,
+    RecoveryPolicy,
+    RetryPolicy,
+)
 from repro.core.offload_comm import (
     OffloadCommunicator,
     offload_waitall,
@@ -57,6 +64,11 @@ __all__ = [
     "OffloadRequestPool",
     "OffloadError",
     "OffloadEngineDied",
+    "OffloadTimeout",
+    "OffloadStopTimeout",
+    "RetryPolicy",
+    "RecoveryPolicy",
+    "EngineWatchdog",
     "OffloadEngine",
     "OffloadEngineGroup",
     "OffloadCommunicator",

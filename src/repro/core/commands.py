@@ -86,6 +86,32 @@ INLINE_KINDS = frozenset(
     }
 )
 
+#: Kinds safe to re-drive after a failed dispatch *attempt*.  A retry
+#: only ever happens for transient errors raised before the substrate
+#: was entered (see :class:`repro.core.recovery.RetryPolicy`), so
+#: anything that merely posts an operation is idempotent.  CALL runs
+#: arbitrary user code and the inline collectives execute in place, so
+#: neither may be re-driven.
+IDEMPOTENT_KINDS = frozenset(
+    {
+        CommandKind.ISEND,
+        CommandKind.IRECV,
+        CommandKind.SEND,
+        CommandKind.RECV,
+        CommandKind.IPROBE,
+        CommandKind.BARRIER,
+        CommandKind.BCAST,
+        CommandKind.ALLREDUCE,
+        CommandKind.GATHER,
+        CommandKind.ALLTOALL,
+        CommandKind.IBARRIER,
+        CommandKind.IBCAST,
+        CommandKind.IALLREDUCE,
+        CommandKind.IGATHER,
+        CommandKind.IALLTOALL,
+    }
+)
+
 
 @dataclass(slots=True)
 class Command:
@@ -109,6 +135,11 @@ class Command:
     result: Any = None  # e.g. iprobe Status, CALL return value
     error: BaseException | None = None
     fn: Any = None  # CALL payload: zero-argument callable
+    #: absolute perf_counter() time by which the command must reach a
+    #: terminal state; the engine expires it with OffloadTimeout after
+    deadline: float | None = None
+    #: dispatch attempts so far (bumped by the engine's retry path)
+    attempts: int = 0
 
     def __post_init__(self) -> None:
         if self.kind in NONBLOCKING_KINDS:

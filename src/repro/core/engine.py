@@ -17,6 +17,7 @@ application threads issue MPI calls concurrently.
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from dataclasses import dataclass
@@ -25,8 +26,14 @@ from typing import TYPE_CHECKING
 from repro.core.commands import (
     Command,
     CommandKind,
+    IDEMPOTENT_KINDS,
     INLINE_KINDS,
     NONBLOCKING_KINDS,
+)
+from repro.core.recovery import (
+    OffloadStopTimeout,
+    OffloadTimeout,
+    RecoveryPolicy,
 )
 from repro.core.request_pool import (
     OffloadEngineDied,
@@ -37,6 +44,7 @@ from repro.lockfree.mpsc_queue import MPSCQueue, QueueFull
 from repro import obs
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.plan import FaultPlan
     from repro.mpisim.communicator import Communicator
     from repro.mpisim.requests import Request
 
@@ -79,6 +87,8 @@ class OffloadEngine:
         pool_capacity: int = 4096,
         queue_capacity: int = 4096,
         telemetry: bool | None = None,
+        faults: "FaultPlan | None" = None,
+        recovery: RecoveryPolicy | None = None,
     ) -> None:
         self.comm = comm
         self.queue: MPSCQueue[Command] = MPSCQueue(queue_capacity)
@@ -89,6 +99,18 @@ class OffloadEngine:
         self._in_flight: list[_InFlight] = []
         self._flushes: list[Command] = []
         self._prev_funnel: int | None = None
+        # -- fault injection + recovery (both None in normal operation:
+        # every hook site is a single `is None` check) --------------------
+        if faults is None:
+            faults = getattr(comm.world, "fault_plan", None)
+        self._faults = faults
+        self.recovery = recovery
+        #: bumped once per loop iteration; sampled by EngineWatchdog
+        self.heartbeat = 0
+        #: retry heap: (due_time, seq, command)
+        self._retries: list[tuple[float, int, Command]] = []
+        self._retry_seq = 0
+        self._trip_lock = threading.Lock()
         # -- telemetry (zero-overhead when disabled: every hot path
         # guards on a single `is None` check of self._telem) -------------
         if telemetry is None:
@@ -105,6 +127,10 @@ class OffloadEngine:
         self.completions = 0
         self.max_in_flight = 0
         self.queue_full_retries = 0
+        self.retry_count = 0
+        self.deadline_expirations = 0
+        self.watchdog_trips = 0
+        self.degraded_commands = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -136,33 +162,111 @@ class OffloadEngine:
 
         Pending operations that can never complete (e.g. receives whose
         sends were never posted) make a clean stop impossible — like
-        ``MPI_Finalize`` with outstanding requests.  Use :meth:`abort`
-        to tear down regardless.
+        ``MPI_Finalize`` with outstanding requests.  On timeout expiry
+        this raises :class:`~repro.core.recovery.OffloadStopTimeout`
+        naming the still-outstanding operations; use :meth:`abort` to
+        tear down regardless.
         """
         if self._thread is None:
             return
-        self.submit(Command(CommandKind.SHUTDOWN))
-        self._thread.join(timeout)
-        if self._thread.is_alive():
-            raise RuntimeError(
-                "offload thread failed to stop (outstanding requests "
-                "cannot complete); use abort() to force teardown"
+        thread = self._thread
+        if self._dead is None:
+            try:
+                self.submit(Command(CommandKind.SHUTDOWN))
+            except OffloadEngineDied:
+                pass  # died between the check and the submit
+        thread.join(timeout)
+        if thread.is_alive():
+            pending = self.pending_work()
+            raise OffloadStopTimeout(
+                f"offload thread failed to stop within {timeout}s; "
+                f"{len(pending)} operation(s) outstanding "
+                f"({'; '.join(pending) or 'none visible'}); "
+                "use abort() to force teardown",
+                pending=pending,
             )
         self._thread = None
         if self._telem is not None:
             obs.record_snapshot(self.telemetry_snapshot())
 
-    def abort(self, reason: str = "engine aborted") -> None:
+    def abort(
+        self, reason: str = "engine aborted", join_timeout: float = 5.0
+    ) -> None:
         """Force-stop: fail everything pending and kill the loop."""
         exc = OffloadEngineDied(reason)
         self._dead = exc
         self._wake.set()
-        if self._thread is not None:
-            self._thread.join(5.0)
+        thread = self._thread
+        if thread is not None:
+            thread.join(join_timeout)
+            if thread.is_alive():
+                # Wedged mid-operation: the queue is single-consumer, so
+                # only the engine thread may drain it.  It fails all
+                # pending work itself the moment it wakes and observes
+                # `_dead`; recovery-aware waiters observe `dead` and do
+                # not block on that.
+                return
             self._thread = None
         self._fail_pending(exc)
         if self._telem is not None:
             obs.record_snapshot(self.telemetry_snapshot())
+
+    def watchdog_trip(self, reason: str) -> None:
+        """A caller detected a wedged/vanished engine thread.
+
+        Poisons the engine (every subsequent ``submit`` raises and
+        every recovery-aware waiter unblocks with
+        :class:`OffloadEngineDied`) and, if the thread is already gone,
+        fails all pending work immediately.  A wedged-but-alive thread
+        fails its own pending work when it next wakes — the command
+        queue is single-consumer, so nobody else may drain it.
+        """
+        with self._trip_lock:
+            if self._dead is not None:
+                return
+            self.watchdog_trips += 1
+            if self._telem is not None:
+                self._telem.counters.inc("watchdog_trips")
+                if self._telem.trace is not None:
+                    self._telem.trace.append(
+                        "watchdog_trip", rank=self.comm.engine.rank
+                    )
+            exc = OffloadEngineDied(f"watchdog tripped: {reason}")
+            self._dead = exc
+        self._wake.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(0.2)
+            if thread.is_alive():
+                return
+        self._fail_pending(exc)
+
+    def pending_work(self) -> list[str]:
+        """Best-effort descriptions of everything not yet terminal.
+
+        Read from the caller's thread without synchronization (the
+        engine may be mutating concurrently) — diagnostic only.
+        """
+        out: list[str] = []
+        for entry in list(self._in_flight):
+            cmd = entry.command
+            if cmd is None:
+                out.append("<untracked request>")
+                continue
+            desc = cmd.kind.name.lower()
+            if entry.slot >= 0:
+                desc += f"[slot {entry.slot}]"
+            if cmd.peer >= 0:
+                desc += f" peer={cmd.peer}"
+            if cmd.tag:
+                desc += f" tag={cmd.tag}"
+            out.append(desc)
+        queued = len(self.queue)
+        if queued:
+            out.append(f"{queued} queued command(s)")
+        if self._retries:
+            out.append(f"{len(self._retries)} scheduled retry(s)")
+        return out
 
     def __enter__(self) -> "OffloadEngine":
         return self.start()
@@ -246,6 +350,7 @@ class OffloadEngine:
             attached_trace = True
         try:
             while self._dead is None:
+                self.heartbeat += 1
                 did = 0
                 for _ in range(_BATCH):
                     ok, cmd = self.queue.try_dequeue()
@@ -264,8 +369,15 @@ class OffloadEngine:
                 did += self._sweep()
                 if counters is not None:
                     counters.inc("testany_sweeps")
+                if self._retries:
+                    did += self._run_due_retries()
                 self._check_flushes()
-                if shutdown and self.queue.empty() and not self._in_flight:
+                if (
+                    shutdown
+                    and self.queue.empty()
+                    and not self._in_flight
+                    and not self._retries
+                ):
                     break
                 if did == 0:
                     if self._in_flight:
@@ -281,18 +393,43 @@ class OffloadEngine:
                         # wake immediately on a new command.
                         if counters is not None:
                             counters.inc("idle_backoff_entries")
-                        self._wake.wait(idle_sleep)
+                        wait_for = idle_sleep
+                        if self._retries:
+                            wait_for = min(
+                                wait_for,
+                                max(
+                                    1e-5,
+                                    self._retries[0][0]
+                                    - time.perf_counter(),
+                                ),
+                            )
+                        self._wake.wait(wait_for)
                         self._wake.clear()
                         idle_sleep = min(idle_sleep * 2, _IDLE_SLEEP_MAX)
                 else:
                     idle_sleep = _IDLE_SLEEP
+            if self._dead is not None:
+                # Poisoned while running (abort/watchdog on a wedged
+                # loop): we are the only legal queue consumer, so fail
+                # everything pending from here.
+                self._fail_pending(self._dead)
         except BaseException as exc:  # noqa: BLE001 - reported via slots
-            self._dead = exc
-            self._fail_pending(exc)
+            if isinstance(exc, OffloadEngineDied):
+                died = exc
+            else:
+                died = OffloadEngineDied(
+                    f"offload thread crashed: {exc!r}"
+                )
+                died.__cause__ = exc
+            self._dead = died
+            self._fail_pending(died)
         finally:
             if attached_trace:
                 progress_engine.trace = None
-            world.set_funnel_thread(rank, self._prev_funnel)
+            # Restore the funnel designation only if we still hold it —
+            # a degraded facade may have re-pointed it at an app thread.
+            if world.funnel_thread(rank) == threading.get_ident():
+                world.set_funnel_thread(rank, self._prev_funnel)
 
     # ------------------------------------------------------------ processing
 
@@ -305,17 +442,93 @@ class OffloadEngine:
                 rank=self.comm.engine.rank,
                 slot=cmd.slot,
             )
+        if (
+            cmd.deadline is not None
+            and time.perf_counter() > cmd.deadline
+        ):
+            # Sat in the queue (or the retry heap) past its deadline.
+            self._expire(cmd, slot=cmd.slot)
+            return
+        if self._faults is not None:
+            try:
+                fault = self._faults.on_command(self, cmd)
+            except BaseException as crash:
+                # Crash injection: this command was already drained, so
+                # terminal-fail it first (its waiter gets a typed error
+                # and the telemetry balance law stays intact), *then*
+                # let the crash kill the engine loop.
+                self._command_failed(cmd, crash)
+                raise
+            if fault is not None:
+                self._command_failed(cmd, fault)
+                return
         try:
             self._dispatch(cmd)
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
-            if tm is not None:
-                tm.counters.inc("completions")
-            if cmd.kind in NONBLOCKING_KINDS:
-                self.pool.fail(cmd.slot, exc)
-            else:
-                cmd.error = exc
-                if cmd.done is not None:
-                    cmd.done.set(None)
+            self._command_failed(cmd, exc)
+
+    def _command_failed(self, cmd: Command, exc: BaseException) -> None:
+        """A dispatch attempt failed: retry per policy or fail."""
+        rec = self.recovery
+        if (
+            rec is not None
+            and rec.retry is not None
+            and cmd.kind in IDEMPOTENT_KINDS
+            and cmd.attempts < rec.retry.max_retries
+            and isinstance(exc, rec.retry.retry_on)
+        ):
+            cmd.attempts += 1
+            self.retry_count += 1
+            if self._telem is not None:
+                self._telem.counters.inc("retries")
+            due = time.perf_counter() + rec.retry.backoff(cmd.attempts)
+            self._retry_seq += 1
+            heapq.heappush(self._retries, (due, self._retry_seq, cmd))
+            return
+        if self._telem is not None:
+            self._telem.counters.inc("completions")
+        if cmd.kind in NONBLOCKING_KINDS:
+            self.pool.fail(cmd.slot, exc)
+        else:
+            cmd.error = exc
+            if cmd.done is not None:
+                cmd.done.set(None)
+
+    def _run_due_retries(self) -> int:
+        """Re-drive retry-scheduled commands whose backoff elapsed."""
+        now = time.perf_counter()
+        n = 0
+        while self._retries and self._retries[0][0] <= now:
+            _, _, cmd = heapq.heappop(self._retries)
+            n += 1
+            self._process(cmd)
+        return n
+
+    def _expire(self, cmd: Command, slot: int = -1) -> None:
+        """Terminal-fail a command that missed its deadline."""
+        self.deadline_expirations += 1
+        tm = self._telem
+        if tm is not None:
+            tm.counters.inc("deadline_expirations")
+            tm.counters.inc("completions")
+            if tm.trace is not None:
+                tm.trace.append(
+                    "deadline_expired",
+                    rank=self.comm.engine.rank,
+                    slot=slot,
+                )
+        exc = OffloadTimeout(
+            f"offloaded {cmd.kind.name.lower()} missed its deadline "
+            f"(after {cmd.attempts} retr{'y' if cmd.attempts == 1 else 'ies'})"
+            if cmd.attempts
+            else f"offloaded {cmd.kind.name.lower()} missed its deadline"
+        )
+        if cmd.kind in NONBLOCKING_KINDS:
+            self.pool.fail(cmd.slot, exc)
+        else:
+            cmd.error = exc
+            if cmd.done is not None:
+                cmd.done.set(None)
 
     def _dispatch(self, cmd: Command) -> None:
         comm = cmd.comm
@@ -475,19 +688,55 @@ class OffloadEngine:
         doubles as the RMA asynchronous-progress agent, §7).
         """
         self.comm.engine.progress()
+        if self._dead is not None:
+            # Poisoned while pumping (watchdog trip during an injected
+            # stall): stop touching completion state — the loop exit
+            # path fails everything pending exactly once.
+            return 0
         if not self._in_flight:
             return 0
         self.progress_sweeps += 1
         still: list[_InFlight] = []
         done = 0
+        now = -1.0
         for entry in self._in_flight:
             if entry.inner.done:
                 self._finish(entry)
                 done += 1
-            else:
-                still.append(entry)
+                continue
+            cmd = entry.command
+            if cmd is not None and cmd.deadline is not None:
+                if now < 0.0:
+                    now = time.perf_counter()
+                if now > cmd.deadline:
+                    self._expire_entry(entry)
+                    done += 1
+                    continue
+            still.append(entry)
         self._in_flight = still
         return done
+
+    def _expire_entry(self, entry: _InFlight) -> None:
+        """An in-flight operation missed its deadline: cancel what can
+        be cancelled, then fail the waiter with OffloadTimeout."""
+        try:
+            entry.inner.cancel()
+        except Exception:  # noqa: BLE001 - only receives are cancellable
+            pass
+        cmd = entry.command
+        if cmd is not None:
+            self._expire(cmd, slot=entry.slot)
+            return
+        # Untracked entry (defensive): fail the raw slot/flag.
+        self.deadline_expirations += 1
+        exc = OffloadTimeout("offloaded request missed its deadline")
+        if self._telem is not None:
+            self._telem.counters.inc("deadline_expirations")
+            self._telem.counters.inc("completions")
+        if entry.slot >= 0:
+            self.pool.fail(entry.slot, exc)
+        elif entry.flag is not None:
+            entry.flag.set(None)
 
     def _finish(self, entry: _InFlight) -> None:
         self.completions += 1
@@ -587,6 +836,10 @@ class OffloadEngine:
             "queue_cas_failures": self.queue.cas_failures,
             "queue_full_retries": self.queue_full_retries,
             "pool_allocated": self.pool.allocated,
+            "retries": self.retry_count,
+            "deadline_expirations": self.deadline_expirations,
+            "watchdog_trips": self.watchdog_trips,
+            "degraded_mode_commands": self.degraded_commands,
         }
         if self._telem is not None:
             for name, value in self._telem.counters.snapshot().items():

@@ -49,6 +49,8 @@ class OffloadEngineGroup:
         pool_capacity: int = 4096,
         queue_capacity: int = 4096,
         telemetry: bool | None = None,
+        faults=None,
+        recovery=None,
     ) -> None:
         if nthreads < 1:
             raise ValueError("nthreads must be >= 1")
@@ -64,6 +66,8 @@ class OffloadEngineGroup:
                 pool_capacity=pool_capacity,
                 queue_capacity=queue_capacity,
                 telemetry=telemetry,
+                faults=faults,
+                recovery=recovery,
             )
             for _ in range(nthreads)
         ]

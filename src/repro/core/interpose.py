@@ -52,6 +52,9 @@ def offloaded(
     queue_capacity: int = 4096,
     nthreads: int = 1,
     telemetry: bool | None = None,
+    faults=None,
+    recovery=None,
+    op_timeout: float | None = None,
 ) -> Iterator[OffloadCommunicator]:
     """Context manager: spawn offload thread(s) for ``comm``'s rank,
     yield the interposed communicator, and tear them down on exit (the
@@ -60,7 +63,15 @@ def offloaded(
     ``nthreads > 1`` enables the §7 multi-offload-thread extension
     (requires ``MPI_THREAD_MULTIPLE``; see
     :mod:`repro.core.engine_group`).  ``telemetry`` overrides the
-    global :func:`repro.obs.enabled` default for these engines."""
+    global :func:`repro.obs.enabled` default for these engines.
+
+    ``faults`` installs a :class:`repro.faults.plan.FaultPlan` on the
+    engines, ``recovery`` a :class:`repro.core.recovery.RecoveryPolicy`,
+    and ``op_timeout`` stamps every offloaded call with a deadline —
+    all three default to off (zero overhead).  Teardown tolerates a
+    dead engine: pending work has already been failed with typed
+    errors, so exit does not raise on top of the application's own
+    handling."""
     if nthreads > 1:
         from repro.core.engine_group import OffloadEngineGroup
 
@@ -70,21 +81,47 @@ def offloaded(
             pool_capacity=pool_capacity,
             queue_capacity=queue_capacity,
             telemetry=telemetry,
+            faults=faults,
+            recovery=recovery,
         )
         group.start()
         try:
-            yield OffloadCommunicator(comm, group)
+            yield OffloadCommunicator(comm, group, op_timeout)
         finally:
-            group.stop()
+            _teardown(group)
         return
     engine = OffloadEngine(
         comm,
         pool_capacity=pool_capacity,
         queue_capacity=queue_capacity,
         telemetry=telemetry,
+        faults=faults,
+        recovery=recovery,
     )
     engine.start()
     try:
-        yield OffloadCommunicator(comm, engine)
+        yield OffloadCommunicator(comm, engine, op_timeout)
     finally:
+        _teardown(engine)
+
+
+def _teardown(engine) -> None:
+    """Stop an engine/group, absorbing death it already reported.
+
+    A dead engine failed all its pending work with typed exceptions at
+    death time; raising again out of the ``finally`` would mask the
+    application's own exception handling.  A *live* engine that cannot
+    stop still raises (stuck work is a real error)."""
+    from repro.core.request_pool import OffloadEngineDied
+
+    dead = getattr(engine, "dead", None)
+    if dead is None and hasattr(engine, "engines"):
+        if any(e.dead is not None for e in engine.engines):
+            dead = True
+    try:
         engine.stop()
+    except OffloadEngineDied:
+        pass
+    except RuntimeError:
+        if dead is None:
+            raise

@@ -18,6 +18,7 @@ the calling thread never enters MPI:
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING, Any, Sequence
 
@@ -25,9 +26,14 @@ import numpy as np
 
 from repro.core.commands import Command, CommandKind
 from repro.core.engine import OffloadEngine
-from repro.core.request_pool import OffloadError, OffloadRequest
+from repro.core.recovery import EngineWatchdog, RecoveryPolicy
+from repro.core.request_pool import (
+    OffloadEngineDied,
+    OffloadError,
+    OffloadRequest,
+)
 from repro.mpisim import datatypes
-from repro.mpisim.constants import ANY_SOURCE, ANY_TAG
+from repro.mpisim.constants import ANY_SOURCE, ANY_TAG, ThreadLevel
 from repro.mpisim.reduce_ops import ReduceOp, SUM
 from repro.mpisim.status import Status
 
@@ -38,11 +44,30 @@ K = CommandKind
 
 
 class OffloadCommunicator:
-    """Drop-in communicator whose MPI calls run on the offload thread."""
+    """Drop-in communicator whose MPI calls run on the offload thread.
 
-    def __init__(self, comm: "Communicator", engine: OffloadEngine) -> None:
+    ``op_timeout`` (optional) stamps every command with an absolute
+    deadline; the engine terminal-fails commands that miss it with
+    :class:`~repro.core.recovery.OffloadTimeout`, so no operation can
+    outlive ``op_timeout`` once the engine has seen it.
+
+    When the engine carries a :class:`~repro.core.recovery.RecoveryPolicy`
+    with ``degrade=True``, calls issued *after* the engine died run
+    inline on the calling thread (the FUNNELED fallback) instead of
+    raising — nonblocking calls then return the substrate's own request
+    handle, which exposes the same ``done``/``test``/``wait`` surface
+    as :class:`~repro.core.request_pool.OffloadRequest`.
+    """
+
+    def __init__(
+        self,
+        comm: "Communicator",
+        engine: OffloadEngine,
+        op_timeout: float | None = None,
+    ) -> None:
         self.inner = comm
         self.engine = engine
+        self.op_timeout = op_timeout
 
     # ------------------------------------------------------------- identity
 
@@ -66,25 +91,175 @@ class OffloadCommunicator:
     def _blocking(self, cmd: Command) -> Any:
         assert cmd.done is not None
         engine = self.engine.route()
+        rec = engine.recovery
+        if rec is not None and rec.degrade and engine.dead is not None:
+            return self._degraded_blocking(engine, cmd)
         if engine.telemetry is not None:
             engine.telemetry.counters.inc("app_blocking_calls")
-        engine.submit(cmd)
-        cmd.done.wait()
+        if self.op_timeout is not None and cmd.deadline is None:
+            cmd.deadline = time.perf_counter() + self.op_timeout
+        try:
+            engine.submit(cmd)
+        except OffloadEngineDied:
+            if rec is not None and rec.degrade:
+                return self._degraded_blocking(engine, cmd)
+            raise
+        if rec is None:
+            cmd.done.wait()
+        else:
+            self._watchful_wait(engine, cmd, rec)
         if cmd.error is not None:
-            raise OffloadError(str(cmd.error)) from cmd.error
+            err = cmd.error
+            if isinstance(err, OffloadError):
+                raise err
+            raise OffloadError(str(err)) from err
         return cmd.done.payload
 
-    def _nonblocking(self, cmd_kind: K, **fields: Any) -> OffloadRequest:
+    @staticmethod
+    def _watchful_wait(
+        engine: OffloadEngine, cmd: Command, rec: RecoveryPolicy
+    ) -> None:
+        """Wait on ``cmd.done`` while sampling engine health.
+
+        Bounded-hang guarantee: if the engine dies (or the watchdog
+        trips it), the waiter fails the command locally — even a
+        command the engine can no longer reach (wedged mid-dispatch)
+        terminates within ``watchdog_timeout + poll_interval``.
+        """
+        assert cmd.done is not None
+        done = cmd.done
+        watchdog = (
+            EngineWatchdog(engine, rec.watchdog_timeout)
+            if rec.watchdog_timeout is not None
+            else None
+        )
+        while True:
+            if done.wait(rec.poll_interval):
+                return
+            if engine.dead is not None:
+                if not done.is_set():
+                    cmd.error = OffloadEngineDied(
+                        f"offload engine terminated with {cmd.kind.name} "
+                        f"pending: {engine.dead}"
+                    )
+                    done.set(None)
+                return
+            if watchdog is not None:
+                watchdog.check()
+
+    def _nonblocking(self, cmd_kind: K, **fields: Any) -> Any:
         # route() picks this thread's engine (a single engine routes to
         # itself; an OffloadEngineGroup shards threads over engines).
         engine = self.engine.route()
+        rec = engine.recovery
+        if rec is not None and rec.degrade and engine.dead is not None:
+            return self._degraded_nonblocking(engine, cmd_kind, fields)
         if engine.telemetry is not None:
             engine.telemetry.counters.inc("app_nonblocking_calls")
         slot = engine.pool.alloc()
         cmd = Command(kind=cmd_kind, slot=slot, **fields)
-        handle = OffloadRequest(engine.pool, slot)
-        engine.submit(cmd)
+        if self.op_timeout is not None:
+            cmd.deadline = time.perf_counter() + self.op_timeout
+        handle = OffloadRequest(
+            engine.pool, slot, engine=engine if rec is not None else None
+        )
+        try:
+            engine.submit(cmd)
+        except OffloadEngineDied:
+            # The command never reached the engine, so the slot can be
+            # recycled safely (no later completion can touch it).
+            engine.pool.release(slot)
+            if rec is not None and rec.degrade:
+                return self._degraded_nonblocking(engine, cmd_kind, fields)
+            raise
         return handle
+
+    # --------------------------------------------------- degraded (FUNNELED)
+
+    def _note_degraded(self, engine: OffloadEngine) -> None:
+        """Account one inline-fallback command and adopt the funnel.
+
+        Under FUNNELED the dead offload thread still holds the funnel
+        designation; the substrate would reject inline calls from this
+        thread, so the degraded caller takes the designation over.
+        """
+        engine.degraded_commands += 1
+        if engine.telemetry is not None:
+            engine.telemetry.counters.inc("degraded_mode_commands")
+        world = self.inner.world
+        rank = self.inner.engine.rank
+        if world.thread_level is ThreadLevel.FUNNELED:
+            if world.funnel_thread(rank) != threading.get_ident():
+                world.set_funnel_thread(rank, threading.get_ident())
+
+    def _degraded_blocking(self, engine: OffloadEngine, cmd: Command) -> Any:
+        self._note_degraded(engine)
+        comm = cmd.comm if cmd.comm is not None else self.inner
+        k = cmd.kind
+        if k is K.SEND:
+            return comm.send(cmd.buf, cmd.peer, cmd.tag)
+        if k is K.RECV:
+            return comm.recv(cmd.buf, cmd.peer, cmd.tag)
+        if k is K.IPROBE:
+            return comm.iprobe(cmd.peer, cmd.tag)
+        if k is K.BARRIER:
+            return comm.barrier()
+        if k is K.BCAST:
+            return comm.bcast(cmd.buf, cmd.peer)
+        if k is K.ALLREDUCE:
+            return comm.allreduce(cmd.buf, cmd.buf2, cmd.op)
+        if k is K.GATHER:
+            return comm.gather(cmd.buf, cmd.buf2, cmd.peer)
+        if k is K.ALLTOALL:
+            return comm.alltoall(cmd.buf, cmd.buf2)
+        if k is K.REDUCE:
+            return comm.reduce(cmd.buf, cmd.buf2, cmd.op, cmd.peer)
+        if k is K.SCATTER:
+            return comm.scatter(cmd.buf, cmd.buf2, cmd.peer)
+        if k is K.ALLGATHER:
+            return comm.allgather(cmd.buf, cmd.buf2)
+        if k is K.REDUCE_SCATTER:
+            return comm.reduce_scatter(cmd.buf, cmd.buf2, cmd.op)
+        if k is K.SCAN:
+            return comm.scan(cmd.buf, cmd.buf2, cmd.op)
+        if k is K.CALL:
+            return cmd.fn()
+        if k is K.FLUSH:
+            # Nothing can be in flight on the engine for *this* caller
+            # anymore (it is dead and failed its backlog); inline ops
+            # complete synchronously, so flush is a no-op.
+            return None
+        raise OffloadError(
+            f"no degraded inline fallback for {k.name}"
+        )  # pragma: no cover - all facade kinds handled above
+
+    def _degraded_nonblocking(
+        self, engine: OffloadEngine, cmd_kind: K, fields: dict[str, Any]
+    ) -> Any:
+        self._note_degraded(engine)
+        comm = fields.get("comm") or self.inner
+        buf = fields.get("buf")
+        buf2 = fields.get("buf2")
+        peer = fields.get("peer", -1)
+        tag = fields.get("tag", 0)
+        op = fields.get("op")
+        if cmd_kind is K.ISEND:
+            return comm.isend(buf, peer, tag)
+        if cmd_kind is K.IRECV:
+            return comm.irecv(buf, peer, tag)
+        if cmd_kind is K.IBARRIER:
+            return comm.ibarrier()
+        if cmd_kind is K.IBCAST:
+            return comm.ibcast(buf, peer)
+        if cmd_kind is K.IALLREDUCE:
+            return comm.iallreduce(buf, buf2, op)
+        if cmd_kind is K.IGATHER:
+            return comm.igather(buf, buf2, peer)
+        if cmd_kind is K.IALLTOALL:
+            return comm.ialltoall(buf, buf2)
+        raise OffloadError(
+            f"no degraded inline fallback for {cmd_kind.name}"
+        )  # pragma: no cover - all facade kinds handled above
 
     # ------------------------------------------------------------------ p2p
 
@@ -425,7 +600,7 @@ class OffloadCommunicator:
         new_inner = self._blocking(
             Command(kind=K.CALL, fn=self.inner.dup)
         )
-        return OffloadCommunicator(new_inner, self.engine)
+        return OffloadCommunicator(new_inner, self.engine, self.op_timeout)
 
     def split(
         self, color: int | None, key: int = 0
@@ -435,7 +610,7 @@ class OffloadCommunicator:
         )
         if new_inner is None:
             return None
-        return OffloadCommunicator(new_inner, self.engine)
+        return OffloadCommunicator(new_inner, self.engine, self.op_timeout)
 
     def flush(self) -> None:
         """Wait until every previously submitted operation completed."""
@@ -469,8 +644,20 @@ class OffloadCommunicator:
 def offload_waitall(
     requests: Sequence[OffloadRequest], timeout: float | None = None
 ) -> list[Status]:
-    """Wait on offloaded handles; pure flag checks, no MPI entry."""
-    return [r.wait(timeout) for r in requests]
+    """Wait on offloaded handles; pure flag checks, no MPI entry.
+
+    ``timeout`` is one overall budget for the whole set — each wait
+    gets the *remaining* budget, so N requests cannot stack up to
+    ``N * timeout`` of wall clock.
+    """
+    if timeout is None:
+        return [r.wait() for r in requests]
+    deadline = time.perf_counter() + timeout
+    out: list[Status] = []
+    for r in requests:
+        remaining = max(0.0, deadline - time.perf_counter())
+        out.append(r.wait(remaining))
+    return out
 
 
 def offload_waitany(

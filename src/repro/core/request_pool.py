@@ -16,6 +16,7 @@ thread never pumps MPI progress itself; the offload thread's
 from __future__ import annotations
 
 import threading
+import time
 from typing import TYPE_CHECKING, Any
 
 from repro.lockfree.atomics import AtomicFlag
@@ -23,6 +24,7 @@ from repro.lockfree.freelist import FreeList, FreeListExhausted
 from repro.mpisim.status import EMPTY_STATUS, Status
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.engine import OffloadEngine
     from repro.mpisim.requests import Request
 
 
@@ -122,14 +124,29 @@ class OffloadRequest:
     columns).
     """
 
-    __slots__ = ("_pool", "_idx", "_generation", "_released", "_lock")
+    __slots__ = (
+        "_pool",
+        "_idx",
+        "_generation",
+        "_released",
+        "_lock",
+        "_engine",
+    )
 
-    def __init__(self, pool: OffloadRequestPool, idx: int) -> None:
+    def __init__(
+        self,
+        pool: OffloadRequestPool,
+        idx: int,
+        engine: "OffloadEngine | None" = None,
+    ) -> None:
         self._pool = pool
         self._idx = idx
         self._generation = pool.slot(idx).generation
         self._released = False
         self._lock = threading.Lock()
+        #: set only when the engine carries a RecoveryPolicy — enables
+        #: the health-sampling wait path (None keeps the fast path)
+        self._engine = engine
 
     @property
     def slot_index(self) -> int:
@@ -155,7 +172,10 @@ class OffloadRequest:
     def wait(self, timeout: float | None = None) -> Status:
         """Spin-then-block on the done flag; frees the slot."""
         slot = self._check_fresh()
-        if not slot.flag.wait(timeout):
+        engine = self._engine
+        if engine is not None and engine.recovery is not None:
+            self._recovery_wait(slot, timeout, engine)
+        elif not slot.flag.wait(timeout):
             raise TimeoutError(
                 f"offloaded request (slot {self._idx}) pending after "
                 f"{timeout}s"
@@ -163,6 +183,48 @@ class OffloadRequest:
         st = self._finish(slot)
         assert st is not None
         return st
+
+    def _recovery_wait(
+        self, slot: _Slot, timeout: float | None, engine: "OffloadEngine"
+    ) -> None:
+        """Flag wait that samples engine health between slices.
+
+        If the engine dies while this slot is pending, the waiter
+        *abandons* the slot (never recycled) and raises — the wedged
+        engine thread may still hold a reference and complete it later;
+        recycling here could corrupt a fresh allocation.  A dead
+        engine's pool is never reused, so the leak is bounded.
+        """
+        from repro.core.recovery import EngineWatchdog
+
+        rec = engine.recovery
+        assert rec is not None
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        watchdog = (
+            EngineWatchdog(engine, rec.watchdog_timeout)
+            if rec.watchdog_timeout is not None
+            else None
+        )
+        while True:
+            step = rec.poll_interval
+            if deadline is not None:
+                step = min(step, deadline - time.perf_counter())
+                if step <= 0 and not slot.flag.is_set():
+                    raise TimeoutError(
+                        f"offloaded request (slot {self._idx}) pending "
+                        f"after {timeout}s"
+                    )
+            if slot.flag.wait(max(step, 0.0)):
+                return
+            if engine.dead is not None and not slot.flag.is_set():
+                with self._lock:
+                    self._released = True  # abandon, never recycle
+                raise OffloadEngineDied(
+                    f"offload engine terminated with request "
+                    f"(slot {self._idx}) pending: {engine.dead}"
+                )
+            if watchdog is not None:
+                watchdog.check()
 
     def _finish(self, slot: _Slot) -> Status | None:
         with self._lock:
@@ -173,5 +235,7 @@ class OffloadRequest:
         payload: Any = slot.flag.payload
         self._pool.release(self._idx)
         if error is not None:
+            if isinstance(error, OffloadError):
+                raise error
             raise OffloadError(str(error)) from error
         return payload if isinstance(payload, Status) else EMPTY_STATUS

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the offload stack.
+
+Public surface is the plan layer (:mod:`repro.faults.plan`); the chaos
+harness lives in :mod:`repro.faults.chaos` and is imported lazily by
+its consumers (it depends on :mod:`repro.core`, which imports this
+package — a top-level import here would cycle).
+"""
+
+from repro.faults.plan import (
+    COMMAND_ACTIONS,
+    FaultAction,
+    FaultInjectionError,
+    FaultPlan,
+    FaultRule,
+    InjectedCrash,
+    MESSAGE_ACTIONS,
+    PROGRESS_ACTIONS,
+    TransientFaultError,
+)
+
+__all__ = [
+    "FaultAction",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultRule",
+    "InjectedCrash",
+    "TransientFaultError",
+    "MESSAGE_ACTIONS",
+    "PROGRESS_ACTIONS",
+    "COMMAND_ACTIONS",
+]

@@ -34,6 +34,16 @@ class CommAbortError(MPIError):
     """The communicator's world has been aborted (peer rank failed)."""
 
 
+class RankDeadError(MPIError):
+    """A peer rank is known dead; the operation can never complete.
+
+    Raised fast at post time (``post_send``/``post_recv`` against a
+    dead rank) and used to fail operations already pending on a rank
+    when :meth:`repro.mpisim.world.World.mark_rank_dead` runs — the
+    fail-stop analogue of a ULFM ``MPI_ERR_PROC_FAILED``.
+    """
+
+
 class WorldError(MPIError):
     """A rank program raised; carries the per-rank failures."""
 

@@ -17,7 +17,7 @@ needed here.
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.mpisim.envelope import Envelope
 from repro.mpisim.requests import RecvRequest
@@ -49,6 +49,16 @@ class PostedReceiveQueue:
             return True
         except ValueError:
             return False
+
+    def remove_where(
+        self, pred: Callable[[RecvRequest], bool]
+    ) -> list[RecvRequest]:
+        """Remove and return every posted receive satisfying ``pred``
+        (dead-rank cleanup: receives that can never be matched)."""
+        taken = [req for req in self._q if pred(req)]
+        if taken:
+            self._q = deque(req for req in self._q if not pred(req))
+        return taken
 
     def __len__(self) -> int:
         return len(self._q)
@@ -86,6 +96,16 @@ class UnexpectedQueue:
             if env.matches(source, tag, context_id):
                 return env
         return None
+
+    def remove_where(
+        self, pred: Callable[[Envelope], bool]
+    ) -> list[Envelope]:
+        """Remove and return every queued envelope satisfying ``pred``
+        (dead-rank cleanup: control messages whose sender died)."""
+        taken = [env for env in self._q if pred(env)]
+        if taken:
+            self._q = deque(env for env in self._q if not pred(env))
+        return taken
 
     def __len__(self) -> int:
         return len(self._q)

@@ -17,6 +17,7 @@ as in MPI.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
@@ -129,5 +130,17 @@ def start_all(requests: Sequence[PersistentRequest]) -> None:
 def wait_all_persistent(
     requests: Sequence[PersistentRequest], timeout: float | None = None
 ) -> list[Status]:
-    """Complete every active request; statuses in request order."""
-    return [r.wait(timeout=timeout) for r in requests]
+    """Complete every active request; statuses in request order.
+
+    ``timeout`` is one overall budget for the whole set: each wait
+    receives only the remaining budget, so N requests cannot stack up
+    to ``N * timeout`` of wall clock.
+    """
+    if timeout is None:
+        return [r.wait() for r in requests]
+    deadline = time.perf_counter() + timeout
+    out: list[Status] = []
+    for r in requests:
+        remaining = max(0.0, deadline - time.perf_counter())
+        out.append(r.wait(timeout=remaining))
+    return out

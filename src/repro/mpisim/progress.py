@@ -25,7 +25,7 @@ import numpy as np
 from repro.mpisim import datatypes
 from repro.mpisim.constants import DEFAULT_EAGER_THRESHOLD, PROC_NULL
 from repro.mpisim.envelope import Envelope, EnvelopeKind
-from repro.mpisim.exceptions import MPIError, TruncationError
+from repro.mpisim.exceptions import MPIError, RankDeadError, TruncationError
 from repro.mpisim.matching import PostedReceiveQueue, UnexpectedQueue
 from repro.mpisim.requests import (
     CompletedRequest,
@@ -68,6 +68,12 @@ class ProgressEngine:
         #: telemetry hook: a :class:`repro.obs.trace.TraceBuffer` an
         #: offload engine attaches while it runs (else None)
         self.trace = None
+        #: fault-injection hook: a :class:`repro.faults.plan.FaultPlan`
+        #: the world installs (else None; single `is None` check)
+        self.faults = None
+        #: ranks known dead, shared across the world's engines (empty
+        #: dict in normal operation: the guard is one truthiness check)
+        self.dead_ranks: dict[int, BaseException] = {}
 
     # -- library lock ------------------------------------------------------
 
@@ -102,6 +108,11 @@ class ProgressEngine:
         """
         if dst == PROC_NULL:
             return CompletedRequest()
+        if self.dead_ranks and dst in self.dead_ranks:
+            raise RankDeadError(
+                f"send to rank {dst} cannot complete: rank is dead "
+                f"({self.dead_ranks[dst]})"
+            )
         self._acquire()
         try:
             self.bytes_sent += payload.nbytes
@@ -154,6 +165,16 @@ class ProgressEngine:
             req = RecvRequest(self, buffer, source, tag, context_id)
             env = self._umq.match(source, tag, context_id)
             if env is None:
+                if (
+                    self.dead_ranks
+                    and source in self.dead_ranks
+                ):
+                    # Nothing already arrived can satisfy it and the
+                    # source can never send again: fail fast.
+                    raise RankDeadError(
+                        f"receive from rank {source} cannot complete: "
+                        f"rank is dead ({self.dead_ranks[source]})"
+                    )
                 self._prq.post(req)
             else:
                 self._match_pair(env, req)
@@ -201,9 +222,74 @@ class ProgressEngine:
         self._acquire()
         try:
             self.progress_calls += 1
+            if self.faults is not None:
+                # Straggler/stall sleeps happen inside this call (under
+                # the library lock, so a stall wedges the rank); matured
+                # DELAY'd messages are re-queued for delivery now.
+                for env in self.faults.on_progress(self):
+                    self._inbox.append(env)
             n = self._drain_inbox()
             self._advance_nbc()
             return n
+        finally:
+            self._release()
+
+    # -- dead-rank handling ------------------------------------------------
+
+    def notify_rank_death(self, rank: int, exc: BaseException) -> None:
+        """A peer rank died: fail everything here that depends on it.
+
+        * posted receives naming ``rank`` as their source can never be
+          matched — fail them with :class:`RankDeadError` now (bounded
+          detection instead of a silent hang);
+        * unexpected RTS control messages from ``rank`` reference a
+          send that will never transfer — drop them and fail the
+          (dead-owned) send request.
+
+        EAGER envelopes from the dead rank stay receivable: their data
+        already arrived, matching fail-stop MPI semantics for sends
+        that completed before the failure.
+        """
+        err = RankDeadError(f"rank {rank} died: {exc}")
+        self._acquire()
+        try:
+            for req in self._prq.remove_where(
+                lambda r: r.source == rank
+            ):
+                req._fail(err)
+            for env in self._umq.remove_where(
+                lambda e: e.src == rank and e.kind is EnvelopeKind.RTS
+            ):
+                if env.send_req is not None and not env.send_req.done:
+                    env.send_req._fail(err)
+        finally:
+            self._release()
+
+    def fail_pending_on_death(self, exc: BaseException) -> None:
+        """*This* rank died: fail peers' requests parked on it.
+
+        Peers' rendezvous sends (RTS in our inbox/unexpected queue) and
+        matched transfers awaiting our copy (CTS in our inbox) would
+        otherwise wait forever for a progress pump that will never run.
+        """
+        err = RankDeadError(f"rank {self.rank} died: {exc}")
+        self._acquire()
+        try:
+            while True:
+                try:
+                    env = self._inbox.popleft()
+                except IndexError:
+                    break
+                for req in (env.send_req, env.recv_req):
+                    if req is not None and not req.done:
+                        req._fail(err)
+            for env in self._umq.remove_where(
+                lambda e: e.kind is EnvelopeKind.RTS
+            ):
+                if env.send_req is not None and not env.send_req.done:
+                    env.send_req._fail(err)
+            for req in self._prq.remove_where(lambda r: True):
+                req._fail(err)
         finally:
             self._release()
 

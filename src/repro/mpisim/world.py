@@ -59,11 +59,87 @@ class World:
         ]
         self._funnel: dict[int, int | None] = {r: None for r in range(nranks)}
         self._next_cid = AtomicCounter(2)  # 0 = WORLD, 1 = SELF
+        #: installed :class:`repro.faults.plan.FaultPlan` (None = no
+        #: fault injection; the delivery hot path is one `is None` test)
+        self.fault_plan = None
+        #: ranks that have failed, shared with every progress engine
+        self._dead_ranks: dict[int, BaseException] = {}
+        self._death_lock = threading.Lock()
+        for e in self.engines:
+            e.dead_ranks = self._dead_ranks
 
     # -- routing -----------------------------------------------------------
 
     def _deliver(self, dst: int, env: Envelope) -> None:
-        self.engines[dst].inject(env)
+        if self._dead_ranks and dst in self._dead_ranks:
+            self._bounce_dead(dst, env)
+            return
+        plan = self.fault_plan
+        if plan is None:
+            self.engines[dst].inject(env)
+            return
+        for d, e in plan.on_deliver(dst, env):
+            self.engines[d].inject(e)
+
+    def _bounce_dead(self, dst: int, env: Envelope) -> None:
+        """A message addressed to a dead rank: fail its live requester.
+
+        Rendezvous control traffic carries request references — failing
+        them here is what bounds detection for operations posted
+        *after* the death was recorded but routed before the poster
+        observed it.
+        """
+        from repro.mpisim.exceptions import RankDeadError
+
+        err = RankDeadError(
+            f"message to dead rank {dst} bounced ({self._dead_ranks[dst]})"
+        )
+        for req in (env.send_req, env.recv_req):
+            if req is not None and not req.done:
+                req._fail(err)
+
+    # -- fault injection ---------------------------------------------------
+
+    def install_faults(self, plan) -> None:
+        """Install a :class:`repro.faults.plan.FaultPlan` world-wide.
+
+        Binds the plan (so RANK_CRASH rules can reach
+        :meth:`mark_rank_dead`) and attaches it to every progress
+        engine; offload engines constructed afterwards pick it up
+        automatically via ``world.fault_plan``.
+        """
+        plan.bind(self)
+        self.fault_plan = plan
+        for e in self.engines:
+            e.faults = plan
+
+    # -- dead-rank bookkeeping ---------------------------------------------
+
+    @property
+    def dead_ranks(self) -> dict[int, BaseException]:
+        """Ranks recorded dead (empty in normal operation)."""
+        return dict(self._dead_ranks)
+
+    def mark_rank_dead(self, rank: int, exc: BaseException) -> None:
+        """Record a rank as failed and unblock everything waiting on it.
+
+        Idempotent.  Fails (with :class:`RankDeadError`):
+
+        * peers' rendezvous/matched traffic parked on the dead rank,
+        * every peer's posted receive naming the dead rank as source,
+
+        and makes subsequent ``post_send``/``post_recv`` against the
+        rank fail fast — so no operation involving a dead rank waits
+        past its next progress interaction.
+        """
+        with self._death_lock:
+            if rank in self._dead_ranks:
+                return
+            self._dead_ranks[rank] = exc
+        self.engines[rank].fail_pending_on_death(exc)
+        for r, e in enumerate(self.engines):
+            if r != rank:
+                e.notify_rank_death(rank, exc)
 
     # -- context-id allocation (see Communicator.dup/split) -----------------
 
@@ -146,6 +222,8 @@ class World:
                         f"{self.engines[r].pending_counts()}"
                     ),
                 )
+        for rank, exc in self._dead_ranks.items():
+            failures.setdefault(rank, exc)
         if failures:
             raise WorldError(failures)
         return results

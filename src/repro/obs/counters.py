@@ -54,6 +54,17 @@ COUNTER_GLOSSARY: dict[str, str] = {
     "pool_in_use_hwm": "peak number of simultaneously allocated "
     "request-pool slots",
     "queue_occupancy_hwm": "peak command-ring occupancy",
+    # -- fault injection + recovery (repro.faults / core.recovery) ------
+    "faults_injected": "faults fired by the installed FaultPlan "
+    "(all scopes; per-action detail in fault_<action> counters)",
+    "retries": "idempotent commands re-driven after a transient "
+    "failure (RetryPolicy)",
+    "deadline_expirations": "commands terminal-failed with "
+    "OffloadTimeout for missing their deadline",
+    "watchdog_trips": "times a caller-side watchdog declared the "
+    "engine wedged and poisoned it",
+    "degraded_mode_commands": "facade calls executed inline on the "
+    "calling thread after engine death (FUNNELED fallback)",
 }
 
 

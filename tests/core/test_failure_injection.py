@@ -1,14 +1,29 @@
-"""Failure injection: engine death, bad commands, backpressure."""
+"""Failure injection: engine death, bad commands, backpressure.
+
+Deterministic failure paths are driven through the ``repro.faults``
+plan API (the same hooks the chaos harness uses); direct internal pokes
+remain only where no fault rule reaches (draining a never-started
+engine's queue)."""
+
+import time
 
 import numpy as np
 import pytest
 
 from repro.core import OffloadEngine, OffloadError, offloaded
 from repro.core.commands import Command, CommandKind
-from repro.core.request_pool import OffloadEngineDied
-from repro.mpisim import THREAD_MULTIPLE, World
+from repro.core.offload_comm import OffloadCommunicator
+from repro.core.request_pool import OffloadEngineDied, OffloadRequest
+from repro.faults import FaultAction, FaultPlan, FaultRule
 
 from tests.conftest import run_world_mt
+
+
+def _await_dead(engine, budget=5.0):
+    deadline = time.perf_counter() + budget
+    while engine.dead is None and time.perf_counter() < deadline:
+        time.sleep(0.002)
+    assert engine.dead is not None
 
 
 class TestCommandErrors:
@@ -39,7 +54,6 @@ class TestCommandErrors:
     def test_call_command_error(self):
         def prog(comm):
             with offloaded(comm) as oc:
-                from repro.core.commands import Command, CommandKind
 
                 def explode():
                     raise RuntimeError("kaboom")
@@ -51,18 +65,39 @@ class TestCommandErrors:
 
         assert all(run_world_mt(1, prog))
 
+    def test_injected_command_error_fails_one_command_only(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.COMMAND_ERROR, kind="isend", count=1)]
+        )
+
+        def prog(comm):
+            comm.world.install_faults(plan)
+            with offloaded(comm) as oc:
+                h = oc.isend(np.zeros(1), 0, tag=1)
+                with pytest.raises(OffloadError):
+                    h.wait(timeout=10)
+                return oc.allreduce(np.array([1.0]))[0]
+
+        assert run_world_mt(1, prog) == [1.0]
+
 
 class TestEngineDeath:
-    def test_submissions_after_death_raise(self):
+    def test_submissions_after_injected_crash_raise(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.ENGINE_CRASH, rank=0, count=1)]
+        )
+
         def prog(comm):
-            engine = OffloadEngine(comm)
-            engine.start()
-            # simulate a fatal internal failure
-            engine._dead = RuntimeError("simulated crash")
+            comm.world.install_faults(plan)
+            engine = OffloadEngine(comm).start()
+            oc = OffloadCommunicator(comm, engine)
+            with pytest.raises(OffloadError):
+                oc.iprobe(0, tag=0)  # first command crashes the thread
+            _await_dead(engine)
+            assert isinstance(engine.dead, OffloadEngineDied)
             with pytest.raises(OffloadEngineDied):
                 engine.submit(Command(CommandKind.BARRIER, comm=comm))
-            engine._dead = None
-            engine.stop()
+            engine.stop()  # dead thread: joins immediately
             return True
 
         assert all(run_world_mt(1, prog))
@@ -72,8 +107,6 @@ class TestEngineDeath:
             engine = OffloadEngine(comm)
             # engine NOT started: queue up work, then fail it
             slot = engine.pool.alloc()
-            from repro.core.request_pool import OffloadRequest
-
             handle = OffloadRequest(engine.pool, slot)
             engine.queue.enqueue(
                 Command(CommandKind.ISEND, comm=comm, buf=np.zeros(1),
@@ -97,8 +130,6 @@ class TestBackpressure:
         eventually execute (enqueue spins, nothing is dropped)."""
 
         def prog(comm):
-            from repro.core.interpose import offloaded
-
             with offloaded(comm, queue_capacity=4, pool_capacity=256) as oc:
                 peer = 1 - oc.rank
                 n = 40
@@ -143,9 +174,6 @@ class TestShutdown:
     def test_stop_drains_inflight_work(self):
         def prog(comm):
             peer = 1 - comm.rank
-            from repro.core.engine import OffloadEngine
-            from repro.core.offload_comm import OffloadCommunicator
-
             engine = OffloadEngine(comm).start()
             oc = OffloadCommunicator(comm, engine)
             out = np.empty(1)
@@ -184,14 +212,50 @@ class TestAbort:
 
         def prog(comm):
             engine = OffloadEngine(comm).start()
-            from repro.core.offload_comm import OffloadCommunicator
-            from repro.core.request_pool import OffloadError
-
             oc = OffloadCommunicator(comm, engine)
             stuck = oc.irecv(np.empty(1), 0, tag=404)  # never sent
             engine.abort("test teardown")
             with pytest.raises(OffloadError):
                 stuck.wait(timeout=5)
+            with pytest.raises(OffloadEngineDied):
+                engine.submit(Command(CommandKind.BARRIER, comm=comm))
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+    def test_abort_fails_every_pending_waiter_and_slot(self):
+        """Mass teardown: every nonblocking slot AND every blocked
+        caller thread observes OffloadEngineDied — nothing hangs and
+        nothing gets a silent or untyped failure."""
+        import threading
+
+        def prog(comm):
+            engine = OffloadEngine(comm).start()
+            oc = OffloadCommunicator(comm, engine)
+            slots = [oc.irecv(np.empty(1), 0, tag=100 + i) for i in range(4)]
+            errors = []
+
+            def blocked_recv():
+                try:
+                    oc.recv(np.empty(1), 0, tag=999)
+                except BaseException as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=blocked_recv) for _ in range(2)
+            ]
+            for t in threads:
+                t.start()
+            time.sleep(0.1)  # let the blocking recvs reach the engine
+            engine.abort("mass teardown")
+            for t in threads:
+                t.join(10)
+            assert not any(t.is_alive() for t in threads)
+            assert len(errors) == 2
+            assert all(isinstance(e, OffloadEngineDied) for e in errors)
+            for h in slots:
+                with pytest.raises(OffloadEngineDied):
+                    h.wait(timeout=5)
             with pytest.raises(OffloadEngineDied):
                 engine.submit(Command(CommandKind.BARRIER, comm=comm))
             return True

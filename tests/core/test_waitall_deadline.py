@@ -1,0 +1,112 @@
+"""Waitall budget semantics: ``timeout`` is one overall budget shared
+by the whole request set, not a fresh allowance per request (N requests
+must never stack up to N * timeout of wall clock)."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import offload_waitall, offloaded
+from repro.mpisim.persistent import (
+    PersistentRecv,
+    PersistentSend,
+    start_all,
+    wait_all_persistent,
+)
+
+from tests.conftest import run_world_mt
+
+
+class TestOffloadWaitall:
+    def test_success_path_returns_all_statuses(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                n = 4
+                bufs = [np.empty(1) for _ in range(n)]
+                recvs = [oc.irecv(bufs[i], 0, tag=i) for i in range(n)]
+                sends = [
+                    oc.isend(np.array([float(i)]), 0, tag=i)
+                    for i in range(n)
+                ]
+                statuses = offload_waitall(recvs + sends, timeout=30)
+                assert len(statuses) == 2 * n
+                return [b[0] for b in bufs] == [0.0, 1.0, 2.0, 3.0]
+
+        assert all(run_world_mt(1, prog))
+
+    def test_budget_is_shared_not_stacked(self):
+        def prog(comm):
+            # op_timeout bounds the engine-side lifetime of the stuck
+            # receives so teardown stays clean after the caller bails
+            with offloaded(comm, op_timeout=2.0) as oc:
+                bufs = [np.empty(1) for _ in range(3)]
+                reqs = [oc.irecv(bufs[i], 0, tag=100 + i) for i in range(3)]
+
+                def complete_first_late():
+                    time.sleep(0.3)
+                    oc.isend(np.array([1.0]), 0, tag=100)
+
+                t = threading.Thread(target=complete_first_late)
+                t.start()
+                t0 = time.perf_counter()
+                with pytest.raises(TimeoutError):
+                    offload_waitall(reqs, timeout=0.8)
+                elapsed = time.perf_counter() - t0
+                t.join()
+                # stacking bug: request 2 would get a fresh 0.8 s after
+                # request 1 consumed 0.3 s (≥ 1.1 s total); one shared
+                # budget keeps the whole call at ~0.8 s
+                assert elapsed < 1.0, elapsed
+                return True
+
+        assert all(run_world_mt(1, prog, timeout=60))
+
+
+class TestWaitAllPersistent:
+    def test_budget_is_shared_not_stacked(self):
+        def prog(comm):
+            rbufs = [np.empty(1) for _ in range(3)]
+            recvs = [
+                PersistentRecv(comm, rbufs[i], 0, tag=i) for i in range(3)
+            ]
+            start_all(recvs)
+            send = PersistentSend(comm, np.array([7.0]), 0, tag=0)
+
+            def complete_first_late():
+                time.sleep(0.4)
+                send.start()
+
+            t = threading.Thread(target=complete_first_late)
+            t.start()
+            t0 = time.perf_counter()
+            with pytest.raises(TimeoutError):
+                wait_all_persistent(recvs, timeout=0.6)
+            elapsed = time.perf_counter() - t0
+            t.join()
+            send.wait(timeout=10)
+            # stacking bug: 0.4 s + a fresh 0.6 s ≥ 1.0 s; one shared
+            # budget keeps the whole call at ~0.6 s
+            assert elapsed < 0.85, elapsed
+            return rbufs[0][0] == 7.0
+
+        assert all(run_world_mt(1, prog, timeout=60))
+
+    def test_success_path_in_request_order(self):
+        def prog(comm):
+            rbufs = [np.empty(1) for _ in range(3)]
+            recvs = [
+                PersistentRecv(comm, rbufs[i], 0, tag=i) for i in range(3)
+            ]
+            sends = [
+                PersistentSend(comm, np.array([float(i)]), 0, tag=i)
+                for i in range(3)
+            ]
+            start_all(recvs)
+            start_all(sends)
+            statuses = wait_all_persistent(recvs + sends, timeout=30)
+            assert len(statuses) == 6
+            return [b[0] for b in rbufs] == [0.0, 1.0, 2.0]
+
+        assert all(run_world_mt(1, prog))

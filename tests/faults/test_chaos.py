@@ -1,0 +1,106 @@
+"""Chaos harness: seeded fault storms must never hang, never lose a
+completion, and never surface an untyped error."""
+
+import pytest
+
+from repro.faults import FaultAction, FaultPlan, FaultRule
+from repro.faults.chaos import (
+    PROFILES,
+    default_plan,
+    render_report,
+    run_chaos,
+)
+
+
+class TestDefaultPlan:
+    def test_every_profile_builds(self):
+        for profile in PROFILES:
+            plan = default_plan(4, seed=1, profile=profile)
+            assert plan.rules, profile
+            assert plan.seed == 1
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ValueError):
+            default_plan(4, profile="meteor")
+
+    def test_message_rules_target_eager_only(self):
+        plan = default_plan(4, profile="messages")
+        assert all(r.kind == "eager" for r in plan.rules)
+
+    def test_rules_are_bounded(self):
+        # every default rule is windowed, so the storm is finite
+        for profile in PROFILES:
+            for rule in default_plan(4, profile=profile).rules:
+                assert rule.count is not None
+
+
+@pytest.mark.chaos
+class TestChaosContract:
+    def test_transient_profile(self):
+        report = run_chaos(
+            nranks=2,
+            rounds=10,
+            seed=1,
+            profile="transient",
+            op_timeout=0.5,
+            run_timeout=60.0,
+        )
+        assert report["ok"], render_report(report)
+        assert report["hangs"] == []
+        assert report["wait_timeouts"] == 0
+        assert report["unexpected_errors"] == {}
+        assert report["balance"]["ok"]
+
+    def test_messages_profile(self):
+        report = run_chaos(
+            nranks=2,
+            rounds=8,
+            seed=2,
+            profile="messages",
+            op_timeout=0.4,
+            run_timeout=60.0,
+        )
+        assert report["ok"], render_report(report)
+
+    def test_crash_degrades_not_hangs(self):
+        # deterministic: no probability rules — rank 1's engine dies on
+        # its 7th command and the facade degrades to inline issuance
+        plan = FaultPlan(
+            [FaultRule(FaultAction.ENGINE_CRASH, rank=1, after=6, count=1)],
+            seed=5,
+        )
+        report = run_chaos(
+            nranks=2,
+            rounds=10,
+            seed=5,
+            op_timeout=0.5,
+            run_timeout=60.0,
+            plan=plan,
+        )
+        assert report["ok"], render_report(report)
+        assert report["degraded_exits"] == [1]
+        assert report["faults"]["fault_engine_crash"] == 1
+
+    def test_mixed_profile(self):
+        report = run_chaos(
+            nranks=3,
+            rounds=12,
+            seed=0,
+            profile="mixed",
+            op_timeout=0.5,
+            run_timeout=90.0,
+        )
+        assert report["ok"], render_report(report)
+
+    def test_cli_exit_code(self):
+        from repro.__main__ import main
+
+        argv = [
+            "chaos",
+            "--nranks", "2",
+            "--rounds", "6",
+            "--seed", "3",
+            "--profile", "transient",
+            "--op-timeout", "0.5",
+        ]
+        assert main(argv) == 0

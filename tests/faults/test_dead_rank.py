@@ -1,0 +1,100 @@
+"""World-level dead-rank detection (fail-stop model, ULFM-style):
+peers' operations naming a dead rank fail fast with RankDeadError
+instead of hanging."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import OffloadError, offloaded
+from repro.faults import FaultAction, FaultPlan, FaultRule, InjectedCrash
+from repro.mpisim import THREAD_MULTIPLE, World
+from repro.mpisim.exceptions import RankDeadError, WorldError
+
+
+def _run_expecting_dead_rank(world, prog, *args, dead_rank=1):
+    """RANK_CRASH records the rank dead, so World.run reports it in a
+    WorldError even when every rank program returned; unwrap that."""
+    with pytest.raises(WorldError) as ei:
+        world.run(prog, *args, timeout=60)
+    failures = ei.value.failures
+    assert set(failures) == {dead_rank}
+    assert isinstance(failures[dead_rank], InjectedCrash)
+
+
+class TestRankCrash:
+    def test_peers_fail_fast_after_death(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.RANK_CRASH, rank=1, count=1)]
+        )
+        dead_evt = threading.Event()
+
+        def prog(comm):
+            if comm.rank == 1:
+                with offloaded(comm) as oc:
+                    # first command crashes the whole rank
+                    with pytest.raises(OffloadError):
+                        oc.iprobe(0, tag=0)
+                dead_evt.set()
+                return True
+            assert dead_evt.wait(10)
+            assert 1 in comm.world.dead_ranks
+            with pytest.raises(RankDeadError):
+                comm.send(np.ones(1), 1, tag=0)
+            with pytest.raises(RankDeadError):
+                comm.recv(np.empty(1), 1, tag=0)
+            return True
+
+        world = World(2, thread_level=THREAD_MULTIPLE)
+        world.install_faults(plan)
+        _run_expecting_dead_rank(world, prog)
+        assert plan.stats()["fault_rank_crash"] == 1
+
+    def test_pending_recv_unblocks_on_rank_death(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.RANK_CRASH, rank=1, count=1)]
+        )
+        posted = threading.Event()
+        dead = threading.Event()
+
+        def prog(comm):
+            if comm.rank == 0:
+                r = comm.irecv(np.empty(1), 1, tag=2)
+                posted.set()
+                assert dead.wait(10)
+                # notify_rank_death failed the posted receive
+                with pytest.raises(RankDeadError):
+                    r.wait(timeout=10)
+                return True
+            assert posted.wait(10)
+            with offloaded(comm) as oc:
+                with pytest.raises(OffloadError):
+                    oc.iprobe(0, tag=0)
+            dead.set()
+            return True
+
+        world = World(2, thread_level=THREAD_MULTIPLE)
+        world.install_faults(plan)
+        _run_expecting_dead_rank(world, prog)
+
+    def test_mark_rank_dead_is_idempotent(self):
+        world = World(2, thread_level=THREAD_MULTIPLE)
+        first = InjectedCrash("first")
+        world.mark_rank_dead(1, first)
+        world.mark_rank_dead(1, InjectedCrash("second"))
+        assert world.dead_ranks[1] is first
+
+    def test_world_run_reports_silently_dead_rank(self):
+        """A rank marked dead whose program nonetheless returned still
+        surfaces in WorldError — deaths are never swallowed."""
+
+        def prog(comm):
+            if comm.rank == 1:
+                comm.world.mark_rank_dead(1, InjectedCrash("poof"))
+            return True
+
+        world = World(2, thread_level=THREAD_MULTIPLE)
+        with pytest.raises(WorldError) as ei:
+            world.run(prog, timeout=30)
+        assert isinstance(ei.value.failures[1], InjectedCrash)

@@ -1,0 +1,287 @@
+"""Recovery machinery: deadlines, retry/backoff, watchdog, graceful
+degradation, and typed stop timeouts."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    OffloadEngine,
+    OffloadError,
+    OffloadStopTimeout,
+    OffloadTimeout,
+    RecoveryPolicy,
+    RetryPolicy,
+    offloaded,
+)
+from repro.core.commands import Command, CommandKind
+from repro.core.offload_comm import OffloadCommunicator
+from repro.core.request_pool import OffloadEngineDied
+from repro.faults import FaultAction, FaultPlan, FaultRule
+
+from tests.conftest import run_world, run_world_mt
+
+
+def _await_dead(engine, budget=5.0):
+    """The crash is observed on the engine thread; give it a moment."""
+    deadline = time.perf_counter() + budget
+    while engine.dead is None and time.perf_counter() < deadline:
+        time.sleep(0.002)
+    assert engine.dead is not None
+
+
+class TestRetryPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        pol = RetryPolicy(base_backoff=0.01, multiplier=2.0, max_backoff=0.05)
+        assert pol.backoff(1) == pytest.approx(0.01)
+        assert pol.backoff(2) == pytest.approx(0.02)
+        assert pol.backoff(3) == pytest.approx(0.04)
+        assert pol.backoff(4) == pytest.approx(0.05)  # capped
+        assert pol.backoff(10) == pytest.approx(0.05)
+
+
+class TestDeadlines:
+    def test_inflight_deadline_expires_typed(self):
+        def prog(comm):
+            with offloaded(comm, op_timeout=0.2) as oc:
+                h = oc.irecv(np.empty(1), 0, tag=404)  # never sent
+                t0 = time.perf_counter()
+                with pytest.raises(OffloadTimeout):
+                    h.wait(timeout=10)
+                assert time.perf_counter() - t0 < 2.0
+                engine = oc.engine.route()
+                assert engine.stats()["deadline_expirations"] >= 1
+                # the engine survives an expiry and keeps serving
+                return oc.allreduce(np.array([1.0]))[0]
+
+        assert run_world_mt(1, prog) == [1.0]
+
+    def test_blocking_deadline_expires_typed(self):
+        def prog(comm):
+            with offloaded(comm, op_timeout=0.2) as oc:
+                with pytest.raises(OffloadTimeout):
+                    oc.recv(np.empty(1), 0, tag=404)
+                return True
+
+        assert all(run_world_mt(1, prog))
+
+    def test_no_op_timeout_means_no_deadline_stamping(self):
+        def prog(comm):
+            with offloaded(comm) as oc:
+                buf = np.empty(1)
+                r = oc.irecv(buf, 0, tag=1)
+                oc.isend(np.array([3.0]), 0, tag=1)
+                r.wait(timeout=10)
+                assert oc.engine.route().stats()["deadline_expirations"] == 0
+                return buf[0]
+
+        assert run_world_mt(1, prog) == [3.0]
+
+
+class TestRetry:
+    def test_transient_errors_retried_to_success(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.COMMAND_ERROR, kind="isend", count=2)]
+        )
+        rec = RecoveryPolicy(
+            retry=RetryPolicy(max_retries=3, base_backoff=1e-4,
+                              max_backoff=1e-3)
+        )
+
+        def prog(comm):
+            comm.world.install_faults(plan)
+            with offloaded(comm, recovery=rec) as oc:
+                buf = np.empty(1)
+                r = oc.irecv(buf, 0, tag=1)
+                s = oc.isend(np.array([4.0]), 0, tag=1)
+                s.wait(timeout=10)
+                r.wait(timeout=10)
+                assert oc.engine.route().stats()["retries"] == 2
+                return buf[0]
+
+        assert run_world_mt(1, prog) == [4.0]
+        assert plan.stats()["fault_command_error"] == 2
+
+    def test_retry_exhaustion_fails_typed(self):
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    FaultAction.COMMAND_ERROR, kind="isend", count=None
+                )
+            ]
+        )
+        rec = RecoveryPolicy(
+            retry=RetryPolicy(max_retries=2, base_backoff=1e-4,
+                              max_backoff=1e-3)
+        )
+
+        def prog(comm):
+            comm.world.install_faults(plan)
+            with offloaded(comm, recovery=rec) as oc:
+                s = oc.isend(np.ones(1), 0, tag=1)
+                with pytest.raises(OffloadError):
+                    s.wait(timeout=10)
+                assert oc.engine.route().stats()["retries"] == 2
+                return True
+
+        assert all(run_world_mt(1, prog))
+
+    def test_no_retry_without_policy(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.COMMAND_ERROR, kind="isend", count=1)]
+        )
+
+        def prog(comm):
+            comm.world.install_faults(plan)
+            with offloaded(comm) as oc:
+                s = oc.isend(np.ones(1), 0, tag=1)
+                with pytest.raises(OffloadError):
+                    s.wait(timeout=10)
+                assert oc.engine.route().stats()["retries"] == 0
+                return True
+
+        assert all(run_world_mt(1, prog))
+
+    def test_non_idempotent_commands_never_retried(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.COMMAND_ERROR, kind="call", count=1)]
+        )
+        rec = RecoveryPolicy(retry=RetryPolicy(base_backoff=1e-4))
+
+        def prog(comm):
+            comm.world.install_faults(plan)
+            with offloaded(comm, recovery=rec) as oc:
+                cmd = Command(kind=CommandKind.CALL, fn=lambda: 42)
+                with pytest.raises(OffloadError):
+                    oc._blocking(cmd)
+                assert oc.engine.route().stats()["retries"] == 0
+                return True
+
+        assert all(run_world_mt(1, prog))
+
+
+class TestWatchdog:
+    def test_watchdog_unblocks_caller_on_stalled_engine(self):
+        # The stall fires inside progress() under the library lock — the
+        # engine thread wedges exactly like a stuck progress engine.
+        plan = FaultPlan(
+            [FaultRule(FaultAction.STALL, rank=0, duration=1.5, count=1)]
+        )
+        rec = RecoveryPolicy(watchdog_timeout=0.2, poll_interval=0.01)
+
+        def prog(comm):
+            comm.world.install_faults(plan)
+            with offloaded(comm, recovery=rec) as oc:
+                t0 = time.perf_counter()
+                with pytest.raises(OffloadEngineDied):
+                    oc.recv(np.empty(1), 0, tag=9)
+                # unblocked by the watchdog bound, not the stall length
+                assert time.perf_counter() - t0 < 1.0
+                engine = oc.engine.route()
+                assert engine.stats()["watchdog_trips"] == 1
+                assert engine.dead is not None
+            return True
+
+        assert all(run_world_mt(1, prog, timeout=60))
+
+
+class TestDegradedMode:
+    def test_collective_survives_one_dead_engine(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.ENGINE_CRASH, rank=1, count=1)]
+        )
+        rec = RecoveryPolicy(degrade=True, poll_interval=5e-3)
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.world.install_faults(plan)
+            comm.barrier()  # plan installed before any engine starts
+            with offloaded(comm, recovery=rec) as oc:
+                if comm.rank == 1:
+                    with pytest.raises(OffloadError):
+                        oc.iprobe(0, tag=1)  # first command → crash
+                    _await_dead(oc.engine.route())
+                # rank 0 offloaded, rank 1 inline: same collective
+                out = oc.allreduce(np.ones(1))
+                if comm.rank == 1:
+                    stats = oc.engine.route().stats()
+                    assert stats["degraded_mode_commands"] >= 1
+                return out[0]
+
+        assert run_world_mt(2, prog, timeout=60) == [2.0, 2.0]
+
+    def test_degraded_facade_takes_over_funnel(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.ENGINE_CRASH, rank=0, count=1)]
+        )
+        rec = RecoveryPolicy(degrade=True, poll_interval=5e-3)
+
+        def prog(comm):
+            comm.world.install_faults(plan)
+            with offloaded(comm, recovery=rec) as oc:
+                with pytest.raises(OffloadError):
+                    oc.iprobe(0, tag=0)
+                engine = oc.engine.route()
+                _await_dead(engine)
+                # inline issuance under FUNNELED: the calling thread must
+                # now hold the funnel designation the dead engine held
+                assert oc.allreduce(np.array([3.0]))[0] == 3.0
+                assert (
+                    comm.world.funnel_thread(comm.engine.rank)
+                    == threading.get_ident()
+                )
+                assert engine.stats()["degraded_mode_commands"] >= 1
+            return True
+
+        assert all(run_world(1, prog, timeout=60))
+
+    def test_without_degrade_new_calls_raise(self):
+        plan = FaultPlan(
+            [FaultRule(FaultAction.ENGINE_CRASH, rank=0, count=1)]
+        )
+        rec = RecoveryPolicy(degrade=False, poll_interval=5e-3)
+
+        def prog(comm):
+            comm.world.install_faults(plan)
+            with offloaded(comm, recovery=rec) as oc:
+                with pytest.raises(OffloadError):
+                    oc.iprobe(0, tag=0)
+                _await_dead(oc.engine.route())
+                with pytest.raises(OffloadEngineDied):
+                    oc.allreduce(np.ones(1))
+            return True
+
+        assert all(run_world_mt(1, prog, timeout=60))
+
+
+class TestStopTimeout:
+    def test_stop_timeout_names_pending_work(self):
+        def prog(comm):
+            engine = OffloadEngine(comm).start()
+            oc = OffloadCommunicator(comm, engine)
+            stuck = oc.irecv(np.empty(1), 0, tag=404)  # never sent
+            with pytest.raises(OffloadStopTimeout) as ei:
+                engine.stop(timeout=0.3)
+            assert ei.value.pending
+            assert any("irecv" in p for p in ei.value.pending)
+            engine.abort("test teardown")
+            with pytest.raises(OffloadError):
+                stuck.wait(timeout=5)
+            return True
+
+        assert all(run_world_mt(1, prog))
+
+    def test_clean_stop_within_small_timeout(self):
+        def prog(comm):
+            engine = OffloadEngine(comm).start()
+            oc = OffloadCommunicator(comm, engine)
+            buf = np.empty(1)
+            r = oc.irecv(buf, 0, tag=1)
+            oc.isend(np.array([8.0]), 0, tag=1)
+            r.wait(timeout=10)
+            engine.stop(timeout=5.0)
+            return buf[0]
+
+        assert run_world_mt(1, prog) == [8.0]
