@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -40,7 +41,7 @@ from repro.core.request_pool import (
     OffloadRequestPool,
 )
 from repro.lockfree.atomics import AtomicFlag
-from repro.lockfree.mpsc_queue import MPSCQueue, QueueFull
+from repro.lockfree.mpsc_queue import MPSCQueue, QueueClosed, QueueFull
 from repro import obs
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,8 +49,12 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mpisim.communicator import Communicator
     from repro.mpisim.requests import Request
 
-#: Commands drained per loop iteration before a progress sweep.
+#: Default commands drained per loop iteration (one ``drain`` call)
+#: before the single per-batch progress sweep; override per engine with
+#: the ``batch_size`` constructor knob.
 _BATCH = 64
+#: Default per-thread request-pool cache chunk (``pool_cache`` knob).
+_POOL_CACHE = 8
 #: Idle sleep when there is nothing to do (lets app threads run; the
 #: Python analogue of the offload thread sitting on its own core).
 _IDLE_SLEEP = 2e-5
@@ -79,6 +84,19 @@ class OffloadEngine:
         communicator that shares the engine (e.g. dup'ed ones).
     pool_capacity / queue_capacity:
         Sizes of the pre-allocated request pool and command ring.
+    batch_size:
+        Commands drained from the ring per loop iteration; the whole
+        batch is issued before the single per-batch progress pump and
+        retry/deadline sweep, amortizing per-iteration overhead over
+        up to ``batch_size`` commands.
+    coalesce_eager:
+        Pack consecutive eager-sized sends to the same destination
+        (within a batch) into one simulated wire message.  Invisible
+        to matching semantics; see
+        :class:`repro.core.offload_comm.EagerCoalescer`.
+    pool_cache:
+        Per-thread request-pool cache chunk (0 disables); see
+        :class:`~repro.core.request_pool.OffloadRequestPool`.
     """
 
     def __init__(
@@ -89,10 +107,27 @@ class OffloadEngine:
         telemetry: bool | None = None,
         faults: "FaultPlan | None" = None,
         recovery: RecoveryPolicy | None = None,
+        batch_size: int = _BATCH,
+        coalesce_eager: bool = False,
+        pool_cache: int = _POOL_CACHE,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         self.comm = comm
         self.queue: MPSCQueue[Command] = MPSCQueue(queue_capacity)
-        self.pool = OffloadRequestPool(pool_capacity)
+        self.pool = OffloadRequestPool(pool_capacity, cache_size=pool_cache)
+        self.batch_size = batch_size
+        if coalesce_eager:
+            # Function-level import: offload_comm imports this module.
+            from repro.core.offload_comm import EagerCoalescer
+
+            self._coalescer: "EagerCoalescer | None" = EagerCoalescer()
+        else:
+            self._coalescer = None
+        #: commands drained from the ring but not yet dispatched; kept
+        #: on the instance (not a loop local) so `_fail_pending` can
+        #: fail a partially processed batch after a mid-batch crash
+        self._drained: deque[Command] = deque()
         self._thread: threading.Thread | None = None
         self._wake = threading.Event()
         self._dead: BaseException | None = None
@@ -131,6 +166,9 @@ class OffloadEngine:
         self.deadline_expirations = 0
         self.watchdog_trips = 0
         self.degraded_commands = 0
+        self.batch_dequeues = 0
+        self.batch_size_hwm = 0
+        self.coalesced_messages = 0
 
     # ------------------------------------------------------------ lifecycle
 
@@ -264,6 +302,9 @@ class OffloadEngine:
         queued = len(self.queue)
         if queued:
             out.append(f"{queued} queued command(s)")
+        drained = len(self._drained)
+        if drained:
+            out.append(f"{drained} drained command(s) awaiting dispatch")
         if self._retries:
             out.append(f"{len(self._retries)} scheduled retry(s)")
         return out
@@ -299,6 +340,15 @@ class OffloadEngine:
             try:
                 self.queue.enqueue(cmd)
                 break
+            except QueueClosed as closed:
+                # The ring only closes during teardown; the re-check
+                # after the enqueue CAS guarantees the command was NOT
+                # committed (no completion will ever arrive), so fail
+                # it here with a typed error rather than lose it.
+                raise OffloadEngineDied(
+                    "offload engine is shutting down; command ring is "
+                    "closed"
+                ) from closed
             except QueueFull:
                 self.queue_full_retries += 1
                 if tm is not None:
@@ -352,20 +402,24 @@ class OffloadEngine:
             while self._dead is None:
                 self.heartbeat += 1
                 did = 0
-                for _ in range(_BATCH):
-                    ok, cmd = self.queue.try_dequeue()
-                    if not ok:
-                        break
-                    did += 1
-                    assert cmd is not None
+                # One drain call per iteration pulls a whole batch off
+                # the ring; the batch is fully issued before the single
+                # progress pump + retry/deadline sweep below, so the
+                # per-iteration overhead is paid once per *batch*, not
+                # once per command.
+                batch = self.queue.drain(self.batch_size)
+                if batch:
+                    did += len(batch)
+                    self._drained.extend(batch)
+                    self.batch_dequeues += 1
+                    if len(batch) > self.batch_size_hwm:
+                        self.batch_size_hwm = len(batch)
                     if counters is not None:
-                        counters.inc("commands_drained")
-                    if cmd.kind is CommandKind.SHUTDOWN:
-                        if counters is not None:
-                            counters.inc("control_commands")
+                        counters.inc("commands_drained", len(batch))
+                        counters.inc("batch_dequeues")
+                        counters.record_max("batch_size_hwm", len(batch))
+                    if self._process_batch():
                         shutdown = True
-                        continue
-                    self._process(cmd)
                 did += self._sweep()
                 if counters is not None:
                     counters.inc("testany_sweeps")
@@ -378,7 +432,20 @@ class OffloadEngine:
                     and not self._in_flight
                     and not self._retries
                 ):
-                    break
+                    # Close the ring *before* the final look: a racing
+                    # submit either committed before the close (its
+                    # command surfaces in drain_closed and is processed
+                    # below) or observes the close and fails with a
+                    # typed error — nothing is silently lost.
+                    self.queue.close()
+                    tail = self.queue.drain_closed()
+                    if not tail:
+                        break
+                    self._drained.extend(tail)
+                    if counters is not None:
+                        counters.inc("commands_drained", len(tail))
+                    if self._process_batch():
+                        shutdown = True
                 if did == 0:
                     if self._in_flight:
                         # Work in flight: keep pumping progress, just
@@ -432,6 +499,137 @@ class OffloadEngine:
                 world.set_funnel_thread(rank, self._prev_funnel)
 
     # ------------------------------------------------------------ processing
+
+    def _process_batch(self) -> bool:
+        """Dispatch every command in ``self._drained``; True on SHUTDOWN.
+
+        When coalescing is enabled, consecutive eager-sized sends to
+        the same destination are collected into a run and issued as one
+        wire message (``_flush_run``); any other command — a receive, a
+        collective, a send to a different peer — flushes the pending
+        run first, so per-peer program order is preserved exactly.
+
+        Commands still held locally (the unprocessed tail of the batch
+        and any pending run) are pushed back onto ``self._drained``
+        before a crash propagates, so ``_fail_pending`` fails them with
+        typed errors just like still-queued commands.
+        """
+        counters = (
+            self._telem.counters if self._telem is not None else None
+        )
+        coalescer = self._coalescer
+        shutdown = False
+        run: list[Command] = []
+        try:
+            while self._drained:
+                cmd = self._drained.popleft()
+                if cmd.kind is CommandKind.SHUTDOWN:
+                    if counters is not None:
+                        counters.inc("control_commands")
+                    shutdown = True
+                    continue
+                if coalescer is not None and coalescer.eligible(cmd):
+                    if run and not (
+                        coalescer.same_stream(run[-1], cmd)
+                        and len(run) < coalescer.limit
+                    ):
+                        # hand off before the call: `_flush_run` owns
+                        # the list (including on raise), so we must not
+                        # still hold it in our except clause
+                        handoff, run = run, []
+                        self._flush_run(handoff)
+                    run.append(cmd)
+                    continue
+                if run:
+                    handoff, run = run, []
+                    self._flush_run(handoff)
+                self._process(cmd)
+            if run:
+                handoff, run = run, []
+                self._flush_run(handoff)
+        except BaseException:
+            # `_process`/`_flush_run` guarantee the command(s) they
+            # were handed are terminal (or already restored) when they
+            # raise; restore everything *we* still hold.
+            self._drained.extendleft(reversed(run))
+            raise
+        return shutdown
+
+    def _flush_run(self, run: list[Command]) -> None:
+        """Issue a run of coalescible sends as one wire message.
+
+        Owns ``run``: when this returns or raises, every member is
+        terminal, in flight, or back on ``self._drained`` — never held
+        anywhere a crash could lose it.
+        """
+        if len(run) == 1:
+            self._process(run[0])
+            return
+        tm = self._telem
+        rank = self.comm.engine.rank
+        live: list[Command] = []
+        idx = 0
+        try:
+            for idx, cmd in enumerate(run):
+                # Per-command admission mirrors `_process` exactly:
+                # deadline check and fault hook run individually, so
+                # injection and expiry semantics are batch-invisible.
+                self.commands_processed += 1
+                if tm is not None and tm.trace is not None:
+                    tm.trace.append(
+                        f"dispatch:{cmd.kind.name.lower()}",
+                        rank=rank,
+                        slot=cmd.slot,
+                    )
+                if (
+                    cmd.deadline is not None
+                    and time.perf_counter() > cmd.deadline
+                ):
+                    self._expire(cmd, slot=cmd.slot)
+                    continue
+                if self._faults is not None:
+                    fault = self._faults.on_command(self, cmd)
+                    if fault is not None:
+                        self._command_failed(cmd, fault)
+                        continue
+                live.append(cmd)
+        except BaseException as crash:
+            # Crash injection mid-run: terminal-fail the command that
+            # crashed, restore the rest for `_fail_pending`.
+            self._command_failed(cmd, crash)
+            self._drained.extendleft(reversed(live + run[idx + 1 :]))
+            raise
+        if not live:
+            return
+        if len(live) == 1:
+            cmd = live[0]
+            try:
+                self._dispatch(cmd)
+            except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+                self._command_failed(cmd, exc)
+            return
+        comm = live[0].comm
+        assert comm is not None
+        try:
+            inners = comm.isend_coalesced(
+                [(cmd.buf, cmd.tag) for cmd in live], live[0].peer
+            )
+        except BaseException as exc:  # noqa: BLE001 - surfaced to caller
+            # Whole-message failures only (per-command validity was
+            # established by `EagerCoalescer.eligible`): e.g. the
+            # destination rank died.  Fail — or retry, sends are
+            # idempotent — each member individually.
+            for cmd in live:
+                self._command_failed(cmd, exc)
+            return
+        self.coalesced_messages += 1
+        if tm is not None:
+            tm.counters.inc("coalesced_messages")
+        for cmd, inner in zip(live, inners):
+            if cmd.kind is CommandKind.SEND:
+                self._track(inner, cmd, flag=cmd.done)
+            else:
+                self._track(inner, cmd, slot=cmd.slot)
 
     def _process(self, cmd: Command) -> None:
         self.commands_processed += 1
@@ -781,10 +979,18 @@ class OffloadEngine:
         self._flushes.clear()
 
     def _fail_pending(self, exc: BaseException) -> None:
-        """Engine died: fail everything in flight and still queued."""
+        """Engine died: fail everything in flight, drained and queued.
+
+        Closes the command ring first, so a submit racing this teardown
+        either commits its command before the final drain snapshot
+        (failed here, below) or gets a typed :class:`OffloadEngineDied`
+        from ``submit`` — the close/enqueue race can no longer lose a
+        command.
+        """
         counters = (
             self._telem.counters if self._telem is not None else None
         )
+        self.queue.close()
         for entry in self._in_flight:
             if counters is not None:
                 counters.inc("completions")
@@ -795,9 +1001,16 @@ class OffloadEngine:
                     entry.command.error = exc
                 entry.flag.set(None)
         self._in_flight.clear()
-        for cmd in self.queue.drain():
+        # A mid-batch crash leaves the unprocessed tail of the batch in
+        # `_drained` (already counted as drained); append everything
+        # still committed to the ring behind it.
+        backlog = list(self._drained)
+        self._drained.clear()
+        for cmd in self.queue.drain_closed():
             if counters is not None:
                 counters.inc("commands_drained")
+            backlog.append(cmd)
+        for cmd in backlog:
             if cmd.kind in NONBLOCKING_KINDS:
                 if counters is not None:
                     counters.inc("completions")
@@ -840,6 +1053,9 @@ class OffloadEngine:
             "deadline_expirations": self.deadline_expirations,
             "watchdog_trips": self.watchdog_trips,
             "degraded_mode_commands": self.degraded_commands,
+            "batch_dequeues": self.batch_dequeues,
+            "batch_size_hwm": self.batch_size_hwm,
+            "coalesced_messages": self.coalesced_messages,
         }
         if self._telem is not None:
             for name, value in self._telem.counters.snapshot().items():

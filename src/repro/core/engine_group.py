@@ -51,6 +51,9 @@ class OffloadEngineGroup:
         telemetry: bool | None = None,
         faults=None,
         recovery=None,
+        batch_size: int | None = None,
+        coalesce_eager: bool = False,
+        pool_cache: int | None = None,
     ) -> None:
         if nthreads < 1:
             raise ValueError("nthreads must be >= 1")
@@ -59,6 +62,11 @@ class OffloadEngineGroup:
                 "multiple offload threads enter MPI concurrently; the "
                 "world must be MPI_THREAD_MULTIPLE"
             )
+        engine_kwargs: dict = {}
+        if batch_size is not None:
+            engine_kwargs["batch_size"] = batch_size
+        if pool_cache is not None:
+            engine_kwargs["pool_cache"] = pool_cache
         self.comm = comm
         self.engines = [
             OffloadEngine(
@@ -68,6 +76,8 @@ class OffloadEngineGroup:
                 telemetry=telemetry,
                 faults=faults,
                 recovery=recovery,
+                coalesce_eager=coalesce_eager,
+                **engine_kwargs,
             )
             for _ in range(nthreads)
         ]

@@ -55,6 +55,9 @@ def offloaded(
     faults=None,
     recovery=None,
     op_timeout: float | None = None,
+    batch_size: int | None = None,
+    coalesce_eager: bool = False,
+    pool_cache: int | None = None,
 ) -> Iterator[OffloadCommunicator]:
     """Context manager: spawn offload thread(s) for ``comm``'s rank,
     yield the interposed communicator, and tear them down on exit (the
@@ -71,7 +74,17 @@ def offloaded(
     all three default to off (zero overhead).  Teardown tolerates a
     dead engine: pending work has already been failed with typed
     errors, so exit does not raise on top of the application's own
-    handling."""
+    handling.
+
+    ``batch_size``, ``coalesce_eager`` and ``pool_cache`` are the
+    engine's performance knobs (batched drain size, small-message
+    coalescing, per-thread request-pool caching); ``None`` keeps the
+    engine defaults."""
+    perf_kwargs: dict = {"coalesce_eager": coalesce_eager}
+    if batch_size is not None:
+        perf_kwargs["batch_size"] = batch_size
+    if pool_cache is not None:
+        perf_kwargs["pool_cache"] = pool_cache
     if nthreads > 1:
         from repro.core.engine_group import OffloadEngineGroup
 
@@ -83,6 +96,9 @@ def offloaded(
             telemetry=telemetry,
             faults=faults,
             recovery=recovery,
+            batch_size=batch_size,
+            coalesce_eager=coalesce_eager,
+            pool_cache=pool_cache,
         )
         group.start()
         try:
@@ -97,6 +113,7 @@ def offloaded(
         telemetry=telemetry,
         faults=faults,
         recovery=recovery,
+        **perf_kwargs,
     )
     engine.start()
     try:

@@ -33,7 +33,12 @@ from repro.core.request_pool import (
     OffloadRequest,
 )
 from repro.mpisim import datatypes
-from repro.mpisim.constants import ANY_SOURCE, ANY_TAG, ThreadLevel
+from repro.mpisim.constants import (
+    ANY_SOURCE,
+    ANY_TAG,
+    MAX_USER_TAG,
+    ThreadLevel,
+)
 from repro.mpisim.reduce_ops import ReduceOp, SUM
 from repro.mpisim.status import Status
 
@@ -41,6 +46,53 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.mpisim.communicator import Communicator
 
 K = CommandKind
+
+
+class EagerCoalescer:
+    """Decides which drained commands may share one wire message.
+
+    The engine's batched issue loop (see ``OffloadEngine._process_batch``)
+    collects *consecutive* eager-sized sends to the same destination
+    into a run and ships the run as a single ``COALESCED`` envelope.
+    Only stretches this class admits are packed; anything it rejects
+    flushes the run and dispatches normally, so argument validation and
+    protocol selection never have to fail per-item inside a packed run,
+    and per-peer non-overtaking order is preserved by construction
+    (runs never span a command to a different peer, a receive, or a
+    collective).
+    """
+
+    __slots__ = ("limit",)
+
+    def __init__(self, limit: int = 32) -> None:
+        #: maximum sends packed into one wire message
+        self.limit = limit
+
+    def eligible(self, cmd: Command) -> bool:
+        """Could ``cmd`` legally travel inside a coalesced envelope?
+
+        Mirrors every check ``Communicator.isend`` + eager protocol
+        selection would apply, so a packed run cannot raise for one
+        member after its siblings were issued.
+        """
+        if cmd.kind is not K.ISEND and cmd.kind is not K.SEND:
+            return False
+        comm = cmd.comm
+        if comm is None:
+            return False
+        buf = cmd.buf
+        if not isinstance(buf, np.ndarray):
+            return False
+        if not 0 <= cmd.peer < comm.size:
+            return False
+        if not 0 <= cmd.tag <= MAX_USER_TAG:
+            return False
+        return buf.nbytes <= comm.engine.eager_threshold
+
+    @staticmethod
+    def same_stream(a: Command, b: Command) -> bool:
+        """May ``b`` join a run that ``a`` belongs to?"""
+        return a.comm is b.comm and a.peer == b.peer
 
 
 class OffloadCommunicator:

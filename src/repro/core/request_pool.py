@@ -20,7 +20,15 @@ import time
 from typing import TYPE_CHECKING, Any
 
 from repro.lockfree.atomics import AtomicFlag
-from repro.lockfree.freelist import FreeList, FreeListExhausted
+from repro.lockfree.freelist import DoubleFree, FreeList, FreeListExhausted
+
+__all__ = [
+    "DoubleFree",
+    "OffloadError",
+    "OffloadEngineDied",
+    "OffloadRequest",
+    "OffloadRequestPool",
+]
 from repro.mpisim.status import EMPTY_STATUS, Status
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -56,11 +64,27 @@ class _Slot:
 
 
 class OffloadRequestPool:
-    """Fixed-size pool of slots behind a lock-free free list."""
+    """Fixed-size pool of slots behind a lock-free free list.
 
-    def __init__(self, capacity: int = 4096) -> None:
+    ``cache_size`` enables per-thread slot caching: each application
+    thread keeps a private stash of free slot indices, refilled from
+    the shared :class:`~repro.lockfree.freelist.FreeList` in chunks of
+    ``cache_size`` (one CAS per chunk via ``alloc_batch``) and spilled
+    back in chunks once it grows past twice that.  Alloc/free then hit
+    the shared head only once per ``cache_size`` operations, cutting
+    CAS traffic — and CAS retry storms — when many application threads
+    allocate concurrently.  ``cache_size=0`` disables caching.
+
+    Cached slots are accounted *free*: :attr:`allocated` counts only
+    slots actually handed to callers, so exhaustion and leak checks
+    behave identically with and without caching.
+    """
+
+    def __init__(self, capacity: int = 4096, cache_size: int = 8) -> None:
         self._freelist: FreeList[None] = FreeList(capacity)
         self._slots = [_Slot() for _ in range(capacity)]
+        self._cache_size = max(0, cache_size)
+        self._local = threading.local()
         #: telemetry hook: a :class:`repro.obs.counters.Counters` the
         #: owning engine installs when telemetry is enabled (else None)
         self.telemetry = None
@@ -73,9 +97,52 @@ class OffloadRequestPool:
     def allocated(self) -> int:
         return self._freelist.allocated
 
+    @property
+    def cache_size(self) -> int:
+        return self._cache_size
+
+    def _cache(self) -> list:
+        try:
+            return self._local.cache
+        except AttributeError:
+            cache: list[int] = []
+            self._local.cache = cache
+            return cache
+
     def alloc(self) -> int:
         """Claim a slot index; raises :class:`FreeListExhausted`."""
         counters = self.telemetry
+        if self._cache_size:
+            cache = self._cache()
+            if cache:
+                idx = cache.pop()
+                self._freelist.mark_live(idx)
+                if counters is not None:
+                    counters.inc("pool_cache_hits")
+                    counters.inc("pool_allocs")
+                    counters.record_max(
+                        "pool_in_use_hwm", self._freelist.allocated
+                    )
+                return idx
+            try:
+                got = self._freelist.alloc_batch(self._cache_size)
+            except FreeListExhausted:
+                if counters is not None:
+                    counters.inc("pool_exhausted")
+                raise
+            idx = got.pop()
+            for extra in got:
+                # Refill leftovers are parked, not handed out: flip
+                # their ownership back so `allocated` stays exact.
+                self._freelist.mark_free(extra)
+            cache.extend(got)
+            if counters is not None:
+                counters.inc("pool_cache_misses")
+                counters.inc("pool_allocs")
+                counters.record_max(
+                    "pool_in_use_hwm", self._freelist.allocated
+                )
+            return idx
         try:
             idx = self._freelist.alloc()
         except FreeListExhausted:
@@ -93,11 +160,26 @@ class OffloadRequestPool:
         return self._slots[idx]
 
     def release(self, idx: int) -> None:
-        """Recycle a completed slot."""
+        """Recycle a completed slot.
+
+        Raises :class:`~repro.lockfree.freelist.DoubleFree` when the
+        slot is not currently allocated — caught here, at the offending
+        call site, not when the corruption would have surfaced.
+        """
+        # Ownership flip first: of two racing releases exactly one
+        # passes, the other raises DoubleFree before touching the slot.
+        self._freelist.mark_free(idx)
         if self.telemetry is not None:
             self.telemetry.inc("pool_releases")
         self._slots[idx].reset()
-        self._freelist.free(idx)
+        if not self._cache_size:
+            self._freelist.push(idx)
+            return
+        cache = self._cache()
+        cache.append(idx)
+        if len(cache) > 2 * self._cache_size:
+            for _ in range(self._cache_size):
+                self._freelist.push(cache.pop())
 
     # -- engine-side completion ------------------------------------------
 

@@ -137,6 +137,8 @@ def _rank_program(
     op_timeout: float,
     reports: list,
     lock: threading.Lock,
+    batch_size: int | None = None,
+    coalesce: bool = True,
 ) -> None:
     rank, size = comm.rank, comm.size
     report: dict[str, Any] = {
@@ -163,8 +165,16 @@ def _rank_program(
     # The caller-side wait budget sits well above the engine deadline,
     # so the engine's typed OffloadTimeout always fires first.
     wait_budget = 4 * op_timeout + 1.0
+    # Batched drain + eager coalescing run by default: the chaos
+    # contract (no hang, no lost completion, typed errors, balance law)
+    # must hold with the hot-loop optimizations on, not just off.
     with offloaded(
-        comm, telemetry=True, recovery=recovery, op_timeout=op_timeout
+        comm,
+        telemetry=True,
+        recovery=recovery,
+        op_timeout=op_timeout,
+        batch_size=batch_size,
+        coalesce_eager=coalesce,
     ) as oc:
         engine = oc.engine.route()
         for rnd in range(rounds):
@@ -217,11 +227,16 @@ def run_chaos(
     profile: str = "mixed",
     run_timeout: float = 120.0,
     plan: FaultPlan | None = None,
+    batch_size: int | None = None,
+    coalesce: bool = True,
 ) -> dict:
     """One seeded chaos run; returns a structured verdict report.
 
     ``report["ok"]`` is True iff no rank hung, every failure was typed,
-    and the telemetry balance law held on every engine.
+    and the telemetry balance law held on every engine.  Engines run
+    with batched drain and (by default) eager coalescing enabled;
+    ``batch_size`` overrides the engine default, ``coalesce=False``
+    turns coalescing off.
     """
     if plan is None:
         plan = default_plan(nranks, seed=seed, profile=profile)
@@ -245,6 +260,8 @@ def run_chaos(
             op_timeout,
             reports,
             lock,
+            batch_size,
+            coalesce,
             timeout=run_timeout,
         )
     except WorldError as we:

@@ -11,6 +11,15 @@ an integer array; the list head is a tagged ``(index, version)`` pair
 in an :class:`~repro.lockfree.atomics.AtomicCell` (a Treiber stack with
 a version tag to defeat ABA).  ``alloc`` pops a slot index, ``free``
 pushes one back; both are O(1) and CAS-retry only under contention.
+
+Ownership of every slot is additionally tracked in a live set, so a
+double ``free`` raises a typed :class:`DoubleFree` at the offending
+call site instead of silently corrupting the list into a cycle (which
+only the :meth:`FreeList.free_count` diagnostic would catch, much
+later).  The live set doubles as the ownership ledger for callers that
+park free slots in per-thread caches (see
+:class:`repro.core.request_pool.OffloadRequestPool`): a cached slot is
+*not* live, even though it is not on the shared list either.
 """
 
 from __future__ import annotations
@@ -26,6 +35,10 @@ _NIL = -1
 
 class FreeListExhausted(Exception):
     """Raised by :meth:`FreeList.alloc` when all slots are in use."""
+
+
+class DoubleFree(Exception):
+    """A slot index was freed while not allocated (double free)."""
 
 
 class FreeList(Generic[T]):
@@ -44,7 +57,10 @@ class FreeList(Generic[T]):
         # tagged head: (slot index, version)
         self._head: AtomicCell[tuple[int, int]] = AtomicCell((0, 0))
         self.slots: list[T | None] = [None] * capacity
-        self._allocated = 0  # approximate, for introspection only
+        # Indices currently handed out (set.add/remove/len are single
+        # C-level calls, so this is safe from many threads and `len`
+        # replaces the old racy +=1/-=1 approximate counter).
+        self._live: set[int] = set()
 
     @property
     def capacity(self) -> int:
@@ -52,8 +68,8 @@ class FreeList(Generic[T]):
 
     @property
     def allocated(self) -> int:
-        """Approximate number of live slots (exact when quiescent)."""
-        return self._allocated
+        """Number of live slots (exact when quiescent)."""
+        return len(self._live)
 
     def alloc(self) -> int:
         """Pop a free slot index; raises :class:`FreeListExhausted`."""
@@ -67,13 +83,67 @@ class FreeList(Generic[T]):
             nxt = self._next[idx]
             ok, _ = self._head.compare_and_swap(head, (nxt, version + 1))
             if ok:
-                self._allocated += 1
+                self._live.add(idx)
                 return idx
 
-    def free(self, idx: int) -> None:
-        """Push slot ``idx`` back onto the free list."""
+    def alloc_batch(self, n: int) -> list[int]:
+        """Pop up to ``n`` slots with a *single* CAS.
+
+        The version tag guarantees the walked ``_next`` chain is only
+        committed if no other alloc/free intervened, so grabbing a whole
+        chunk costs one successful CAS instead of ``n`` — this is what
+        the request pool's per-thread caches refill through.  Returns at
+        least one index; raises :class:`FreeListExhausted` when empty.
+        """
+        if n <= 1:
+            return [self.alloc()]
+        while True:
+            head = self._head.load()
+            idx, version = head
+            if idx == _NIL:
+                raise FreeListExhausted(
+                    f"request pool exhausted (capacity={self._capacity})"
+                )
+            chain: list[int] = []
+            cur = idx
+            while cur != _NIL and len(chain) < n:
+                chain.append(cur)
+                cur = self._next[cur]
+            ok, _ = self._head.compare_and_swap(head, (cur, version + 1))
+            if ok:
+                for i in chain:
+                    self._live.add(i)
+                return chain
+
+    def mark_live(self, idx: int) -> None:
+        """Account a cached (off-list, non-live) slot as handed out.
+
+        Used by callers that keep private stashes of free slots: a
+        cache hit bypasses the shared list, so ownership is flipped
+        here instead of in :meth:`alloc`.
+        """
+        self._live.add(idx)
+
+    def mark_free(self, idx: int) -> None:
+        """Release ownership of ``idx`` without pushing it on the list.
+
+        This is where double frees are caught: exactly one of two
+        racing frees finds the index live (``set.remove`` is atomic),
+        the other raises :class:`DoubleFree`.  The caller either parks
+        the slot in a private cache or follows up with :meth:`push`.
+        """
         if not 0 <= idx < self._capacity:
             raise IndexError(f"slot index {idx} out of range")
+        try:
+            self._live.remove(idx)
+        except KeyError:
+            raise DoubleFree(
+                f"slot {idx} freed while not allocated (double free)"
+            ) from None
+
+    def push(self, idx: int) -> None:
+        """Return an *owned-free* slot (see :meth:`mark_free`) to the
+        shared list."""
         self.slots[idx] = None
         while True:
             head = self._head.load()
@@ -81,8 +151,16 @@ class FreeList(Generic[T]):
             self._next[idx] = cur
             ok, _ = self._head.compare_and_swap(head, (idx, version + 1))
             if ok:
-                self._allocated -= 1
                 return
+
+    def free(self, idx: int) -> None:
+        """Push slot ``idx`` back onto the free list.
+
+        Raises :class:`DoubleFree` if ``idx`` is not currently
+        allocated.
+        """
+        self.mark_free(idx)
+        self.push(idx)
 
     def free_count(self) -> int:
         """Walk the free list and count slots (diagnostic; not atomic)."""

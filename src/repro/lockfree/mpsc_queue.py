@@ -16,11 +16,18 @@ numbers increase monotonically (by ``capacity`` per wrap).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Generic, TypeVar
 
 from repro.lockfree.atomics import AtomicCounter
 
 T = TypeVar("T")
+
+#: Placeholder published by a producer that won its enqueue CAS but then
+#: observed the queue closed: the ring cell must still be published (the
+#: consumer reads cells in strict ticket order), but the value must not
+#: be delivered.  Tombstones never touch enqueue/dequeue counts.
+_TOMBSTONE = object()
 
 
 class QueueFull(Exception):
@@ -74,7 +81,17 @@ class MPSCQueue(Generic[T]):
         return self._enqueue_pos.cas_failures
 
     def close(self) -> None:
-        """Reject future enqueues; already-queued items remain drainable."""
+        """Reject future enqueues; already-queued items remain drainable.
+
+        Closing is half of a two-step teardown protocol: the consumer
+        calls ``close()`` and then :meth:`drain_closed`, which collects
+        every item whose enqueue ticket was claimed before the drain
+        began.  A producer that wins its enqueue CAS concurrently with
+        the close re-checks ``closed`` *after* the CAS and publishes a
+        tombstone instead of its value, raising :class:`QueueClosed` —
+        so every submitted item is either drained exactly once or
+        rejected with a typed error, never silently dropped.
+        """
         self._closed = True
 
     @property
@@ -96,12 +113,28 @@ class MPSCQueue(Generic[T]):
             if dif == 0:
                 ok, _ = self._enqueue_pos.compare_and_swap(pos, pos + 1)
                 if ok:
+                    if self._closed:
+                        # Lost the race against close(): the consumer's
+                        # final drain may already have run, so this cell
+                        # might never be read again.  Publish a
+                        # tombstone (the ring must stay well-formed) and
+                        # reject, rather than lose the item.
+                        cell.value = _TOMBSTONE
+                        cell.seq = pos + 1
+                        raise QueueClosed(
+                            "command queue closed during enqueue"
+                        )
                     cell.value = value
                     cell.seq = pos + 1  # publish
                     self.enqueue_count.fetch_add(1)
                     if self.track_occupancy:
                         # best-effort (racy reads are fine for a hwm)
                         occ = len(self)
+                        if occ < 1:
+                            # We *just* published, so true occupancy was
+                            # >= 1 at that instant; a racing drain can
+                            # hide it from the sampled read.
+                            occ = 1
                         if occ > self.occupancy_hwm:
                             self.occupancy_hwm = occ
                     return
@@ -113,16 +146,21 @@ class MPSCQueue(Generic[T]):
 
     def try_dequeue(self) -> tuple[bool, T | None]:
         """Single-consumer dequeue; returns ``(False, None)`` when empty."""
-        pos = self._dequeue_pos
-        cell = self._cells[pos & self._mask]
-        if cell.seq - (pos + 1) != 0:
-            return False, None
-        value = cell.value
-        cell.value = None  # drop the reference promptly
-        cell.seq = pos + self._mask + 1  # recycle the slot
-        self._dequeue_pos = pos + 1
-        self.dequeue_count += 1
-        return True, value
+        while True:
+            pos = self._dequeue_pos
+            cell = self._cells[pos & self._mask]
+            if cell.seq - (pos + 1) != 0:
+                return False, None
+            value = cell.value
+            cell.value = None  # drop the reference promptly
+            cell.seq = pos + self._mask + 1  # recycle the slot
+            self._dequeue_pos = pos + 1
+            if value is _TOMBSTONE:
+                # A producer rejected by a concurrent close() published
+                # this placeholder; it was never counted as an enqueue.
+                continue
+            self.dequeue_count += 1
+            return True, value
 
     def drain(self, limit: int | None = None) -> list[T]:
         """Dequeue up to ``limit`` items (all available when ``None``)."""
@@ -134,10 +172,49 @@ class MPSCQueue(Generic[T]):
             out.append(value)  # type: ignore[arg-type]
         return out
 
+    def drain_closed(self, spin_timeout: float = 1.0) -> list[T]:
+        """Final drain after :meth:`close`: every committed item.
+
+        Snapshots the enqueue ticket *after* the close, so it covers
+        every producer that won its CAS before this call.  A producer
+        inside the few-instruction window between winning the CAS and
+        publishing its cell is waited out (bounded by ``spin_timeout``
+        as a wedged-producer backstop); tombstones from producers that
+        observed the close are skipped by ``try_dequeue``.
+        """
+        assert self._closed, "drain_closed() requires close() first"
+        end = self._enqueue_pos.load()
+        out: list[T] = []
+        deadline: float | None = None
+        while self._dequeue_pos < end:
+            ok, value = self.try_dequeue()
+            if ok:
+                out.append(value)  # type: ignore[arg-type]
+                deadline = None
+                continue
+            if self._dequeue_pos >= end:
+                break
+            # Claimed but not yet published: publication is imminent.
+            now = time.perf_counter()
+            if deadline is None:
+                deadline = now + spin_timeout
+            elif now > deadline:  # pragma: no cover - wedged producer
+                break
+            time.sleep(0)
+        return out
+
     def __len__(self) -> int:
-        """Approximate occupancy (exact when producers are quiescent)."""
-        n = self.enqueue_count.load() - self.dequeue_count
-        return max(0, n)
+        """Approximate occupancy (exact when producers are quiescent).
+
+        The dequeue side is read *first*: between the two reads the
+        single consumer can only drain further, so reading it second
+        would transiently under-report (the flappy-``occupancy_hwm``
+        bug).  Read this way the result is an over-estimate during
+        races, clamped to the ring's structural bounds.
+        """
+        dequeued = self.dequeue_count
+        n = self.enqueue_count.load() - dequeued
+        return max(0, min(n, self.capacity))
 
     def empty(self) -> bool:
         return len(self) == 0

@@ -181,6 +181,31 @@ class Communicator:
         finally:
             self._exit()
 
+    def isend_coalesced(
+        self, items: Sequence[tuple[Any, int]], dest: int
+    ) -> list[Request]:
+        """Several eager-sized sends to one peer as one wire message.
+
+        ``items`` is a sequence of ``(buf, tag)`` pairs.  Semantically
+        identical to issuing the ``isend`` calls back to back (the
+        receiver unpacks and matches the parts in order); used by the
+        offload engine's small-message coalescer, not application code.
+        """
+        self._enter()
+        try:
+            self._check_rank(dest)
+            payloads: list[np.ndarray] = []
+            tags: list[int] = []
+            for buf, tag in items:
+                self._check_tag(tag)
+                payloads.append(datatypes.as_send_buffer(buf))
+                tags.append(tag)
+            return self.engine.post_send_coalesced(
+                payloads, self._global(dest), tags, self.ctx_p2p
+            )
+        finally:
+            self._exit()
+
     def irecv(
         self, buf: Any, source: int = ANY_SOURCE, tag: int = ANY_TAG
     ) -> Request:

@@ -12,6 +12,13 @@ Three envelope kinds implement the two transfer protocols:
   *sender's* progress engine performs the actual copy when it sees
   this, then completes both requests.  This is where the "no progress
   ⇒ no transfer" hazard of the paper's Section 2 lives.
+
+``COALESCED`` is a transport-level wrapper, not a protocol of its own:
+it carries several consecutive ``EAGER`` envelopes for the same
+destination as one wire message (the offload engine's small-message
+coalescer packs them at issue time).  The receiver unpacks and handles
+the parts in order, so matching semantics are exactly those of the
+individual eager sends.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ class EnvelopeKind(Enum):
     CTS = "cts"
     #: one-sided operation record (see :mod:`repro.mpisim.rma`)
     RMA = "rma"
+    #: batch of EAGER envelopes packed into one wire message
+    COALESCED = "coalesced"
 
 
 @dataclass(slots=True)
@@ -46,6 +55,7 @@ class Envelope:
     send_req: "SendRequest | None" = None  # RTS / CTS
     recv_req: "RecvRequest | None" = None  # CTS only
     rma: object | None = None  # RMA only: an RMAMessage record
+    parts: "list[Envelope] | None" = None  # COALESCED only
 
     def matches(self, source: int, tag: int, context_id: int) -> bool:
         """Does this (EAGER/RTS) envelope satisfy a receive's pattern?"""

@@ -63,6 +63,7 @@ class ProgressEngine:
         self.progress_calls = 0
         self.eager_sends = 0
         self.rendezvous_sends = 0
+        self.coalesced_sends = 0
         self.bytes_sent = 0
         self.envelopes_handled = 0
         #: telemetry hook: a :class:`repro.obs.trace.TraceBuffer` an
@@ -145,6 +146,61 @@ class ProgressEngine:
             )
             self._deliver(dst, env)
             return req
+        finally:
+            self._release()
+
+    def post_send_coalesced(
+        self,
+        payloads: list[np.ndarray],
+        dst: int,
+        tags: list[int],
+        context_id: int,
+    ) -> list[Request]:
+        """Several eager sends to one destination, one wire message.
+
+        The offload engine's small-message coalescer lands here: each
+        payload is copied into its own ``EAGER`` sub-envelope (exactly
+        what :meth:`post_send` would have built), but all of them ride
+        a single ``COALESCED`` envelope through delivery — one library
+        lock acquisition and one inbox append for the whole run.  The
+        receiver unpacks the parts in order, so matching cannot tell
+        coalesced sends from back-to-back eager sends.
+        """
+        if self.dead_ranks and dst in self.dead_ranks:
+            raise RankDeadError(
+                f"send to rank {dst} cannot complete: rank is dead "
+                f"({self.dead_ranks[dst]})"
+            )
+        self._acquire()
+        try:
+            parts: list[Envelope] = []
+            for payload, tag in zip(payloads, tags):
+                assert payload.nbytes <= self.eager_threshold
+                self.bytes_sent += payload.nbytes
+                self.eager_sends += 1
+                parts.append(
+                    Envelope(
+                        kind=EnvelopeKind.EAGER,
+                        src=self.rank,
+                        dst=dst,
+                        context_id=context_id,
+                        tag=tag,
+                        nbytes=payload.nbytes,
+                        payload=payload.copy(),
+                    )
+                )
+            self.coalesced_sends += 1
+            env = Envelope(
+                kind=EnvelopeKind.COALESCED,
+                src=self.rank,
+                dst=dst,
+                context_id=context_id,
+                tag=-1,
+                nbytes=sum(p.nbytes for p in parts),
+                parts=parts,
+            )
+            self._deliver(dst, env)
+            return [CompletedRequest(EMPTY_STATUS) for _ in parts]
         finally:
             self._release()
 
@@ -368,6 +424,13 @@ class ProgressEngine:
         if env.kind is EnvelopeKind.RMA:
             self._handle_rma(env)
             return
+        if env.kind is EnvelopeKind.COALESCED:
+            # Unpack in order: each part goes through exactly the
+            # matching path it would have taken as a lone eager send.
+            assert env.parts is not None
+            for part in env.parts:
+                self._handle(part)
+            return
         # EAGER or RTS: try to match a posted receive.
         req = self._prq.match(env)
         if req is None:
@@ -470,6 +533,7 @@ class ProgressEngine:
             "lock_contentions": self.lock_contentions,
             "eager_sends": self.eager_sends,
             "rendezvous_sends": self.rendezvous_sends,
+            "coalesced_sends": self.coalesced_sends,
             "bytes_sent": self.bytes_sent,
             "envelopes_handled": self.envelopes_handled,
         }

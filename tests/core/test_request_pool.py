@@ -9,8 +9,9 @@ from repro.core.request_pool import (
     OffloadRequest,
     OffloadRequestPool,
 )
-from repro.lockfree.freelist import FreeListExhausted
+from repro.lockfree.freelist import DoubleFree, FreeListExhausted
 from repro.mpisim.status import Status
+from repro.obs.counters import Counters
 
 
 class TestPool:
@@ -34,6 +35,106 @@ class TestPool:
         st = Status(1, 2, 3)
         pool.complete(idx, st)
         assert pool.slot(idx).flag.payload is st
+
+    def test_double_release_raises_typed_error(self):
+        # The freelist's live-set guard surfaces through the pool: the
+        # second release of one slot fails at its own call site instead
+        # of corrupting the free list into a cycle.
+        pool = OffloadRequestPool(4)
+        idx = pool.alloc()
+        pool.release(idx)
+        with pytest.raises(DoubleFree):
+            pool.release(idx)
+        # pool still fully usable afterwards
+        got = {pool.alloc() for _ in range(4)}
+        assert len(got) == 4
+        for i in got:
+            pool.release(i)
+        assert pool.allocated == 0
+
+    def test_double_release_with_cache_disabled(self):
+        pool = OffloadRequestPool(4, cache_size=0)
+        idx = pool.alloc()
+        pool.release(idx)
+        with pytest.raises(DoubleFree):
+            pool.release(idx)
+
+
+class TestThreadCache:
+    def test_cached_slots_counted_free(self):
+        # Refill leftovers parked in the thread cache must not count
+        # as allocated — exhaustion/leak accounting is cache-invisible.
+        pool = OffloadRequestPool(8, cache_size=4)
+        idx = pool.alloc()
+        assert pool.allocated == 1
+        pool.release(idx)
+        assert pool.allocated == 0
+
+    def test_exhaustion_with_cache(self):
+        pool = OffloadRequestPool(2, cache_size=8)
+        a = pool.alloc()
+        b = pool.alloc()
+        assert {a, b} == {0, 1}
+        with pytest.raises(FreeListExhausted):
+            pool.alloc()
+
+    def test_hit_miss_counters(self):
+        pool = OffloadRequestPool(16, cache_size=4)
+        counters = Counters()
+        pool.telemetry = counters
+        first = pool.alloc()  # miss: refills the cache
+        rest = [pool.alloc() for _ in range(3)]  # hits
+        snap = counters.snapshot()
+        assert snap["pool_cache_misses"] == 1
+        assert snap["pool_cache_hits"] == 3
+        assert snap["pool_allocs"] == 4
+        for i in [first, *rest]:
+            pool.release(i)
+        assert counters.snapshot()["pool_releases"] == 4
+        assert pool.allocated == 0
+
+    def test_cache_spills_back_to_shared_list(self):
+        pool = OffloadRequestPool(32, cache_size=2)
+        held = [pool.alloc() for _ in range(16)]
+        for i in held:
+            pool.release(i)
+        assert pool.allocated == 0
+        # spills returned slots to the shared list: another thread can
+        # allocate far more than what one cache could hold
+        out = []
+
+        def other():
+            try:
+                while True:
+                    out.append(pool.alloc())
+            except FreeListExhausted:
+                pass
+
+        t = threading.Thread(target=other)
+        t.start()
+        t.join()
+        assert len(out) >= 32 - 2 * 2 - 1
+        assert len(set(out)) == len(out)
+
+    def test_concurrent_churn_leaks_nothing(self):
+        pool = OffloadRequestPool(64, cache_size=4)
+        errors = []
+
+        def churn():
+            try:
+                for _ in range(300):
+                    idx = pool.alloc()
+                    pool.release(idx)
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert pool.allocated == 0
 
 
 class TestHandle:

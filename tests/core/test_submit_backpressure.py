@@ -40,12 +40,13 @@ class TestDeadEngineRaises:
 
         assert all(run_world(1, prog))
 
-    def test_full_ring_on_stopped_engine_raises(self):
+    def test_submit_on_stopped_engine_raises(self):
+        # A clean stop closes the command ring, so the very first
+        # submit afterwards fails typed — it used to be *accepted* and
+        # silently lost until the ring filled up.
         def prog(comm):
             engine = OffloadEngine(comm, queue_capacity=2).start()
             engine.stop()
-            engine.submit(_call_cmd())
-            engine.submit(_call_cmd())
             with pytest.raises(OffloadEngineDied):
                 engine.submit(_call_cmd())
             return True

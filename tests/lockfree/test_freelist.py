@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.lockfree.freelist import FreeList, FreeListExhausted
+from repro.lockfree.freelist import DoubleFree, FreeList, FreeListExhausted
 
 
 class TestBasics:
@@ -34,6 +34,63 @@ class TestBasics:
             fl.free(5)
         with pytest.raises(IndexError):
             fl.free(-1)
+
+    def test_double_free_raises_typed_error(self):
+        # Regression: a double free used to push the same index twice,
+        # silently corrupting the list into a cycle that only the
+        # free_count() diagnostic would catch much later.
+        fl = FreeList(4)
+        a = fl.alloc()
+        fl.free(a)
+        with pytest.raises(DoubleFree):
+            fl.free(a)
+        # the list survives intact: no cycle, all slots reachable
+        assert fl.free_count() == 4
+        assert fl.allocated == 0
+
+    def test_free_of_never_allocated_slot_raises(self):
+        fl = FreeList(4)
+        fl.alloc()
+        with pytest.raises(DoubleFree):
+            fl.free(3)  # on the free list, never handed out
+
+    def test_alloc_batch_pops_distinct_chunk(self):
+        fl = FreeList(8)
+        got = fl.alloc_batch(5)
+        assert len(got) == len(set(got)) == 5
+        assert fl.allocated == 5
+        # partial chunk when nearly empty, typed error when empty
+        rest = fl.alloc_batch(16)
+        assert len(rest) == 3
+        assert set(got) | set(rest) == set(range(8))
+        with pytest.raises(FreeListExhausted):
+            fl.alloc_batch(2)
+        for i in range(8):
+            fl.free(i)
+        assert fl.free_count() == 8
+
+    def test_alloc_batch_under_contention(self):
+        fl = FreeList(256)
+        taken: list[list[int]] = [[] for _ in range(8)]
+
+        def worker(wid):
+            while True:
+                try:
+                    got = fl.alloc_batch(4)
+                except FreeListExhausted:
+                    return
+                taken[wid].extend(got)
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        flat = [i for chunk in taken for i in chunk]
+        assert len(flat) == 256
+        assert len(set(flat)) == 256, "batch alloc handed a slot out twice"
 
     def test_free_clears_slot_payload(self):
         fl = FreeList(2)

@@ -65,6 +65,26 @@ class TestBasics:
         assert q.drain(limit=2) == [0, 1]
         assert q.drain() == [2, 3, 4]
 
+    def test_len_clamped_to_capacity(self):
+        # len() reads the dequeue side first, so a racing burst of
+        # dequeues between the two reads can only *over*-estimate;
+        # the clamp keeps the result inside the ring's structural
+        # bounds either way.
+        q = MPSCQueue(4)
+        for i in range(4):
+            q.enqueue(i)
+        assert len(q) == 4
+        q.try_dequeue()
+        assert len(q) == 3
+
+    def test_drain_closed_returns_committed_items(self):
+        q = MPSCQueue(8)
+        q.enqueue(1)
+        q.enqueue(2)
+        q.close()
+        assert q.drain_closed() == [1, 2]
+        assert q.drain_closed() == []
+
 
 class TestConcurrency:
     def test_no_loss_no_duplication_under_contention(self):
@@ -103,6 +123,66 @@ class TestConcurrency:
         ct.join()
         assert len(received) == nproducers * per
         assert len(set(received)) == nproducers * per
+
+    def test_close_race_loses_nothing_completes_nothing_twice(self):
+        """Regression: a producer past the pre-CAS closed check used to
+        publish into a closed ring, where the item was silently dropped
+        once the consumer had done its final drain.  Now every item is
+        either acknowledged (enqueue returned) and drained exactly
+        once, or rejected with QueueClosed and never drained."""
+        for round_ in range(20):
+            q = MPSCQueue(64)
+            nproducers, per = 6, 200
+            accepted = [set() for _ in range(nproducers)]
+            rejected = [set() for _ in range(nproducers)]
+            start = threading.Barrier(nproducers + 1)
+
+            def producer(pid):
+                start.wait()
+                for i in range(per):
+                    try:
+                        while True:
+                            try:
+                                q.enqueue((pid, i))
+                                break
+                            except QueueFull:
+                                if q.closed:
+                                    raise QueueClosed("full+closed")
+                        accepted[pid].add(i)
+                    except QueueClosed:
+                        rejected[pid].add(i)
+
+            threads = [
+                threading.Thread(target=producer, args=(p,))
+                for p in range(nproducers)
+            ]
+            for t in threads:
+                t.start()
+            start.wait()
+            # Consume a while mid-storm, then close and final-drain
+            # while producers are still racing the close.
+            drained = []
+            for _ in range(500 + round_ * 50):
+                ok, item = q.try_dequeue()
+                if ok:
+                    drained.append(item)
+            q.close()
+            drained.extend(q.drain_closed())
+            for t in threads:
+                t.join()
+            # Post-join sweep must find nothing: drain_closed already
+            # collected every committed item.
+            assert q.drain() == []
+            got = set(drained)
+            assert len(got) == len(drained), "item delivered twice"
+            want = {
+                (pid, i)
+                for pid in range(nproducers)
+                for i in accepted[pid]
+            }
+            assert got == want
+            for pid in range(nproducers):
+                assert accepted[pid].isdisjoint(rejected[pid])
 
     def test_per_producer_fifo_preserved(self):
         """MPI ordering requirement: each producer's items must be
