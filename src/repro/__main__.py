@@ -15,6 +15,11 @@ Subcommands:
 * ``chaos`` — run a seeded fault-injection storm over the offloaded
   stack and verify the robustness contract (no hang, no lost
   completion, telemetry balance law); exits nonzero on violation;
+* ``dst`` — deterministic-simulation self-check: explore the
+  regression corpus (known races with their fixes disabled must be
+  rediscovered; with fixes enabled the schedule budget must pass
+  clean; linearizability oracles must hold); exits nonzero on any
+  wrong outcome and prints a single-seed replay token per finding;
 * ``info`` — version and layer summary.
 """
 
@@ -138,6 +143,110 @@ def _cmd_chaos(
     return 0 if report["ok"] else 1
 
 
+def _cmd_dst(
+    targets: list[str],
+    seed: int,
+    schedules: int | None,
+    strategy: str | None,
+    as_json: bool,
+) -> int:
+    """DST corpus self-check; nonzero exit on any wrong outcome."""
+    from repro.dst.targets import CORPUS, run_corpus, run_target
+    from repro.obs.counters import Counters
+
+    unknown = [t for t in targets if t not in CORPUS]
+    if unknown:
+        print(f"unknown target(s): {unknown}; available: {list(CORPUS)}")
+        return 2
+    counters = Counters()
+    t0 = time.perf_counter()
+    if targets:
+        outcomes = []
+        for name in targets:
+            if CORPUS[name].regression:
+                outcomes.append(
+                    run_target(
+                        name, fix_disabled=True, seed=seed,
+                        schedules=schedules, strategy=strategy,
+                        counters=counters,
+                    )
+                )
+            outcomes.append(
+                run_target(
+                    name, fix_disabled=False, seed=seed,
+                    schedules=schedules, strategy=strategy,
+                    counters=counters,
+                )
+            )
+    else:
+        outcomes = run_corpus(
+            seed=seed, schedules=schedules, strategy=strategy,
+            counters=counters,
+        )
+    elapsed = time.perf_counter() - t0
+    rows = []
+    ok = True
+    for o in outcomes:
+        ok = ok and o.expected
+        rows.append(
+            {
+                "target": o.target,
+                "fix_disabled": o.fix_disabled,
+                "found": o.result.found,
+                "runs": o.result.runs,
+                "exhausted": o.result.exhausted,
+                "replay_token": (
+                    list(o.result.failure.token)
+                    if o.result.failure is not None
+                    else None
+                ),
+                "expected": o.expected,
+            }
+        )
+    if as_json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "ok": ok,
+                    "seed": seed,
+                    "elapsed_s": round(elapsed, 3),
+                    "outcomes": rows,
+                    "counters": counters.snapshot(),
+                },
+                indent=2,
+            )
+        )
+        return 0 if ok else 1
+    print(f"DST corpus self-check (seed={seed}):\n")
+    for row in rows:
+        mode = "fix OFF" if row["fix_disabled"] else "fix ON " \
+            if any(r["target"] == row["target"] and r["fix_disabled"]
+                   for r in rows) else "oracle "
+        verdict = "ok" if row["expected"] else "WRONG OUTCOME"
+        found = (
+            f"found in {row['runs']} schedule(s)"
+            if row["found"]
+            else f"clean over {row['runs']} schedule(s)"
+            + (" [tree exhausted]" if row["exhausted"] else "")
+        )
+        print(f"  {row['target']:28s} {mode} {found:42s} {verdict}")
+    snap = counters.snapshot()
+    print(
+        f"\n{snap.get('schedules_explored', 0)} schedules, "
+        f"{snap.get('yields', 0)} yield points, "
+        f"{snap.get('lin_histories_checked', 0)} histories checked "
+        f"in {elapsed:.1f}s"
+    )
+    if not ok:
+        print("\nDST SELF-CHECK FAILED: see 'DST:' lines above for "
+              "replay tokens")
+        return 1
+    print("all targets behaved as expected")
+    return 0
+
+
 def _cmd_report(out_path: str | None, full: bool) -> int:
     from repro.experiments.report import generate_report
 
@@ -210,6 +319,26 @@ def main(argv: list[str] | None = None) -> int:
         help="hard wall-clock bound for the whole run",
     )
     cha.add_argument("--json", action="store_true")
+    dst = sub.add_parser(
+        "dst",
+        help="deterministic-simulation self-check over the regression "
+        "corpus; nonzero exit on any wrong outcome",
+    )
+    dst.add_argument(
+        "targets", nargs="*",
+        help="corpus target names (default: whole corpus)",
+    )
+    dst.add_argument("--seed", type=int, default=0)
+    dst.add_argument(
+        "--schedules", type=int, default=None,
+        help="override the per-target schedule budget",
+    )
+    dst.add_argument(
+        "--strategy", default=None,
+        choices=["random", "pct", "exhaustive"],
+        help="override the per-target exploration strategy",
+    )
+    dst.add_argument("--json", action="store_true")
     sub.add_parser("info", help="version and layout")
     args = parser.parse_args(argv)
     if args.cmd == "list":
@@ -226,6 +355,14 @@ def main(argv: list[str] | None = None) -> int:
             args.profile,
             args.op_timeout,
             args.run_timeout,
+            args.json,
+        )
+    if args.cmd == "dst":
+        return _cmd_dst(
+            args.targets,
+            args.seed,
+            args.schedules,
+            args.strategy,
             args.json,
         )
     if args.cmd == "report":

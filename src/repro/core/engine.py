@@ -40,6 +40,7 @@ from repro.core.request_pool import (
     OffloadEngineDied,
     OffloadRequestPool,
 )
+from repro.dst import hooks as _dst
 from repro.lockfree.atomics import AtomicFlag
 from repro.lockfree.mpsc_queue import MPSCQueue, QueueClosed, QueueFull
 from repro import obs
@@ -169,6 +170,12 @@ class OffloadEngine:
         self.batch_dequeues = 0
         self.batch_size_hwm = 0
         self.coalesced_messages = 0
+        #: DST-only regression hook: when True, `_fail_pending` drops
+        #: the unprocessed tail of a mid-batch crash instead of failing
+        #: it — the lost-command bug `self._drained` was introduced to
+        #: fix.  Only ever set by the regression corpus
+        #: (repro.dst.targets), never by production code.
+        self._unsafe_drop_drained_on_fail = False
 
     # ------------------------------------------------------------ lifecycle
 
@@ -205,6 +212,8 @@ class OffloadEngine:
         naming the still-outstanding operations; use :meth:`abort` to
         tear down regardless.
         """
+        if _dst._scheduler is not None:
+            _dst.yield_point("engine.stop")
         if self._thread is None:
             return
         thread = self._thread
@@ -332,6 +341,8 @@ class OffloadEngine:
         spinning forever.
         """
         tm = self._telem
+        if _dst._scheduler is not None:
+            _dst.yield_point("engine.submit")
         if self._dead is not None:
             raise OffloadEngineDied(
                 f"offload engine terminated: {self._dead}"
@@ -370,7 +381,12 @@ class OffloadEngine:
                         "already stopped)"
                     )
                 self._wake.set()
-                threading.Event().wait(1e-5)
+                if _dst.is_virtual_thread():
+                    # Under DST a real wait would stall the scheduler;
+                    # yield so it can run the draining engine thread.
+                    _dst.yield_point("engine.submit.retry")
+                else:
+                    threading.Event().wait(1e-5)
         if tm is not None:
             tm.counters.inc("enqueues")
         self._wake.set()
@@ -660,6 +676,16 @@ class OffloadEngine:
             if fault is not None:
                 self._command_failed(cmd, fault)
                 return
+        if _dst._scheduler is not None and _dst.crash_point("engine.dispatch"):
+            # DST crash injection takes the same path as a FaultPlan
+            # crash: the drained command is terminal-failed first, then
+            # the exception kills the engine loop (whose `_fail_pending`
+            # covers everything still queued or drained).
+            crash = _dst.ScheduledCrash(
+                "DST crash injected at engine.dispatch"
+            )
+            self._command_failed(cmd, crash)
+            raise crash
         try:
             self._dispatch(cmd)
         except BaseException as exc:  # noqa: BLE001 - surfaced to caller
@@ -1004,7 +1030,9 @@ class OffloadEngine:
         # A mid-batch crash leaves the unprocessed tail of the batch in
         # `_drained` (already counted as drained); append everything
         # still committed to the ring behind it.
-        backlog = list(self._drained)
+        backlog = [] if self._unsafe_drop_drained_on_fail else list(
+            self._drained
+        )
         self._drained.clear()
         for cmd in self.queue.drain_closed():
             if counters is not None:

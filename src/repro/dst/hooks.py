@@ -1,0 +1,126 @@
+"""Yield-point hooks for deterministic simulation testing (DST).
+
+This module is the *only* thing the production lockfree/core layers
+import from :mod:`repro.dst`, and it deliberately imports nothing from
+``repro`` itself — it sits below the whole stack, exactly like the
+``is None`` fault hooks of :mod:`repro.faults.plan`:
+
+* when no scheduler is installed (normal operation, benchmarks,
+  production), every hook site is a single module-attribute read plus
+  an ``is None`` check — no scheduler code runs, no behavior changes;
+* when a :class:`repro.dst.scheduler.Scheduler` is installed, hook
+  sites become *scheduler choice points*: the calling thread parks and
+  the scheduler decides which virtual thread advances next, making
+  every shared-memory interleaving decision an explicit, seeded,
+  replayable choice.
+
+Threads the scheduler does not own (the pytest main thread, a real
+offload engine thread in an unrelated test) pass straight through even
+while a scheduler is installed, so installation is safe process-wide.
+
+Hook vocabulary
+---------------
+``yield_point(site)``
+    A shared-memory access is about to happen at ``site``; give the
+    scheduler the chance to run someone else first.
+``crash_point(site)``
+    The engine is about to dispatch a command; the scheduler may
+    answer "crash here" (at most once per schedule), in which case the
+    caller raises :class:`ScheduledCrash` through its normal
+    crash-handling path.
+``flag_wait(predicate)``
+    A blocking wait on a done-flag: under the scheduler this becomes a
+    cooperative ``wait_until`` (the deadlock detector replaces the
+    timeout); returns ``False`` when the caller should fall back to a
+    real wait.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.dst.scheduler import Scheduler
+
+#: The installed scheduler, or ``None``.  Production hook sites read
+#: this exactly once per operation (``if _scheduler is not None``).
+_scheduler: "Scheduler | None" = None
+
+
+class ScheduledCrash(RuntimeError):
+    """Engine crash injected by the DST scheduler at a crash point.
+
+    Mirrors :class:`repro.faults.plan.InjectedCrash` (which lives above
+    this module in the import graph): raised inside the engine loop so
+    the normal crash handling — terminal-fail the current command, then
+    ``_fail_pending`` everything else — is exercised under an explored
+    schedule.
+    """
+
+
+def install(scheduler: "Scheduler") -> None:
+    """Make ``scheduler`` the process-wide DST scheduler."""
+    global _scheduler
+    if _scheduler is not None:
+        raise RuntimeError("a DST scheduler is already installed")
+    _scheduler = scheduler
+
+
+def uninstall() -> None:
+    """Remove the installed scheduler (idempotent)."""
+    global _scheduler
+    _scheduler = None
+
+
+def current() -> "Scheduler | None":
+    """The installed scheduler, or ``None``."""
+    return _scheduler
+
+
+def is_virtual_thread() -> bool:
+    """Is the calling thread owned by the installed scheduler?"""
+    s = _scheduler
+    return s is not None and s.owns_current_thread()
+
+
+def yield_point(site: str, detail: Any = None) -> None:
+    """Scheduler choice point before a shared-memory access."""
+    s = _scheduler
+    if s is not None:
+        s.yield_point(site, detail)
+
+
+def crash_point(site: str) -> bool:
+    """May the caller crash here?  Always ``False`` without a scheduler."""
+    s = _scheduler
+    if s is not None:
+        return s.crash_point(site)
+    return False
+
+
+def wait_until(predicate: Callable[[], bool]) -> None:
+    """Cooperative block until ``predicate()`` holds.
+
+    Only meaningful on scheduler-owned threads (callers guard with
+    :func:`is_virtual_thread`); parking on a predicate instead of
+    spin-yielding keeps spin loops out of the schedule tree — a
+    blocked thread is not a branch point.
+    """
+    s = _scheduler
+    if s is not None:
+        s.wait_until(predicate)
+
+
+def flag_wait(predicate: Callable[[], bool]) -> bool:
+    """Cooperative stand-in for a blocking flag wait.
+
+    Returns ``True`` once ``predicate()`` holds (having yielded to the
+    scheduler in between), or ``False`` immediately when the calling
+    thread is not scheduler-owned — the caller then performs its normal
+    blocking wait.
+    """
+    s = _scheduler
+    if s is not None and s.owns_current_thread():
+        s.wait_until(predicate)
+        return True
+    return False

@@ -1,0 +1,392 @@
+"""Linearizability checking (Wing–Gong) for concurrent histories.
+
+The DST scheduler gives tests total control over interleavings; this
+module gives them a *correctness oracle*: record every operation on a
+shared structure as an (invocation, response) interval on the
+scheduler's logical clock, then search for a **linearization** — a
+sequential order of the operations that (a) respects real-time order
+(an operation that finished before another began must come first) and
+(b) is legal for a simple sequential model of the structure.
+
+The search is the classic Wing–Gong recursion with Lowe's memoization:
+at each step, any *minimal* un-linearized operation (one that was
+invoked before every other remaining operation's response) may be
+tried next; a (remaining-set, model-state) pair that already failed is
+never re-explored.  Model specs are nondeterminism-friendly —
+``apply`` returns the set of possible successor states — which is what
+lets a free list say "``alloc`` may return *any* currently-free slot".
+
+Operations still pending when the history closes (e.g. cut off by an
+injected crash) are handled per Wing–Gong: a pending operation may be
+linearized (it may have taken effect) or dropped (it may not have).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+from repro.dst import hooks as _hooks
+
+#: Response timestamp for operations still pending at history close.
+_PENDING = float("inf")
+
+
+class LinearizabilityError(AssertionError):
+    """The recorded history has no valid linearization."""
+
+
+@dataclass
+class Op:
+    """One operation interval in a concurrent history."""
+
+    opid: int
+    thread: str
+    op: str
+    args: tuple
+    result: Any = None
+    invoked: int = 0
+    responded: "int | float" = _PENDING
+
+    @property
+    def pending(self) -> bool:
+        return self.responded is _PENDING
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        span = (
+            f"[{self.invoked},{'…' if self.pending else self.responded}]"
+        )
+        return (
+            f"Op({self.thread}:{self.op}{self.args!r} -> "
+            f"{self.result!r} {span})"
+        )
+
+
+class History:
+    """Thread-safe recorder of operation intervals.
+
+    Timestamps come from the installed DST scheduler's logical clock
+    when one is present (so they are schedule-deterministic), falling
+    back to a private counter otherwise.
+    """
+
+    def __init__(self) -> None:
+        self.ops: list[Op] = []
+        self._lock = threading.Lock()
+        self._fallback_clock = 0
+        self._next_id = 0
+
+    def _now(self) -> int:
+        """Strictly increasing logical timestamp.
+
+        The scheduler clock alone is not enough: several history events
+        can fall inside one scheduler hop (no yield between them), and
+        zero-duration intervals break Wing–Gong's minimal-operation
+        selection (an op whose response *is* the minimum would exclude
+        itself).  Shifting the clock and bumping a local sequence makes
+        every timestamp unique and strictly ordered, while cross-thread
+        order still follows the scheduler clock (threads only
+        interleave across hops, which bump it).
+        """
+        sched = _hooks.current()
+        base = (sched.clock << 20) if sched is not None else 0
+        self._fallback_clock = max(base, self._fallback_clock + 1)
+        return self._fallback_clock
+
+    def invoke(self, op: str, args: tuple = (), thread: str = "") -> Op:
+        """Record an invocation; returns the open :class:`Op`."""
+        with self._lock:
+            rec = Op(
+                opid=self._next_id,
+                thread=thread or threading.current_thread().name,
+                op=op,
+                args=tuple(args),
+                invoked=self._now(),
+            )
+            self._next_id += 1
+            self.ops.append(rec)
+            return rec
+
+    def respond(self, rec: Op, result: Any) -> None:
+        """Close ``rec`` with its observed result."""
+        with self._lock:
+            rec.result = result
+            rec.responded = self._now()
+
+    def discard(self, rec: Op) -> None:
+        """Drop an invoked operation from the history.
+
+        For recorders that only check a *sub-history* — e.g. the queue
+        target drops empty-dequeue probes, whose ``(False, None)``
+        result is only quiescently consistent on a ticket queue (see
+        :class:`repro.dst.targets.QueueLinearizabilityProgram`).
+        """
+        with self._lock:
+            self.ops.remove(rec)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def render(self) -> str:
+        """Human-readable dump (used in failure messages)."""
+
+        def ts(t: "int | float") -> str:
+            # timestamps are (scheduler clock << 20) + sequence
+            return f"{t >> 20}.{t & 0xFFFFF}"
+
+        lines = []
+        for op in sorted(self.ops, key=lambda o: o.invoked):
+            end = "pending" if op.pending else ts(op.responded)
+            lines.append(
+                f"  [{ts(op.invoked):>7}..{end:>7}] {op.thread:<12} "
+                f"{op.op}{op.args!r} -> {op.result!r}"
+            )
+        return "\n".join(lines)
+
+
+class SequentialSpec:
+    """Sequential model of a shared structure.
+
+    ``apply`` returns every model state the operation could legally
+    leave behind given its observed result — an empty iterable means
+    the (state, op, result) combination is illegal.
+    """
+
+    def init(self) -> Any:
+        raise NotImplementedError
+
+    def apply(self, state: Any, op: Op) -> Iterable[Any]:
+        raise NotImplementedError
+
+    def key(self, state: Any) -> Hashable:
+        """Hashable identity of a state (memoization)."""
+        return state
+
+
+@dataclass
+class LinResult:
+    """Outcome of a linearizability check."""
+
+    ok: bool
+    ops: int
+    states_explored: int
+    #: a witness linearization (op ids in order) when ``ok``
+    witness: "list[int] | None" = None
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def check_linearizable(
+    history: History,
+    spec: SequentialSpec,
+    max_states: int = 500_000,
+) -> LinResult:
+    """Search for a linearization of ``history`` against ``spec``.
+
+    Raises nothing; returns a :class:`LinResult` (callers that want an
+    exception use :func:`assert_linearizable`).  ``max_states`` bounds
+    the memoized search; exceeding it reports failure with an explicit
+    reason rather than running unbounded.
+    """
+    ops = list(history.ops)
+    explored = 0
+    memo: set[tuple[frozenset, Hashable]] = set()
+    witness: list[int] = []
+
+    def dfs(remaining: dict[int, Op], state: Any) -> bool:
+        nonlocal explored
+        if not remaining:
+            return True
+        if all(op.pending for op in remaining.values()):
+            # every remaining op may simply not have taken effect
+            return True
+        sig = (frozenset(remaining), spec.key(state))
+        if sig in memo:
+            return False
+        explored += 1
+        if explored > max_states:
+            raise _SearchBudget()
+        min_resp = min(op.responded for op in remaining.values())
+        for opid, op in remaining.items():
+            if op.invoked >= min_resp:
+                continue  # some other op finished before this began
+            rest = dict(remaining)
+            del rest[opid]
+            for new_state in spec.apply(state, op):
+                witness.append(opid)
+                if dfs(rest, new_state):
+                    return True
+                witness.pop()
+            if op.pending:
+                # a pending op may also be dropped entirely
+                if dfs(rest, state):
+                    return True
+        memo.add(sig)
+        return False
+
+    class _SearchBudget(Exception):
+        pass
+
+    try:
+        ok = dfs({op.opid: op for op in ops}, spec.init())
+    except _SearchBudget:
+        return LinResult(
+            ok=False,
+            ops=len(ops),
+            states_explored=explored,
+            reason=f"search budget exceeded ({max_states} states)",
+        )
+    if ok:
+        return LinResult(
+            ok=True,
+            ops=len(ops),
+            states_explored=explored,
+            witness=list(witness),
+        )
+    return LinResult(
+        ok=False,
+        ops=len(ops),
+        states_explored=explored,
+        reason="no valid linearization exists",
+    )
+
+
+def assert_linearizable(
+    history: History, spec: SequentialSpec, max_states: int = 500_000
+) -> LinResult:
+    """Raise :class:`LinearizabilityError` unless the history checks."""
+    res = check_linearizable(history, spec, max_states=max_states)
+    if not res.ok:
+        raise LinearizabilityError(
+            f"history of {res.ops} ops is not linearizable "
+            f"({res.reason}; {res.states_explored} states explored):\n"
+            + history.render()
+        )
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Sequential model specs for the lockfree/offload structures
+# ---------------------------------------------------------------------------
+
+
+class QueueSpec(SequentialSpec):
+    """FIFO queue with bounded capacity and close semantics.
+
+    Operation vocabulary (results are what the concurrent code
+    observed):
+
+    * ``("enqueue", (x,)) -> "ok" | "closed" | "full"``
+    * ``("dequeue", ()) -> (True, x) | (False, None)``
+    * ``("close", ()) -> "ok"``
+    """
+
+    def __init__(self, capacity: int = 2**30) -> None:
+        self.capacity = capacity
+
+    def init(self) -> tuple:
+        return ((), False)  # (items, closed)
+
+    def apply(self, state: tuple, op: Op) -> list:
+        items, closed = state
+        if op.pending:
+            # A pending op's result is unknown: it may have taken
+            # effect in any way the sequential object allows.  (Its
+            # "took no effect" alternative is handled by the checker,
+            # which may also drop a pending op entirely.)
+            if op.op == "enqueue":
+                if not closed and len(items) < self.capacity:
+                    return [(items + (op.args[0],), closed)]
+                return []
+            if op.op == "dequeue":
+                return [(items[1:], closed)] if items else []
+            if op.op == "close":
+                return [(items, True)]
+            raise ValueError(f"QueueSpec: unknown op {op.op!r}")
+        if op.op == "enqueue":
+            if op.result == "ok":
+                if closed or len(items) >= self.capacity:
+                    return []
+                return [(items + (op.args[0],), closed)]
+            if op.result == "closed":
+                return [state] if closed else []
+            if op.result == "full":
+                return [state] if len(items) >= self.capacity else []
+            return []
+        if op.op == "dequeue":
+            ok, value = op.result
+            if ok:
+                if items and items[0] == value:
+                    return [(items[1:], closed)]
+                return []
+            return [state] if not items else []
+        if op.op == "close":
+            return [(items, True)]
+        raise ValueError(f"QueueSpec: unknown op {op.op!r}")
+
+
+class FreeListSpec(SequentialSpec):
+    """Pool of ``capacity`` slots: alloc hands out any free one.
+
+    * ``("alloc", ()) -> idx | "exhausted"``
+    * ``("free", (idx,)) -> "ok" | "double_free"``
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+
+    def init(self) -> frozenset:
+        return frozenset(range(self.capacity))
+
+    def apply(self, state: frozenset, op: Op) -> list:
+        if op.pending:
+            # unknown result: any legal effect (see QueueSpec.apply)
+            if op.op == "alloc":
+                return [state - {idx} for idx in state]
+            if op.op == "free":
+                idx = op.args[0]
+                return [state | {idx}] if idx not in state else []
+            raise ValueError(f"FreeListSpec: unknown op {op.op!r}")
+        if op.op == "alloc":
+            if op.result == "exhausted":
+                return [state] if not state else []
+            if op.result in state:
+                return [state - {op.result}]
+            return []
+        if op.op == "free":
+            idx = op.args[0]
+            if op.result == "ok":
+                if idx in state:
+                    return []  # freeing a slot that was already free
+                return [state | {idx}]
+            if op.result == "double_free":
+                return [state] if idx in state else []
+            return []
+        raise ValueError(f"FreeListSpec: unknown op {op.op!r}")
+
+
+class RequestPoolSpec(FreeListSpec):
+    """Request-pool slot accounting: the pool's alloc/release pair maps
+    directly onto the free-list model (cached slots are accounted free,
+    so the spec is unchanged — see
+    :class:`repro.core.request_pool.OffloadRequestPool`).
+
+    * ``("alloc", ()) -> idx | "exhausted"``
+    * ``("release", (idx,)) -> "ok" | "double_free"``
+    """
+
+    def apply(self, state: frozenset, op: Op) -> list:
+        if op.op == "release":
+            op = Op(
+                opid=op.opid,
+                thread=op.thread,
+                op="free",
+                args=op.args,
+                result=op.result,
+                invoked=op.invoked,
+                responded=op.responded,
+            )
+        return super().apply(state, op)

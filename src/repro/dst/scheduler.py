@@ -1,0 +1,350 @@
+"""Seeded cooperative scheduler: the core of the DST subsystem.
+
+A :class:`Scheduler` owns every *virtual thread* in a test.  Virtual
+threads are real Python threads, but only one ever runs at a time: each
+one parks on a private event and advances exactly one hop — up to its
+next yield point — when the scheduler grants it the turn.  Yield points
+are threaded through the lockfree layer and the engine hot paths via
+:mod:`repro.dst.hooks`, so *which* thread wins each CAS race, observes
+each flag, or publishes each ring cell is decided here, by a pluggable
+:class:`~repro.dst.strategies.Strategy`, from a single seed.
+
+That inversion is what makes concurrency failures reproducible: a
+schedule is just the sequence of choices the strategy made, so any
+failing run can be replayed exactly by re-running the same strategy
+with the same seed (see :class:`repro.dst.explorer.Explorer`).
+
+The scheduler also detects the two ways a schedule can go wrong
+structurally:
+
+* **deadlock** — every live virtual thread is parked in
+  :meth:`wait_until` on a predicate that cannot become true (raises
+  :class:`DeadlockError` naming the stuck threads and their sites);
+* **runaway schedules** — more than ``max_steps`` grants (raises
+  :class:`ScheduleBudgetExceeded`; a livelock guard for spin loops).
+
+Wall-clock safety net: every handoff carries a real timeout
+(``handoff_timeout``), so a virtual thread that blocks on something the
+scheduler cannot see fails the run with :class:`SchedulerStalled`
+instead of hanging the test process.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.dst import hooks as _hooks
+from repro.dst.strategies import Strategy
+
+
+class DstError(Exception):
+    """Base class for scheduler-detected failures."""
+
+
+class DeadlockError(DstError):
+    """Every live virtual thread is blocked on an unsatisfied predicate."""
+
+
+class ScheduleBudgetExceeded(DstError):
+    """The schedule ran past ``max_steps`` grants (livelock guard)."""
+
+
+class SchedulerStalled(DstError):
+    """A virtual thread failed to yield back within the wall-clock
+    handoff timeout (it blocked on something the scheduler cannot
+    see — a real lock, a real event, real I/O)."""
+
+
+class _Killed(BaseException):
+    """Injected into parked virtual threads during teardown.
+
+    Derives from ``BaseException`` so target code's ``except
+    Exception`` blocks cannot swallow it.
+    """
+
+
+class VThread:
+    """One scheduler-owned virtual thread."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "thread",
+        "turn",
+        "done",
+        "exc",
+        "blocked_on",
+        "last_site",
+        "steps",
+    )
+
+    def __init__(self, tid: int, name: str) -> None:
+        self.tid = tid
+        self.name = name
+        self.thread: threading.Thread | None = None
+        #: set by the scheduler to grant this thread its next hop
+        self.turn = threading.Event()
+        self.done = False
+        self.exc: BaseException | None = None
+        #: predicate this thread is blocked on (None = runnable)
+        self.blocked_on: Callable[[], bool] | None = None
+        #: the yield site this thread is parked at (next thing it does)
+        self.last_site = "spawn"
+        self.steps = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = (
+            "done"
+            if self.done
+            else ("blocked" if self.blocked_on is not None else "runnable")
+        )
+        return f"VThread({self.tid}:{self.name}, {state} at {self.last_site})"
+
+
+class Scheduler:
+    """Cooperative scheduler driving virtual threads one hop at a time.
+
+    Parameters
+    ----------
+    strategy:
+        Decides which runnable thread advances at each step and whether
+        crash points fire.  All nondeterminism lives here.
+    max_steps:
+        Grant budget; exceeding it raises
+        :class:`ScheduleBudgetExceeded`.
+    handoff_timeout:
+        Real seconds the driver waits for a granted thread to yield
+        back before declaring the run stalled.
+    """
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        max_steps: int = 20_000,
+        handoff_timeout: float = 30.0,
+    ) -> None:
+        self.strategy = strategy
+        self.max_steps = max_steps
+        self.handoff_timeout = handoff_timeout
+        self._vthreads: list[VThread] = []
+        self._by_ident: dict[int, VThread] = {}
+        #: set by a virtual thread when it parks (yield/block/finish)
+        self._control = threading.Event()
+        self._aborting = False
+        self._started = False
+        # -- observable schedule state ---------------------------------
+        #: grants issued so far (the logical clock of the run)
+        self.steps = 0
+        #: yield points taken (>= steps: a grant may cross several
+        #: non-yielding operations only at thread start/exit)
+        self.yields = 0
+        #: one entry per grant: (tid, site the thread was parked at)
+        self.schedule_log: list[tuple[int, str]] = []
+        #: True once a crash point fired (at most one per schedule)
+        self.crashed = False
+        self.crash_site: str | None = None
+
+    # ------------------------------------------------------------ clock
+
+    @property
+    def clock(self) -> int:
+        """Logical timestamp: total yield points taken so far.
+
+        Monotonic within a run; used by
+        :class:`repro.dst.linearize.History` to order invocation and
+        response events.
+        """
+        return self.yields
+
+    # ------------------------------------------------------------ spawn
+
+    def spawn(
+        self, fn: Callable[..., Any], *args: Any, name: str | None = None
+    ) -> VThread:
+        """Register a virtual thread running ``fn(*args)``.
+
+        The thread starts parked; it only ever advances when the
+        scheduler grants it a turn inside :meth:`run`.
+        """
+        if self._started:
+            raise RuntimeError("spawn() after run() started")
+        vt = VThread(len(self._vthreads), name or f"vt{len(self._vthreads)}")
+
+        def _body() -> None:
+            vt.turn.wait()
+            vt.turn.clear()
+            try:
+                if not self._aborting:
+                    fn(*args)
+            except _Killed:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - reported via vt.exc
+                vt.exc = exc
+            finally:
+                vt.done = True
+                self._control.set()
+
+        vt.thread = threading.Thread(
+            target=_body, name=f"dst-{vt.name}", daemon=True
+        )
+        self._vthreads.append(vt)
+        vt.thread.start()
+        self._by_ident[vt.thread.ident] = vt  # type: ignore[index]
+        return vt
+
+    def owns_current_thread(self) -> bool:
+        return threading.get_ident() in self._by_ident
+
+    def _current(self) -> VThread | None:
+        return self._by_ident.get(threading.get_ident())
+
+    # ------------------------------------------------------------ driver
+
+    def run(self) -> None:
+        """Drive all virtual threads to completion under the strategy.
+
+        Raises the structural failures documented on the class; leaves
+        per-thread exceptions in ``vt.exc`` for the caller (the
+        explorer) to interpret.
+        """
+        self._started = True
+        self.strategy.begin_run()
+        try:
+            while True:
+                live = [vt for vt in self._vthreads if not vt.done]
+                if not live:
+                    return
+                runnable: list[VThread] = []
+                for vt in live:
+                    pred = vt.blocked_on
+                    if pred is None:
+                        runnable.append(vt)
+                    elif pred():
+                        vt.blocked_on = None
+                        runnable.append(vt)
+                if not runnable:
+                    raise DeadlockError(
+                        "all live virtual threads are blocked: "
+                        + ", ".join(
+                            f"{vt.name} at {vt.last_site}" for vt in live
+                        )
+                    )
+                if self.steps >= self.max_steps:
+                    raise ScheduleBudgetExceeded(
+                        f"schedule exceeded {self.max_steps} steps "
+                        f"(possible livelock); last grants: "
+                        f"{self.schedule_log[-5:]}"
+                    )
+                choice = self.strategy.pick_index(
+                    [vt.tid for vt in runnable]
+                )
+                vt = runnable[choice]
+                self.steps += 1
+                vt.steps += 1
+                self.schedule_log.append((vt.tid, vt.last_site))
+                self._grant(vt)
+        finally:
+            self._teardown()
+
+    def _grant(self, vt: VThread) -> None:
+        """Let ``vt`` advance one hop and wait for it to park again."""
+        self._control.clear()
+        vt.turn.set()
+        if not self._control.wait(self.handoff_timeout):
+            self._aborting = True
+            raise SchedulerStalled(
+                f"virtual thread {vt.name} did not yield within "
+                f"{self.handoff_timeout}s (blocked outside the "
+                f"scheduler at/after {vt.last_site})"
+            )
+
+    def _teardown(self) -> None:
+        """Unpark every surviving thread with a kill signal."""
+        self._aborting = True
+        for vt in self._vthreads:
+            if not vt.done:
+                vt.turn.set()
+        for vt in self._vthreads:
+            if vt.thread is not None:
+                vt.thread.join(timeout=1.0)
+
+    # ---------------------------------------------------- vthread side
+
+    def yield_point(self, site: str, detail: Any = None) -> None:
+        """Hook entry: park the calling thread until granted again.
+
+        No-op for threads the scheduler does not own, so production
+        threads coexist with an installed scheduler.
+        """
+        vt = self._current()
+        if vt is None:
+            return
+        self.yields += 1
+        vt.last_site = site if detail is None else f"{site}:{detail}"
+        self._park(vt)
+
+    def _park(self, vt: VThread) -> None:
+        self._control.set()
+        vt.turn.wait()
+        vt.turn.clear()
+        if self._aborting:
+            raise _Killed()
+
+    def wait_until(self, predicate: Callable[[], bool]) -> None:
+        """Cooperative blocking: park until ``predicate()`` holds.
+
+        The predicate is re-evaluated by the *driver* before each
+        grant, so it must be cheap and read-only.  If every live thread
+        ends up here with a false predicate, the driver raises
+        :class:`DeadlockError`.
+        """
+        vt = self._current()
+        if vt is None:  # foreign thread: degrade to a spin (tests only)
+            while not predicate():
+                threading.Event().wait(1e-4)
+            return
+        while not predicate():
+            self.yields += 1
+            vt.blocked_on = predicate
+            vt.last_site = f"wait_until@{vt.last_site}"
+            self._park(vt)
+
+    def crash_point(self, site: str) -> bool:
+        """Strategy decision: inject a crash here?  At most one per run."""
+        vt = self._current()
+        if vt is None or self.crashed:
+            return False
+        # The decision itself is a choice point: park first so the
+        # crash lands at an explored position in the interleaving.
+        self.yields += 1
+        vt.last_site = f"crash?{site}"
+        self._park(vt)
+        if self.strategy.pick_bool(site):
+            self.crashed = True
+            self.crash_site = site
+            return True
+        return False
+
+    # ------------------------------------------------------------ misc
+
+    def install(self) -> "Scheduler":
+        _hooks.install(self)
+        return self
+
+    def uninstall(self) -> None:
+        _hooks.uninstall()
+
+    def thread_errors(self) -> list[tuple[str, BaseException]]:
+        """(name, exception) for every virtual thread that raised."""
+        return [
+            (vt.name, vt.exc)
+            for vt in self._vthreads
+            if vt.exc is not None
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Scheduler(threads={len(self._vthreads)}, steps={self.steps}, "
+            f"yields={self.yields}, crashed={self.crashed})"
+        )

@@ -1,0 +1,297 @@
+"""Schedule-exploration strategies for the DST scheduler.
+
+A strategy answers two questions, over and over, for the scheduler:
+
+* :meth:`Strategy.pick_index` — which runnable virtual thread advances
+  next (an index into the runnable list, which the scheduler presents
+  in deterministic spawn order);
+* :meth:`Strategy.pick_bool` — does this crash point fire.
+
+Everything else about a run is deterministic, so the sequence of these
+answers *is* the schedule.  Three strategies are provided:
+
+``RandomWalkStrategy``
+    Uniform random choices from one seeded ``random.Random``.  The
+    workhorse: cheap, unbiased, and replayable from its seed.
+
+``PCTStrategy``
+    Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS'10):
+    assign each thread a random priority, always run the
+    highest-priority runnable thread, and demote the running thread at
+    ``depth - 1`` randomly chosen steps.  For a bug of depth *d* this
+    gives a provable detection probability per run of at least
+    ``1/(n * k^(d-1))`` — far better than random walk for ordering
+    bugs — while staying replayable from its seed.
+
+``ExhaustiveStrategy``
+    Depth-first enumeration of *every* schedule, for small bounded
+    programs: the choice sequence is treated as an odometer and
+    advanced run by run until the tree is exhausted.  The replay token
+    is the decision path itself.
+
+A recorded decision path can be replayed exactly with
+:class:`FixedPathStrategy`, regardless of which strategy produced it.
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Any
+
+
+class Strategy:
+    """Interface the scheduler drives.  Subclasses must be
+    deterministic functions of their constructor arguments and the
+    sequence of calls made to them."""
+
+    #: replay token type tag (see :meth:`token`)
+    kind = "abstract"
+
+    def begin_run(self) -> None:
+        """Reset per-run state (called once before each schedule)."""
+
+    def pick_index(self, runnable_tids: list[int]) -> int:
+        """Index into ``runnable_tids`` of the thread to advance."""
+        raise NotImplementedError
+
+    def pick_bool(self, site: str) -> bool:
+        """Crash-point decision at ``site``."""
+        raise NotImplementedError
+
+    def next_run(self) -> bool:
+        """Advance to the next schedule; False when exploration is done.
+
+        Unbounded strategies (random, PCT) always return True — the
+        explorer's schedule budget bounds them.
+        """
+        return True
+
+    def token(self) -> tuple:
+        """Replay token for the *current* run (printed on failure)."""
+        raise NotImplementedError
+
+
+class RandomWalkStrategy(Strategy):
+    """Uniform random schedule choices from a single seed."""
+
+    kind = "random"
+
+    def __init__(self, seed: int, crash_probability: float = 0.5) -> None:
+        self.seed = seed
+        self.crash_probability = crash_probability
+        self._rng = Random(seed)
+
+    def begin_run(self) -> None:
+        self._rng = Random(self.seed)
+
+    def pick_index(self, runnable_tids: list[int]) -> int:
+        if len(runnable_tids) == 1:
+            return 0
+        return self._rng.randrange(len(runnable_tids))
+
+    def pick_bool(self, site: str) -> bool:
+        return self._rng.random() < self.crash_probability
+
+    def token(self) -> tuple:
+        return ("random", self.seed)
+
+
+class PCTStrategy(Strategy):
+    """Priority-based probabilistic concurrency testing.
+
+    Parameters
+    ----------
+    seed:
+        Seeds thread priorities, priority-change points, and crash
+        decisions.
+    depth:
+        Targeted bug depth *d*: ``d - 1`` priority-change points are
+        planted per run.
+    expected_steps:
+        Horizon *k* the change points are sampled from (should be of
+        the order of the program's step count).
+    """
+
+    kind = "pct"
+
+    def __init__(
+        self,
+        seed: int,
+        depth: int = 3,
+        expected_steps: int = 512,
+        crash_probability: float = 0.5,
+    ) -> None:
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        self.seed = seed
+        self.depth = depth
+        self.expected_steps = max(2, expected_steps)
+        self.crash_probability = crash_probability
+        self._rng = Random(seed)
+        self._prio: dict[int, float] = {}
+        self._changes: set[int] = set()
+        self._step = 0
+        self._demote_floor = 0.0
+
+    def begin_run(self) -> None:
+        self._rng = Random(self.seed)
+        self._prio = {}
+        self._step = 0
+        self._demote_floor = 0.0
+        n_changes = min(self.depth - 1, self.expected_steps - 1)
+        self._changes = (
+            set(self._rng.sample(range(1, self.expected_steps), n_changes))
+            if n_changes > 0
+            else set()
+        )
+
+    def _priority(self, tid: int) -> float:
+        p = self._prio.get(tid)
+        if p is None:
+            p = self._rng.random()
+            self._prio[tid] = p
+        return p
+
+    def pick_index(self, runnable_tids: list[int]) -> int:
+        self._step += 1
+        best = max(
+            range(len(runnable_tids)),
+            key=lambda i: self._priority(runnable_tids[i]),
+        )
+        if self._step in self._changes:
+            # Demote the thread that would have run: give it a priority
+            # strictly below every priority handed out so far.
+            self._demote_floor -= 1.0
+            self._prio[runnable_tids[best]] = self._demote_floor
+            best = max(
+                range(len(runnable_tids)),
+                key=lambda i: self._priority(runnable_tids[i]),
+            )
+        return best
+
+    def pick_bool(self, site: str) -> bool:
+        return self._rng.random() < self.crash_probability
+
+    def token(self) -> tuple:
+        return ("pct", self.seed, self.depth)
+
+
+class ExhaustiveStrategy(Strategy):
+    """DFS over the full schedule tree of a bounded program.
+
+    Each decision (thread choice or crash bool) is a node; the path of
+    decisions taken this run is kept as ``[chosen, n_options]`` pairs.
+    :meth:`next_run` advances the deepest branch with unexplored
+    alternatives (odometer-style) and prunes exhausted suffixes, so
+    every schedule of a deterministic bounded program is visited
+    exactly once.
+    """
+
+    kind = "exhaustive"
+
+    def __init__(self) -> None:
+        self._path: list[list[int]] = []  # [chosen, n_options]
+        self._pos = 0
+        self.runs = 0
+
+    def begin_run(self) -> None:
+        self._pos = 0
+        self.runs += 1
+
+    def _choose(self, n_options: int) -> int:
+        if n_options <= 1:
+            # Forced move: not a tree node (recording it would inflate
+            # the DFS tree with branchless depth).  FixedPathStrategy
+            # skips these identically, so tokens replay across both.
+            return 0
+        if self._pos < len(self._path):
+            choice, recorded_n = self._path[self._pos]
+            # A deterministic program presents the same option count at
+            # the same path position; clamp defensively anyway.
+            if choice >= n_options:
+                choice = n_options - 1
+                self._path[self._pos][0] = choice
+            self._path[self._pos][1] = n_options
+        else:
+            self._path.append([0, n_options])
+            choice = 0
+        self._pos += 1
+        return choice
+
+    def pick_index(self, runnable_tids: list[int]) -> int:
+        return self._choose(len(runnable_tids))
+
+    def pick_bool(self, site: str) -> bool:
+        return bool(self._choose(2))
+
+    def next_run(self) -> bool:
+        # Drop decisions below the last run's frontier, then advance
+        # the deepest decision with remaining alternatives.
+        del self._path[self._pos :]
+        while self._path:
+            last = self._path[-1]
+            if last[0] + 1 < last[1]:
+                last[0] += 1
+                return True
+            self._path.pop()
+        return False
+
+    def token(self) -> tuple:
+        return ("path", tuple(choice for choice, _ in self._path[: self._pos]))
+
+
+class FixedPathStrategy(Strategy):
+    """Replay a recorded decision path exactly.
+
+    Decisions beyond the recorded path fall back to "first runnable" /
+    "no crash", which is only reached if the program changed since the
+    recording.
+    """
+
+    kind = "path"
+
+    def __init__(self, path: "tuple[int, ...] | list[int]") -> None:
+        self.path = tuple(int(c) for c in path)
+        self._pos = 0
+
+    def begin_run(self) -> None:
+        self._pos = 0
+
+    def _next(self, n_options: int) -> int:
+        if n_options <= 1:
+            return 0  # forced move; never recorded (see ExhaustiveStrategy)
+        if self._pos < len(self.path):
+            choice = min(self.path[self._pos], n_options - 1)
+        else:
+            choice = 0
+        self._pos += 1
+        return choice
+
+    def pick_index(self, runnable_tids: list[int]) -> int:
+        return self._next(len(runnable_tids))
+
+    def pick_bool(self, site: str) -> bool:
+        return bool(self._next(2))
+
+    def token(self) -> tuple:
+        return ("path", self.path)
+
+
+def strategy_from_token(token: "tuple | int | list") -> Strategy:
+    """Rebuild the strategy a failure token names.
+
+    Accepts a bare integer (random-walk seed — the common "seed printed
+    on failure" form), or a ``(kind, ...)`` tuple as produced by
+    :meth:`Strategy.token`.
+    """
+    if isinstance(token, int):
+        return RandomWalkStrategy(token)
+    kind = token[0]
+    if kind == "random":
+        return RandomWalkStrategy(int(token[1]))
+    if kind == "pct":
+        depth = int(token[2]) if len(token) > 2 else 3
+        return PCTStrategy(int(token[1]), depth=depth)
+    if kind == "path":
+        return FixedPathStrategy(tuple(token[1]))
+    raise ValueError(f"unknown strategy token {token!r}")

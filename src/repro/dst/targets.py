@@ -1,0 +1,607 @@
+"""DST regression corpus: known races re-run as explorer targets.
+
+The lifecycle-hardening PR fixed three concurrency bugs in the offload
+stack.  Each is kept alive here as a *target program* with a guarded
+fix-disable hook, proving the DST harness would have found it — and
+would find a regression — within a bounded schedule budget:
+
+``queue-close-enqueue``
+    A producer that won its enqueue CAS concurrently with ``close()``
+    published its value into a ring the consumer had already finally
+    drained — the command was silently lost.  Fixed by the post-CAS
+    ``closed`` re-check + tombstone
+    (:attr:`MPSCQueue._unsafe_skip_close_recheck` disables it).
+
+``freelist-double-free``
+    Two racing frees of the same slot both succeeded, linking the slot
+    into the free list twice (a cycle), so later allocs handed the same
+    slot to two owners.  Fixed by the live-set ownership ledger
+    (:attr:`FreeList._unsafe_skip_live_check` disables it).
+
+``engine-mid-batch-crash``
+    A crash inside ``_process_batch`` lost the drained-but-undispatched
+    tail of the batch: those commands' waiters hung forever.  Fixed by
+    keeping the batch on ``engine._drained`` where ``_fail_pending``
+    sweeps it (:attr:`OffloadEngine._unsafe_drop_drained_on_fail`
+    disables it).
+
+Alongside the regressions, three *linearizability targets* record
+operation histories of the MPSCQueue, the FreeList, and the request
+pool under explored schedules and check them against their sequential
+model specs (:mod:`repro.dst.linearize`) — an oracle that catches
+classes of bugs no hand-written invariant anticipates.
+
+This module imports :mod:`repro.core` and therefore must never be
+imported from :mod:`repro.dst.hooks`'s import path (see the package
+docstring); consumers reach it via ``repro.dst.targets`` directly or
+lazily through ``repro.dst``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.commands import Command, CommandKind
+from repro.core.engine import OffloadEngine
+from repro.core.request_pool import (
+    OffloadEngineDied,
+    OffloadRequestPool,
+)
+from repro.dst import hooks as _dst
+from repro.dst.explorer import ExplorationResult, Explorer, InvariantViolation
+from repro.dst.linearize import (
+    FreeListSpec,
+    History,
+    Op,
+    QueueSpec,
+    RequestPoolSpec,
+)
+from repro.lockfree.freelist import (
+    DoubleFree,
+    FreeList,
+    FreeListExhausted,
+)
+from repro.lockfree.mpsc_queue import MPSCQueue, QueueClosed, QueueFull
+
+
+class _FakeComm:
+    """Minimal communicator stand-in for a never-started engine.
+
+    The mid-batch-crash target drives :meth:`OffloadEngine._process_batch`
+    from a virtual thread with CALL commands only, so no substrate is
+    needed — just the two attributes the constructor reads.
+    """
+
+    class _Engine:
+        rank = 0
+
+    world = None
+    engine = _Engine()
+
+
+# ---------------------------------------------------------------------------
+# Regression race 1: queue close vs. enqueue
+# ---------------------------------------------------------------------------
+
+
+class CloseEnqueueProgram:
+    """Producers racing ``close()`` + final drain on the command ring.
+
+    Invariant: every enqueue that *reported success* is either in the
+    final drain or was delivered by an earlier dequeue — accepted items
+    are never silently lost.
+    """
+
+    def __init__(self, fix_disabled: bool, n_producers: int = 1) -> None:
+        self.queue: MPSCQueue[str] = MPSCQueue(8)
+        self.queue._unsafe_skip_close_recheck = fix_disabled
+        self.n_producers = n_producers
+        self.accepted: list[str] = []
+        self.drained: list[str] | None = None
+
+    def setup(self, sched: Any) -> None:
+        def producer(label: str) -> None:
+            try:
+                self.queue.enqueue(label)
+            except (QueueClosed, QueueFull):
+                return
+            self.accepted.append(label)
+
+        def closer() -> None:
+            self.queue.close()
+            self.drained = self.queue.drain_closed()
+
+        for i in range(self.n_producers):
+            sched.spawn(producer, f"item{i}", name=f"producer{i}")
+        sched.spawn(closer, name="closer")
+
+    def check(self) -> None:
+        drained = self.drained if self.drained is not None else []
+        for item in self.accepted:
+            if item not in drained:
+                raise InvariantViolation(
+                    f"enqueue of {item!r} reported success but the item "
+                    f"is not in the final drain {drained!r} — silently "
+                    "lost in the close/enqueue race"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Regression race 2: free-list double free
+# ---------------------------------------------------------------------------
+
+
+class DoubleFreeProgram:
+    """Two threads racing ``free()`` of the same allocated slot.
+
+    Invariant: exactly one of the racing frees succeeds (the other gets
+    a typed :class:`DoubleFree`), and the list stays structurally sound
+    — no cycle, and re-allocating never hands out duplicates.
+    """
+
+    def __init__(self, fix_disabled: bool) -> None:
+        self.freelist: FreeList[None] = FreeList(4)
+        self.freelist._unsafe_skip_live_check = fix_disabled
+        # Claimed on the (unscheduled) driver thread: the race below is
+        # over *freeing*, not allocating.
+        self.idx = self.freelist.alloc()
+        self.free_outcomes: list[str] = []
+
+    def setup(self, sched: Any) -> None:
+        def racer(name: str) -> None:
+            try:
+                self.freelist.free(self.idx)
+            except DoubleFree:
+                self.free_outcomes.append("double_free")
+            else:
+                self.free_outcomes.append("ok")
+
+        sched.spawn(racer, "freer0", name="freer0")
+        sched.spawn(racer, "freer1", name="freer1")
+
+    def check(self) -> None:
+        ok = self.free_outcomes.count("ok")
+        if ok != 1:
+            raise InvariantViolation(
+                f"{ok} of 2 racing frees of slot {self.idx} succeeded "
+                "(expected exactly 1; the loser must get DoubleFree)"
+            )
+        # Structural soundness: free_count walks the list and raises on
+        # a cycle; draining it must yield distinct slots.
+        n_free = self.freelist.free_count()
+        seen: set[int] = set()
+        for _ in range(n_free):
+            got = self.freelist.alloc()
+            if got in seen:
+                raise InvariantViolation(
+                    f"free list handed out slot {got} twice — corrupted "
+                    "by the unchecked double free"
+                )
+            seen.add(got)
+
+
+# ---------------------------------------------------------------------------
+# Regression race 3: engine crash mid-batch
+# ---------------------------------------------------------------------------
+
+
+class MidBatchCrashProgram:
+    """Engine loop crashing partway through a drained batch.
+
+    A producer submits CALL commands while a virtual engine thread runs
+    the real drain + ``_process_batch`` path; the scheduler may fire
+    the ``engine.dispatch`` crash point under any command of the batch.
+    Invariant: every command whose ``submit`` reported success reaches
+    a terminal done-flag state — completed or typed-failed, never
+    silently dropped.
+    """
+
+    def __init__(self, fix_disabled: bool, n_commands: int = 4) -> None:
+        self.engine = OffloadEngine(
+            _FakeComm(),
+            pool_capacity=8,
+            queue_capacity=16,
+            telemetry=False,
+            pool_cache=0,
+        )
+        self.engine._unsafe_drop_drained_on_fail = fix_disabled
+        self.n_commands = n_commands
+        self.accepted: list[Command] = []
+        self._submitted_all = False
+
+    def setup(self, sched: Any) -> None:
+        eng = self.engine
+
+        def producer() -> None:
+            try:
+                for _ in range(self.n_commands):
+                    cmd = Command(CommandKind.CALL, fn=lambda: None)
+                    try:
+                        eng.submit(cmd)
+                    except OffloadEngineDied:
+                        return
+                    self.accepted.append(cmd)
+            finally:
+                self._submitted_all = True
+
+        def engine_thread() -> None:
+            # The drain + dispatch half of OffloadEngine._run, driven
+            # cooperatively; the crash handling mirrors _run's except
+            # path exactly (terminal-fail everything pending).
+            try:
+                while True:
+                    batch = eng.queue.drain(eng.batch_size)
+                    if batch:
+                        eng._drained.extend(batch)
+                        eng._process_batch()
+                        continue
+                    if self._submitted_all and eng.queue.empty():
+                        return
+                    _dst.wait_until(
+                        lambda: self._submitted_all
+                        or not eng.queue.empty()
+                    )
+            except _dst.ScheduledCrash as exc:
+                died = OffloadEngineDied(
+                    f"offload thread crashed: {exc!r}"
+                )
+                died.__cause__ = exc
+                eng._dead = died
+                eng._fail_pending(died)
+
+        sched.spawn(engine_thread, name="engine")
+        sched.spawn(producer, name="producer")
+
+    def check(self) -> None:
+        for i, cmd in enumerate(self.accepted):
+            if cmd.done is None or not cmd.done.is_set():
+                raise InvariantViolation(
+                    f"submitted command #{i} never reached a terminal "
+                    "state (done flag unset) — lost from the drained "
+                    "batch by the mid-batch crash"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Linearizability targets (history-recording programs)
+# ---------------------------------------------------------------------------
+
+
+def _record(history: History, op: str, args: tuple, fn: Callable[[], Any]):
+    """Run ``fn`` as one recorded operation interval."""
+    rec = history.invoke(op, args)
+    result = fn()
+    history.respond(rec, result)
+    return result
+
+
+class QueueLinearizabilityProgram:
+    """Concurrent MPSCQueue history checked against :class:`QueueSpec`.
+
+    Empty-dequeue probes are *not* recorded: on a Vyukov-style ticket
+    queue, emptiness is only quiescently consistent — a consumer can
+    observe "empty" while a *completed* enqueue sits behind an earlier
+    claimed-but-unpublished ticket (the DST oracle rediscovers this in
+    a few dozen schedules if the probes are recorded).  What is checked
+    is the linearizability of the delivered sub-history: every
+    successful enqueue/dequeue in FIFO order with no loss, duplication,
+    or reordering.
+    """
+
+    def __init__(
+        self, n_producers: int = 2, items_per_producer: int = 2
+    ) -> None:
+        self.queue: MPSCQueue[str] = MPSCQueue(4)
+        self.history = History()
+        self.spec = QueueSpec(capacity=4)
+        self.n_producers = n_producers
+        self.items = items_per_producer
+
+    def _enqueue(self, value: str) -> str:
+        try:
+            self.queue.enqueue(value)
+        except QueueFull:
+            return "full"
+        except QueueClosed:
+            return "closed"
+        return "ok"
+
+    def setup(self, sched: Any) -> None:
+        total = self.n_producers * self.items
+
+        def producer(pid: int) -> None:
+            for i in range(self.items):
+                value = f"p{pid}i{i}"
+                _record(
+                    self.history,
+                    "enqueue",
+                    (value,),
+                    lambda v=value: self._enqueue(v),
+                )
+
+        def consumer() -> None:
+            # One attempt per produced item plus slack for empty polls:
+            # bounded, so exhaustive exploration stays finite.  Empty
+            # probes are discarded (weak emptiness; see class docs).
+            for _ in range(total + 2):
+                rec = self.history.invoke("dequeue", ())
+                result = self.queue.try_dequeue()
+                if result[0]:
+                    self.history.respond(rec, result)
+                else:
+                    self.history.discard(rec)
+
+        for pid in range(self.n_producers):
+            sched.spawn(producer, pid, name=f"producer{pid}")
+        sched.spawn(consumer, name="consumer")
+
+    def check(self) -> None:
+        """Linearizability is checked by the explorer via history/spec."""
+
+
+class FreeListLinearizabilityProgram:
+    """Concurrent FreeList alloc/free history vs :class:`FreeListSpec`."""
+
+    def __init__(self, n_threads: int = 2, cycles: int = 2) -> None:
+        self.freelist: FreeList[None] = FreeList(2)
+        self.history = History()
+        self.spec = FreeListSpec(2)
+        self.n_threads = n_threads
+        self.cycles = cycles
+
+    def _alloc(self):
+        try:
+            return self.freelist.alloc()
+        except FreeListExhausted:
+            return "exhausted"
+
+    def _free(self, idx: int) -> str:
+        try:
+            self.freelist.free(idx)
+        except DoubleFree:
+            return "double_free"
+        return "ok"
+
+    def setup(self, sched: Any) -> None:
+        def worker(wid: int) -> None:
+            for _ in range(self.cycles):
+                idx = _record(self.history, "alloc", (), self._alloc)
+                if idx == "exhausted":
+                    continue
+                _record(
+                    self.history,
+                    "free",
+                    (idx,),
+                    lambda i=idx: self._free(i),
+                )
+
+        for wid in range(self.n_threads):
+            sched.spawn(worker, wid, name=f"worker{wid}")
+
+    def check(self) -> None:
+        """Linearizability is checked by the explorer via history/spec."""
+
+
+class RequestPoolLinearizabilityProgram:
+    """Request-pool alloc/release accounting vs :class:`RequestPoolSpec`.
+
+    Runs with per-thread slot caching enabled, so the batched-refill
+    (``alloc_batch``) and cache-spill paths are the ones explored.
+    """
+
+    def __init__(self, n_threads: int = 2, cycles: int = 2) -> None:
+        self.pool = OffloadRequestPool(capacity=3, cache_size=2)
+        self.history = History()
+        self.spec = RequestPoolSpec(3)
+        self.n_threads = n_threads
+        self.cycles = cycles
+
+    def _alloc(self):
+        try:
+            return self.pool.alloc()
+        except FreeListExhausted:
+            return "exhausted"
+
+    def _release(self, idx: int) -> str:
+        self.pool.release(idx)
+        return "ok"
+
+    def setup(self, sched: Any) -> None:
+        def worker(wid: int) -> None:
+            for _ in range(self.cycles):
+                idx = _record(self.history, "alloc", (), self._alloc)
+                if idx == "exhausted":
+                    continue
+                _record(
+                    self.history,
+                    "release",
+                    (idx,),
+                    lambda i=idx: self._release(i),
+                )
+
+        for wid in range(self.n_threads):
+            sched.spawn(worker, wid, name=f"worker{wid}")
+
+    def check(self) -> None:
+        """Linearizability is checked by the explorer via history/spec."""
+
+
+# ---------------------------------------------------------------------------
+# Corpus registry + runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Target:
+    """One corpus entry: how to build and explore a program."""
+
+    name: str
+    description: str
+    #: program factory; regression targets take ``fix_disabled``
+    make: Callable[..., Any]
+    #: True for the three guarded-fix regression races
+    regression: bool
+    #: default exploration strategy (every target also supports the
+    #: others; exhaustive only where the schedule tree is small enough)
+    strategy: str = "exhaustive"
+    schedules: int = 2000
+    max_steps: int = 20_000
+
+
+CORPUS: dict[str, Target] = {
+    t.name: t
+    for t in [
+        Target(
+            name="queue-close-enqueue",
+            description=(
+                "MPSCQueue close() racing a producer's post-CAS "
+                "publish (silently lost command)"
+            ),
+            make=CloseEnqueueProgram,
+            regression=True,
+        ),
+        Target(
+            name="freelist-double-free",
+            description=(
+                "two frees of one FreeList slot racing the ownership "
+                "ledger (list cycle, duplicate allocs)"
+            ),
+            make=DoubleFreeProgram,
+            regression=True,
+        ),
+        Target(
+            name="engine-mid-batch-crash",
+            description=(
+                "engine crash mid-_process_batch dropping the drained "
+                "tail (hung waiters)"
+            ),
+            make=MidBatchCrashProgram,
+            regression=True,
+            strategy="random",
+            schedules=400,
+        ),
+        Target(
+            name="queue-linearizability",
+            description=(
+                "MPSCQueue enqueue/dequeue history vs the sequential "
+                "FIFO spec"
+            ),
+            make=QueueLinearizabilityProgram,
+            regression=False,
+            strategy="random",
+            schedules=150,
+        ),
+        Target(
+            name="freelist-linearizability",
+            description=(
+                "FreeList alloc/free history vs the sequential pool "
+                "spec"
+            ),
+            make=FreeListLinearizabilityProgram,
+            regression=False,
+            strategy="random",
+            schedules=150,
+        ),
+        Target(
+            name="pool-linearizability",
+            description=(
+                "request-pool alloc/release (cached, batch-refilled) "
+                "history vs the sequential pool spec"
+            ),
+            make=RequestPoolLinearizabilityProgram,
+            regression=False,
+            strategy="random",
+            schedules=100,
+        ),
+    ]
+}
+
+
+@dataclass
+class TargetOutcome:
+    """Result of exploring one corpus target in one fix configuration."""
+
+    target: str
+    fix_disabled: bool
+    result: ExplorationResult
+    #: did the exploration behave as the corpus demands?
+    expected: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        # Fix disabled -> the explorer must rediscover the race.
+        # Fix enabled (or oracle target) -> it must find nothing.
+        self.expected = self.result.found == self.fix_disabled
+
+
+def run_target(
+    name: str,
+    fix_disabled: bool = False,
+    seed: int = 0,
+    schedules: int | None = None,
+    strategy: str | None = None,
+    counters: Any = None,
+    verbose: bool = False,
+) -> TargetOutcome:
+    """Explore one corpus target; see :class:`TargetOutcome`."""
+    target = CORPUS[name]
+    if target.regression:
+        make = lambda: target.make(fix_disabled)  # noqa: E731
+    else:
+        if fix_disabled:
+            raise ValueError(
+                f"{name} is an oracle target; it has no fix to disable"
+            )
+        make = target.make
+    explorer = Explorer(
+        make,
+        strategy=strategy or target.strategy,
+        schedules=schedules or target.schedules,
+        seed=seed,
+        max_steps=target.max_steps,
+        counters=counters,
+        verbose=verbose,
+    )
+    return TargetOutcome(
+        target=name, fix_disabled=fix_disabled, result=explorer.run()
+    )
+
+
+def run_corpus(
+    seed: int = 0,
+    schedules: int | None = None,
+    strategy: str | None = None,
+    counters: Any = None,
+) -> list[TargetOutcome]:
+    """Self-check the whole corpus.
+
+    Every regression target is explored twice — fix disabled (the race
+    must be rediscovered) and fix enabled (the schedule budget must
+    pass clean) — and every oracle target once.  The harness is only
+    trusted if *both* directions hold: finding planted bugs and not
+    crying wolf on fixed code.
+    """
+    outcomes: list[TargetOutcome] = []
+    for name, target in CORPUS.items():
+        if target.regression:
+            outcomes.append(
+                run_target(
+                    name,
+                    fix_disabled=True,
+                    seed=seed,
+                    schedules=schedules,
+                    strategy=strategy,
+                    counters=counters,
+                )
+            )
+        outcomes.append(
+            run_target(
+                name,
+                fix_disabled=False,
+                seed=seed,
+                schedules=schedules,
+                strategy=strategy,
+                counters=counters,
+            )
+        )
+    return outcomes

@@ -13,6 +13,13 @@ preserving the semantics the algorithms above them rely on:
   lock across steps — only on winning a CAS race);
 * every failed CAS is counted, giving the ablation benchmarks a direct
   window on contention.
+
+Every operation is additionally a **DST yield point**
+(:mod:`repro.dst.hooks`): when a deterministic-simulation scheduler is
+installed, the interleaving of loads/stores/CAS attempts across its
+virtual threads becomes an explicit, seeded scheduler choice.  With no
+scheduler installed — the normal case — each hook is one module
+attribute read plus an ``is None`` check.
 """
 
 from __future__ import annotations
@@ -20,6 +27,8 @@ from __future__ import annotations
 import itertools
 import threading
 from typing import Any, Generic, TypeVar
+
+from repro.dst import hooks as _dst
 
 T = TypeVar("T")
 
@@ -43,16 +52,22 @@ class AtomicCell(Generic[T]):
         self._id = next(_cell_ids)
 
     def load(self) -> T:
+        if _dst._scheduler is not None:
+            _dst.yield_point("cell.load")
         # CPython attribute reads are atomic under the GIL; take the
         # lock anyway so the class stays correct on free-threaded builds.
         with self._lock:
             return self._value
 
     def store(self, value: T) -> None:
+        if _dst._scheduler is not None:
+            _dst.yield_point("cell.store")
         with self._lock:
             self._value = value
 
     def swap(self, value: T) -> T:
+        if _dst._scheduler is not None:
+            _dst.yield_point("cell.swap")
         with self._lock:
             old = self._value
             self._value = value
@@ -64,6 +79,8 @@ class AtomicCell(Generic[T]):
         Returns ``(True, expected)`` on success or ``(False, observed)``
         on failure, mirroring C11 ``atomic_compare_exchange``.
         """
+        if _dst._scheduler is not None:
+            _dst.yield_point("cell.cas")
         with self._lock:
             cur = self._value
             if cur is expected or cur == expected:
@@ -87,17 +104,23 @@ class AtomicCounter:
         self.cas_failures = 0
 
     def load(self) -> int:
+        if _dst._scheduler is not None:
+            _dst.yield_point("counter.load")
         with self._lock:
             return self._value
 
     def fetch_add(self, delta: int = 1) -> int:
         """Add ``delta`` and return the *previous* value."""
+        if _dst._scheduler is not None:
+            _dst.yield_point("counter.fetch_add")
         with self._lock:
             old = self._value
             self._value = old + delta
             return old
 
     def compare_and_swap(self, expected: int, new: int) -> tuple[bool, int]:
+        if _dst._scheduler is not None:
+            _dst.yield_point("counter.cas")
         with self._lock:
             cur = self._value
             if cur == expected:
@@ -107,6 +130,8 @@ class AtomicCounter:
             return False, cur
 
     def store(self, value: int) -> None:
+        if _dst._scheduler is not None:
+            _dst.yield_point("counter.store")
         with self._lock:
             self._value = value
 
@@ -135,6 +160,11 @@ class AtomicFlag:
 
     def wait(self, timeout: float | None = None) -> bool:
         """Spin briefly, then block; returns True once the flag is set."""
+        # Under DST the wait becomes a cooperative block on the
+        # scheduler (a real Event.wait would wedge every virtual
+        # thread); foreign threads fall through to the normal path.
+        if _dst._scheduler is not None and _dst.flag_wait(self._event.is_set):
+            return True
         # A short pure spin picks up fast completions with minimum
         # latency (the common case for offloaded calls) ...
         for _ in range(1000):

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Generic, TypeVar
 
+from repro.dst import hooks as _dst
 from repro.lockfree.atomics import AtomicCell
 
 T = TypeVar("T")
@@ -61,6 +62,11 @@ class FreeList(Generic[T]):
         # C-level calls, so this is safe from many threads and `len`
         # replaces the old racy +=1/-=1 approximate counter).
         self._live: set[int] = set()
+        #: DST-only regression hook: when True, :meth:`mark_free` skips
+        #: the live-set ownership check — the double-free bug the ledger
+        #: was added to catch.  Only ever set by the regression corpus
+        #: (repro.dst.targets), never by production code.
+        self._unsafe_skip_live_check = False
 
     @property
     def capacity(self) -> int:
@@ -80,9 +86,15 @@ class FreeList(Generic[T]):
                 raise FreeListExhausted(
                     f"request pool exhausted (capacity={self._capacity})"
                 )
+            if _dst._scheduler is not None:
+                # The ABA window: between reading head and the CAS,
+                # other threads may pop and re-push this very slot.
+                _dst.yield_point("freelist.alloc.read_next")
             nxt = self._next[idx]
             ok, _ = self._head.compare_and_swap(head, (nxt, version + 1))
             if ok:
+                if _dst._scheduler is not None:
+                    _dst.yield_point("freelist.alloc.mark_live")
                 self._live.add(idx)
                 return idx
 
@@ -107,10 +119,17 @@ class FreeList(Generic[T]):
             chain: list[int] = []
             cur = idx
             while cur != _NIL and len(chain) < n:
+                if _dst._scheduler is not None:
+                    # Mid-walk window: concurrent alloc/free can rewrite
+                    # the chain under us; only the version-tagged CAS
+                    # below makes the walk safe to commit.
+                    _dst.yield_point("freelist.alloc_batch.walk")
                 chain.append(cur)
                 cur = self._next[cur]
             ok, _ = self._head.compare_and_swap(head, (cur, version + 1))
             if ok:
+                if _dst._scheduler is not None:
+                    _dst.yield_point("freelist.alloc_batch.mark_live")
                 for i in chain:
                     self._live.add(i)
                 return chain
@@ -134,6 +153,11 @@ class FreeList(Generic[T]):
         """
         if not 0 <= idx < self._capacity:
             raise IndexError(f"slot index {idx} out of range")
+        if _dst._scheduler is not None:
+            _dst.yield_point("freelist.mark_free")
+        if self._unsafe_skip_live_check:
+            self._live.discard(idx)
+            return
         try:
             self._live.remove(idx)
         except KeyError:
@@ -148,6 +172,8 @@ class FreeList(Generic[T]):
         while True:
             head = self._head.load()
             cur, version = head
+            if _dst._scheduler is not None:
+                _dst.yield_point("freelist.push.link")
             self._next[idx] = cur
             ok, _ = self._head.compare_and_swap(head, (idx, version + 1))
             if ok:

@@ -19,6 +19,7 @@ from __future__ import annotations
 import time
 from typing import Any, Generic, TypeVar
 
+from repro.dst import hooks as _dst
 from repro.lockfree.atomics import AtomicCounter
 
 T = TypeVar("T")
@@ -70,6 +71,12 @@ class MPSCQueue(Generic[T]):
         #: occupancy high-water mark (off by default — zero overhead)
         self.track_occupancy = False
         self.occupancy_hwm = 0
+        #: DST-only regression hook: when True, a producer that wins its
+        #: enqueue CAS skips the post-CAS ``closed`` re-check — the exact
+        #: close/enqueue race fixed in the lifecycle-hardening PR.  Only
+        #: ever set by the regression corpus (repro.dst.targets), never
+        #: by production code.
+        self._unsafe_skip_close_recheck = False
 
     @property
     def capacity(self) -> int:
@@ -92,6 +99,8 @@ class MPSCQueue(Generic[T]):
         so every submitted item is either drained exactly once or
         rejected with a typed error, never silently dropped.
         """
+        if _dst._scheduler is not None:
+            _dst.yield_point("queue.close")
         self._closed = True
 
     @property
@@ -104,6 +113,8 @@ class MPSCQueue(Generic[T]):
         Lock-free: the loop below only repeats when another producer won
         the CAS race for the same ticket.
         """
+        if _dst._scheduler is not None:
+            _dst.yield_point("queue.enqueue.closed_check")
         if self._closed:
             raise QueueClosed("command queue is closed")
         while True:
@@ -113,7 +124,12 @@ class MPSCQueue(Generic[T]):
             if dif == 0:
                 ok, _ = self._enqueue_pos.compare_and_swap(pos, pos + 1)
                 if ok:
-                    if self._closed:
+                    # This is the close/enqueue race window: the ticket
+                    # is claimed but nothing is published yet, so a
+                    # concurrent close()+drain_closed() can run here.
+                    if _dst._scheduler is not None:
+                        _dst.yield_point("queue.enqueue.post_cas")
+                    if self._closed and not self._unsafe_skip_close_recheck:
                         # Lost the race against close(): the consumer's
                         # final drain may already have run, so this cell
                         # might never be read again.  Publish a
@@ -125,6 +141,8 @@ class MPSCQueue(Generic[T]):
                             "command queue closed during enqueue"
                         )
                     cell.value = value
+                    if _dst._scheduler is not None:
+                        _dst.yield_point("queue.enqueue.publish")
                     cell.seq = pos + 1  # publish
                     self.enqueue_count.fetch_add(1)
                     if self.track_occupancy:
@@ -147,6 +165,8 @@ class MPSCQueue(Generic[T]):
     def try_dequeue(self) -> tuple[bool, T | None]:
         """Single-consumer dequeue; returns ``(False, None)`` when empty."""
         while True:
+            if _dst._scheduler is not None:
+                _dst.yield_point("queue.dequeue")
             pos = self._dequeue_pos
             cell = self._cells[pos & self._mask]
             if cell.seq - (pos + 1) != 0:
@@ -183,6 +203,8 @@ class MPSCQueue(Generic[T]):
         observed the close are skipped by ``try_dequeue``.
         """
         assert self._closed, "drain_closed() requires close() first"
+        if _dst._scheduler is not None:
+            _dst.yield_point("queue.drain.snapshot")
         end = self._enqueue_pos.load()
         out: list[T] = []
         deadline: float | None = None
@@ -195,6 +217,19 @@ class MPSCQueue(Generic[T]):
             if self._dequeue_pos >= end:
                 break
             # Claimed but not yet published: publication is imminent.
+            if _dst.is_virtual_thread():
+                # Under DST the wall clock is meaningless (a parked
+                # producer can sit unpublished for arbitrarily many
+                # scheduler steps); block on the cell's publication
+                # instead of spinning — a blocked thread is not a
+                # schedule branch point, so exhaustive exploration
+                # stays finite.  Every claimed ticket publishes a
+                # value or a tombstone, so this cannot deadlock.
+                pos = self._dequeue_pos
+                cell = self._cells[pos & self._mask]
+                want = pos + 1
+                _dst.wait_until(lambda: cell.seq == want)
+                continue
             now = time.perf_counter()
             if deadline is None:
                 deadline = now + spin_timeout

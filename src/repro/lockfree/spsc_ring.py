@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Any, Generic, TypeVar
 
+from repro.dst import hooks as _dst
+
 T = TypeVar("T")
 
 
@@ -39,20 +41,28 @@ class SPSCRing(Generic[T]):
         return self._capacity - 1
 
     def try_enqueue(self, value: T) -> bool:
+        if _dst._scheduler is not None:
+            _dst.yield_point("ring.enqueue.read_head")
         tail = self._tail
         nxt = (tail + 1) & (self._capacity - 1)
         if nxt == self._head:
             return False  # full
         self._buf[tail] = value
+        if _dst._scheduler is not None:
+            _dst.yield_point("ring.enqueue.publish")
         self._tail = nxt  # publish
         return True
 
     def try_dequeue(self) -> tuple[bool, T | None]:
+        if _dst._scheduler is not None:
+            _dst.yield_point("ring.dequeue.read_tail")
         head = self._head
         if head == self._tail:
             return False, None  # empty
         value = self._buf[head]
         self._buf[head] = None
+        if _dst._scheduler is not None:
+            _dst.yield_point("ring.dequeue.publish")
         self._head = (head + 1) & (self._capacity - 1)
         return True, value
 

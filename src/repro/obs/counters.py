@@ -75,6 +75,15 @@ COUNTER_GLOSSARY: dict[str, str] = {
     "calling thread's slot cache (no shared-list CAS)",
     "pool_cache_misses": "request-pool allocations that refilled the "
     "thread cache from the shared free list (one CAS per chunk)",
+    # -- deterministic simulation testing (repro.dst) -------------------
+    "schedules_explored": "DST schedules executed by the explorer "
+    "(one seeded interleaving each)",
+    "yields": "DST yield points taken across explored schedules "
+    "(scheduler choice points hit in the lockfree/engine hot paths)",
+    "lin_histories_checked": "operation histories checked for "
+    "linearizability against a sequential model spec",
+    "dst_violations": "explored schedules that violated an invariant, "
+    "deadlocked, or produced a non-linearizable history",
 }
 
 

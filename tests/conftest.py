@@ -1,8 +1,26 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Concurrency-test infrastructure (see TESTING.md):
+
+* ``test_seed`` — the canonical seed fixture for randomized tests.
+  Parametrize it indirectly (``@pytest.mark.parametrize("test_seed",
+  [0, 1], indirect=True)``); a failing test prints a one-line
+  ``REPRO_TEST_SEED=<seed> ...`` replay command, and setting that
+  environment variable re-runs every seeded test with exactly that
+  seed.
+* ``@pytest.mark.deadline(seconds)`` — per-test wall-clock watchdog
+  for tests that drive real threads (pytest-timeout is not available
+  in this environment).  On expiry it dumps every thread's stack to
+  stderr and hard-exits, so a wedged interleaving produces a
+  diagnosable CI failure instead of a silent hang.
+"""
 
 from __future__ import annotations
 
+import faulthandler
+import os
 import sys
+import threading
 
 import numpy as np
 import pytest
@@ -10,6 +28,9 @@ import pytest
 from repro.mpisim.constants import THREAD_FUNNELED, THREAD_MULTIPLE
 from repro.mpisim.world import World
 from repro.util.rng import seeded_rng
+
+#: exit code for deadline kills (distinct from pytest's own 1/2/3/4)
+DEADLINE_EXIT_CODE = 70
 
 
 @pytest.fixture(autouse=True, scope="session")
@@ -25,6 +46,113 @@ def fine_gil_slices():
 @pytest.fixture
 def rng() -> np.random.Generator:
     return seeded_rng("tests")
+
+
+# ---------------------------------------------------------------------------
+# seed replay: every randomized test takes `test_seed` and fails loudly
+# with the command that reproduces it
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def test_seed(request) -> int:
+    """Seed for randomized tests, replayable from the environment.
+
+    ``REPRO_TEST_SEED`` overrides any parametrized value, so the
+    replay line printed on failure reproduces the exact run even for
+    tests parametrized over several seeds.
+    """
+    env = os.environ.get("REPRO_TEST_SEED")
+    if env is not None:
+        return int(env)
+    return int(getattr(request, "param", 0))
+
+
+#: (nodeid, seed) of every failed test that used a seed this session
+_failed_seeds: list[tuple[str, int]] = []
+
+#: fixture/parameter names recognized as "the seed of this test"
+_SEED_ARGS = ("test_seed", "seed", "seed_round")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    funcargs = getattr(item, "funcargs", None) or {}
+    for name in _SEED_ARGS:
+        seed = funcargs.get(name)
+        if isinstance(seed, int):
+            _failed_seeds.append((item.nodeid, seed))
+            report.sections.append(
+                (
+                    "seed replay",
+                    f"replay this exact run with:\n"
+                    f"  REPRO_TEST_SEED={seed} python -m pytest "
+                    f"'{item.nodeid}'",
+                )
+            )
+            break
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _failed_seeds:
+        return
+    terminalreporter.section("randomized-test seed replay")
+    for nodeid, seed in _failed_seeds:
+        terminalreporter.line(
+            f"REPRO_TEST_SEED={seed} python -m pytest '{nodeid}'"
+        )
+
+
+# ---------------------------------------------------------------------------
+# per-test deadlines: @pytest.mark.deadline(seconds)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _deadline_watchdog(request):
+    """Hard wall-clock bound for tests marked ``@pytest.mark.deadline``.
+
+    A wedged thread interleaving cannot be unwound from Python (the
+    stuck threads hold no cooperative cancellation point), so on expiry
+    the watchdog dumps **all** thread stacks via :mod:`faulthandler`
+    and terminates the process with :data:`DEADLINE_EXIT_CODE` — CI
+    then shows exactly where every thread was stuck instead of timing
+    the whole job out with no diagnostics.
+    """
+    marker = request.node.get_closest_marker("deadline")
+    if marker is None:
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 120.0
+    capman = request.config.pluginmanager.getplugin("capturemanager")
+
+    def _expire() -> None:  # pragma: no cover - only fires on a hang
+        # fd-level capture would swallow the dump (and discard it at
+        # os._exit), so stop capturing before writing anything
+        if capman is not None:
+            try:
+                capman.stop_global_capturing()
+            except Exception:
+                pass
+        sys.stderr.write(
+            f"\n\nFATAL: {request.node.nodeid} exceeded its "
+            f"{seconds:g}s deadline; thread stacks follow.\n"
+        )
+        faulthandler.dump_traceback(file=sys.stderr)
+        sys.stderr.flush()
+        os._exit(DEADLINE_EXIT_CODE)
+
+    timer = threading.Timer(seconds, _expire)
+    timer.daemon = True
+    timer.start()
+    try:
+        yield
+    finally:
+        timer.cancel()
 
 
 def run_world(nranks, fn, *args, thread_level=THREAD_FUNNELED, **kwargs):

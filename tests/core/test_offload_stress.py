@@ -23,6 +23,8 @@ from repro.util.rng import seeded_rng
 
 from tests.conftest import run_world_mt
 
+pytestmark = pytest.mark.deadline(180)
+
 NPRODUCERS = 4
 OPS_PER_PRODUCER = 100
 
@@ -113,10 +115,10 @@ def _stress_world(seed_round: int, nthreads: int = 1):
 
 @pytest.mark.stress
 class TestOffloadEngineStress:
-    @pytest.mark.parametrize("seed_round", [0, 1])
-    def test_counters_balance_and_no_lost_completions(self, seed_round):
+    @pytest.mark.parametrize("test_seed", [0, 1], indirect=True)
+    def test_counters_balance_and_no_lost_completions(self, test_seed):
         obs.drain_snapshots()
-        (issued, payload_errors, snap), = _stress_world(seed_round)
+        (issued, payload_errors, snap), = _stress_world(test_seed)
         assert payload_errors == 0
         c = snap["counters"]
         # every app-issued command was enqueued exactly once ...

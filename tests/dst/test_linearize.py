@@ -1,0 +1,179 @@
+"""Unit tests for the Wing–Gong linearizability checker and the
+sequential model specs of the lockfree structures."""
+
+import pytest
+
+from repro.dst.linearize import (
+    FreeListSpec,
+    History,
+    LinearizabilityError,
+    QueueSpec,
+    RequestPoolSpec,
+    assert_linearizable,
+    check_linearizable,
+)
+
+
+def _seq(history: History, *ops):
+    """Record non-overlapping operations in program order."""
+    for op, args, result in ops:
+        rec = history.invoke(op, args)
+        history.respond(rec, result)
+
+
+class TestHistoryRecording:
+    def test_timestamps_strictly_monotonic(self):
+        h = History()
+        recs = [h.invoke("op", ()) for _ in range(5)]
+        for rec in recs:
+            h.respond(rec, None)
+        stamps = [r.invoked for r in recs] + [r.responded for r in recs]
+        assert len(set(stamps)) == len(stamps)
+        # zero-duration intervals would break Wing–Gong's minimal-op
+        # candidate selection; every op must strictly span time
+        assert all(r.invoked < r.responded for r in recs)
+
+    def test_pending_and_discard(self):
+        h = History()
+        a = h.invoke("op", ())
+        b = h.invoke("op", ())
+        assert a.pending and b.pending
+        h.discard(b)
+        assert len(h) == 1
+        assert "pending" in h.render()
+
+
+class TestQueueSpec:
+    def test_fifo_history_linearizable(self):
+        h = History()
+        _seq(
+            h,
+            ("enqueue", ("a",), "ok"),
+            ("enqueue", ("b",), "ok"),
+            ("dequeue", (), (True, "a")),
+            ("dequeue", (), (True, "b")),
+        )
+        res = check_linearizable(h, QueueSpec())
+        assert res.ok
+        assert len(res.witness) == 4
+
+    def test_reordered_delivery_rejected(self):
+        h = History()
+        _seq(
+            h,
+            ("enqueue", ("a",), "ok"),
+            ("enqueue", ("b",), "ok"),
+            ("dequeue", (), (True, "b")),  # lost FIFO order
+        )
+        res = check_linearizable(h, QueueSpec())
+        assert not res.ok
+        assert "no valid linearization" in res.reason
+
+    def test_overlapping_enqueues_may_commute(self):
+        # the two enqueues overlap in real time, so either order is a
+        # legal linearization — delivery b-then-a must be accepted
+        h = History()
+        ea = h.invoke("enqueue", ("a",))
+        eb = h.invoke("enqueue", ("b",))
+        h.respond(ea, "ok")
+        h.respond(eb, "ok")
+        _seq(h, ("dequeue", (), (True, "b")), ("dequeue", (), (True, "a")))
+        assert check_linearizable(h, QueueSpec()).ok
+
+    def test_capacity_and_close_results(self):
+        h = History()
+        _seq(
+            h,
+            ("enqueue", ("a",), "ok"),
+            ("enqueue", ("b",), "full"),  # capacity 1: legal
+            ("close", (), "ok"),
+            ("enqueue", ("c",), "closed"),
+            ("dequeue", (), (True, "a")),
+            ("dequeue", (), (False, None)),
+        )
+        assert check_linearizable(h, QueueSpec(capacity=1)).ok
+
+    def test_impossible_full_rejected(self):
+        h = History()
+        _seq(h, ("enqueue", ("a",), "full"))  # empty queue can't be full
+        assert not check_linearizable(h, QueueSpec(capacity=4)).ok
+
+    def test_pending_enqueue_may_take_effect_or_not(self):
+        # a pending enqueue whose value was delivered must linearize
+        h = History()
+        rec = h.invoke("enqueue", ("a",))
+        assert rec.pending
+        _seq(h, ("dequeue", (), (True, "a")))
+        assert check_linearizable(h, QueueSpec()).ok
+        # ... and a pending enqueue with no visible effect may be dropped
+        h2 = History()
+        h2.invoke("enqueue", ("x",))
+        _seq(h2, ("dequeue", (), (False, None)))
+        assert check_linearizable(h2, QueueSpec()).ok
+
+
+class TestFreeListSpec:
+    def test_alloc_free_cycle(self):
+        h = History()
+        _seq(
+            h,
+            ("alloc", (), 0),
+            ("free", (0,), "ok"),
+            ("alloc", (), 0),
+        )
+        assert check_linearizable(h, FreeListSpec(2)).ok
+
+    def test_duplicate_alloc_rejected(self):
+        h = History()
+        _seq(h, ("alloc", (), 0), ("alloc", (), 0))
+        assert not check_linearizable(h, FreeListSpec(2)).ok
+
+    def test_double_free_result_requires_free_slot(self):
+        h = History()
+        _seq(
+            h,
+            ("alloc", (), 1),
+            ("free", (1,), "ok"),
+            ("free", (1,), "double_free"),
+        )
+        assert check_linearizable(h, FreeListSpec(2)).ok
+        # but a double_free report on a live slot is illegal
+        h2 = History()
+        _seq(h2, ("alloc", (), 1), ("free", (1,), "double_free"))
+        assert not check_linearizable(h2, FreeListSpec(2)).ok
+
+    def test_exhausted_only_when_empty(self):
+        h = History()
+        _seq(h, ("alloc", (), 0), ("alloc", (), "exhausted"))
+        assert check_linearizable(h, FreeListSpec(1)).ok
+        assert not check_linearizable(h, FreeListSpec(2)).ok
+
+
+class TestRequestPoolSpec:
+    def test_release_maps_to_free(self):
+        h = History()
+        _seq(
+            h,
+            ("alloc", (), 2),
+            ("release", (2,), "ok"),
+            ("alloc", (), 2),
+        )
+        assert check_linearizable(h, RequestPoolSpec(3)).ok
+
+
+class TestCheckerMechanics:
+    def test_search_budget_is_reported(self):
+        h = History()
+        _seq(h, ("enqueue", ("a",), "ok"), ("dequeue", (), (True, "a")))
+        res = check_linearizable(h, QueueSpec(), max_states=0)
+        assert not res.ok
+        assert "budget" in res.reason
+
+    def test_assert_raises_with_rendered_history(self):
+        h = History()
+        _seq(h, ("enqueue", ("a",), "ok"), ("dequeue", (), (True, "zzz")))
+        with pytest.raises(LinearizabilityError, match="zzz"):
+            assert_linearizable(h, QueueSpec())
+
+    def test_empty_history_is_linearizable(self):
+        assert check_linearizable(History(), QueueSpec()).ok

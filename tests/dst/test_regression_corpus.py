@@ -1,0 +1,140 @@
+"""The DST regression corpus: every race fixed in the lifecycle PR must
+be rediscovered by the explorer when its fix is disabled, pass clean
+when the fix is on, and reproduce exactly from the printed token.
+
+The unmarked tests are the CI smoke subset (small bounded budgets); the
+``-m dst`` tier re-runs the full corpus at its default budgets.
+"""
+
+import pytest
+
+from repro.dst.explorer import Explorer
+from repro.dst.targets import CORPUS, run_corpus, run_target
+from repro.obs.counters import Counters
+
+
+class TestCorpusRegistry:
+    def test_expected_targets_present(self):
+        assert set(CORPUS) == {
+            "queue-close-enqueue",
+            "freelist-double-free",
+            "engine-mid-batch-crash",
+            "queue-linearizability",
+            "freelist-linearizability",
+            "pool-linearizability",
+        }
+
+    def test_three_regressions_three_oracles(self):
+        regressions = [t for t in CORPUS.values() if t.regression]
+        assert len(regressions) == 3
+        assert len(CORPUS) - len(regressions) == 3
+
+    def test_oracle_targets_reject_fix_disabled(self):
+        with pytest.raises(ValueError, match="oracle"):
+            run_target("queue-linearizability", fix_disabled=True)
+
+
+class TestSmokeRegressions:
+    """Each PR 4 race found within a bounded budget (the acceptance
+    criterion), and the fixed code clean over the same budget."""
+
+    @pytest.mark.parametrize(
+        "name", ["queue-close-enqueue", "freelist-double-free"]
+    )
+    def test_exhaustive_targets_found_and_clean(self, name):
+        broken = run_target(name, fix_disabled=True, schedules=500)
+        assert broken.result.found and broken.expected
+        assert broken.result.failure.token[0] == "path"
+        fixed = run_target(name, fix_disabled=False, schedules=500)
+        assert not fixed.result.found and fixed.expected
+        # the whole schedule tree fits in the budget: the clean result
+        # is a proof over all schedules, not a sample
+        assert fixed.result.exhausted
+
+    def test_mid_batch_crash_found_and_clean(self):
+        broken = run_target(
+            "engine-mid-batch-crash", fix_disabled=True, schedules=100
+        )
+        assert broken.result.found and broken.expected
+        assert broken.result.failure.crash_site == "engine.dispatch"
+        fixed = run_target(
+            "engine-mid-batch-crash", fix_disabled=False, schedules=50
+        )
+        assert not fixed.result.found and fixed.expected
+
+
+class TestReplayContract:
+    """A failure token is a complete reproduction recipe."""
+
+    def test_token_replays_on_broken_program(self):
+        broken = run_target(
+            "freelist-double-free", fix_disabled=True, schedules=500
+        )
+        token = broken.result.failure.token
+        target = CORPUS["freelist-double-free"]
+        replayed = Explorer(lambda: target.make(True)).replay(token)
+        assert replayed is not None
+        assert type(replayed.error) is type(broken.result.failure.error)
+
+    def test_same_schedule_passes_with_fix_enabled(self):
+        broken = run_target(
+            "queue-close-enqueue", fix_disabled=True, schedules=500
+        )
+        token = broken.result.failure.token
+        target = CORPUS["queue-close-enqueue"]
+        assert Explorer(lambda: target.make(False)).replay(token) is None
+
+    def test_random_token_is_a_bare_seed_recipe(self):
+        broken = run_target(
+            "engine-mid-batch-crash", fix_disabled=True, schedules=100
+        )
+        kind, seed = broken.result.failure.token
+        assert kind == "random"
+        target = CORPUS["engine-mid-batch-crash"]
+        replayed = Explorer(lambda: target.make(True)).replay(seed)
+        assert replayed is not None
+
+
+class TestCli:
+    def test_single_target_exit_zero(self):
+        from repro.__main__ import main
+
+        assert main(["dst", "freelist-double-free"]) == 0
+
+    def test_unknown_target_exit_two(self):
+        from repro.__main__ import main
+
+        assert main(["dst", "no-such-race"]) == 2
+
+    def test_json_output(self, capsys):
+        import json
+
+        from repro.__main__ import main
+
+        assert main(["dst", "freelist-double-free", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"]
+        assert {o["target"] for o in payload["outcomes"]} == {
+            "freelist-double-free"
+        }
+        assert payload["counters"]["schedules_explored"] > 0
+
+
+@pytest.mark.dst
+class TestDeepTier:
+    """Full corpus at default budgets (the ``-m dst`` CI tier)."""
+
+    def test_full_corpus_self_check(self):
+        counters = Counters()
+        outcomes = run_corpus(counters=counters)
+        wrong = [o for o in outcomes if not o.expected]
+        assert wrong == [], [
+            (o.target, o.fix_disabled, o.result.found) for o in wrong
+        ]
+        # both directions ran: planted bugs found, fixed code clean
+        assert sum(o.fix_disabled for o in outcomes) == 3
+        assert len(outcomes) == 9
+        snap = counters.snapshot()
+        assert snap["schedules_explored"] > 0
+        assert snap["lin_histories_checked"] > 0
+        assert snap["dst_violations"] == 3

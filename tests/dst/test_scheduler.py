@@ -1,0 +1,221 @@
+"""Unit tests for the DST cooperative scheduler.
+
+Covers the core guarantees everything else in ``repro.dst`` builds on:
+one-thread-at-a-time execution, seed-determinism of schedules, foreign
+thread passthrough, cooperative blocking, and the three structural
+failure detectors (deadlock, budget, wall-clock stall).
+"""
+
+import threading
+
+import pytest
+
+from repro.dst import hooks
+from repro.dst.scheduler import (
+    DeadlockError,
+    ScheduleBudgetExceeded,
+    Scheduler,
+    SchedulerStalled,
+)
+from repro.dst.strategies import FixedPathStrategy, RandomWalkStrategy
+
+
+def _run(sched: Scheduler) -> None:
+    sched.install()
+    try:
+        sched.run()
+    finally:
+        sched.uninstall()
+
+
+class _RacyCounter:
+    """Classic read-yield-write lost-update window."""
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.events: list[tuple[str, int]] = []
+
+    def body(self, name: str) -> None:
+        for _ in range(3):
+            v = self.value
+            hooks.yield_point("read")
+            self.value = v + 1
+            self.events.append((name, self.value))
+
+
+def _racy_run(seed: int) -> tuple[_RacyCounter, Scheduler]:
+    prog = _RacyCounter()
+    sched = Scheduler(RandomWalkStrategy(seed))
+    sched.spawn(prog.body, "a", name="a")
+    sched.spawn(prog.body, "b", name="b")
+    _run(sched)
+    return prog, sched
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        p1, s1 = _racy_run(7)
+        p2, s2 = _racy_run(7)
+        assert s1.schedule_log == s2.schedule_log
+        assert p1.events == p2.events
+        assert p1.value == p2.value
+
+    def test_different_seeds_explore_different_schedules(self):
+        logs = {tuple(_racy_run(seed)[1].schedule_log) for seed in range(10)}
+        assert len(logs) > 1
+
+    def test_lost_update_is_reachable_and_seeded(self):
+        finals = {_racy_run(seed)[0].value for seed in range(30)}
+        # the race has both outcomes: interleaved (lost updates) and
+        # serialized (value == 6); 30 random schedules see both
+        assert 6 in finals
+        assert any(v < 6 for v in finals)
+
+
+class TestHooks:
+    def test_foreign_thread_passes_through(self):
+        sched = Scheduler(RandomWalkStrategy(0))
+        sched.install()
+        try:
+            assert not hooks.is_virtual_thread()
+            hooks.yield_point("nowhere")  # must not block or raise
+            assert not hooks.crash_point("nowhere")
+        finally:
+            sched.uninstall()
+
+    def test_hooks_are_noops_when_uninstalled(self):
+        assert hooks.current() is None
+        hooks.yield_point("nowhere")
+        assert not hooks.crash_point("nowhere")
+        assert not hooks.is_virtual_thread()
+        hooks.wait_until(lambda: True)
+
+    def test_virtual_thread_is_detected(self):
+        seen: list[bool] = []
+        sched = Scheduler(RandomWalkStrategy(0))
+        sched.spawn(lambda: seen.append(hooks.is_virtual_thread()))
+        _run(sched)
+        assert seen == [True]
+
+
+class TestBlocking:
+    def test_wait_until_unblocks_on_predicate(self):
+        flag = {"set": False}
+        order: list[str] = []
+
+        def waiter() -> None:
+            hooks.wait_until(lambda: flag["set"])
+            order.append("woke")
+
+        def setter() -> None:
+            hooks.yield_point("pre-set")
+            flag["set"] = True
+            order.append("set")
+
+        sched = Scheduler(RandomWalkStrategy(3))
+        sched.spawn(waiter, name="waiter")
+        sched.spawn(setter, name="setter")
+        _run(sched)
+        assert order.index("set") < order.index("woke")
+
+    def test_deadlock_detected(self):
+        sched = Scheduler(RandomWalkStrategy(0))
+        sched.spawn(lambda: hooks.wait_until(lambda: False), name="stuck")
+        sched.install()
+        try:
+            with pytest.raises(DeadlockError, match="stuck"):
+                sched.run()
+        finally:
+            sched.uninstall()
+        # teardown killed the parked thread
+        assert all(vt.done for vt in sched._vthreads)
+
+    def test_budget_guard_catches_livelock(self):
+        def spinner() -> None:
+            while True:
+                hooks.yield_point("spin")
+
+        sched = Scheduler(RandomWalkStrategy(0), max_steps=50)
+        sched.spawn(spinner, name="spinner")
+        sched.install()
+        try:
+            with pytest.raises(ScheduleBudgetExceeded):
+                sched.run()
+        finally:
+            sched.uninstall()
+
+    def test_stall_on_real_blocking(self):
+        ev = threading.Event()  # never set: invisible to the scheduler
+
+        def blocker() -> None:
+            ev.wait()
+
+        sched = Scheduler(RandomWalkStrategy(0), handoff_timeout=0.2)
+        sched.spawn(blocker, name="blocker")
+        sched.install()
+        try:
+            with pytest.raises(SchedulerStalled, match="blocker"):
+                sched.run()
+        finally:
+            sched.uninstall()
+            ev.set()  # release the leaked thread
+
+
+class TestCrashPoints:
+    def _crash_counter(self, path: tuple) -> Scheduler:
+        hits: list[str] = []
+
+        def body() -> None:
+            if hooks.crash_point("first"):
+                hits.append("first")
+            if hooks.crash_point("second"):
+                hits.append("second")
+
+        sched = Scheduler(FixedPathStrategy(path))
+        sched.spawn(body)
+        _run(sched)
+        sched.hits = hits  # type: ignore[attr-defined]
+        return sched
+
+    def test_fixed_path_fires_chosen_crash(self):
+        sched = self._crash_counter((1,))
+        assert sched.hits == ["first"]
+        assert sched.crashed and sched.crash_site == "first"
+
+    def test_at_most_one_crash_per_schedule(self):
+        # path (1, 1) would fire both, but the second point must not
+        # even consult the strategy once a crash happened
+        sched = self._crash_counter((1, 1))
+        assert sched.hits == ["first"]
+
+    def test_skipped_crash_reaches_later_point(self):
+        sched = self._crash_counter((0, 1))
+        assert sched.hits == ["second"]
+        assert sched.crash_site == "second"
+
+
+class TestLifecycle:
+    def test_thread_exception_captured_not_raised(self):
+        def bad() -> None:
+            raise ValueError("boom")
+
+        sched = Scheduler(RandomWalkStrategy(0))
+        sched.spawn(bad, name="bad")
+        _run(sched)  # run() itself succeeds
+        errs = sched.thread_errors()
+        assert len(errs) == 1
+        name, exc = errs[0]
+        assert name == "bad" and isinstance(exc, ValueError)
+
+    def test_spawn_after_run_rejected(self):
+        sched = Scheduler(RandomWalkStrategy(0))
+        sched.spawn(lambda: None)
+        _run(sched)
+        with pytest.raises(RuntimeError):
+            sched.spawn(lambda: None)
+
+    def test_clock_counts_yields(self):
+        sched = Scheduler(RandomWalkStrategy(0))
+        sched.spawn(lambda: [hooks.yield_point("x") for _ in range(5)])
+        _run(sched)
+        assert sched.clock == sched.yields == 5

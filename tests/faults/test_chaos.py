@@ -11,6 +11,8 @@ from repro.faults.chaos import (
     run_chaos,
 )
 
+pytestmark = pytest.mark.deadline(150)
+
 
 class TestDefaultPlan:
     def test_every_profile_builds(self):
@@ -36,11 +38,12 @@ class TestDefaultPlan:
 
 @pytest.mark.chaos
 class TestChaosContract:
-    def test_transient_profile(self):
+    @pytest.mark.parametrize("test_seed", [1], indirect=True)
+    def test_transient_profile(self, test_seed):
         report = run_chaos(
             nranks=2,
             rounds=10,
-            seed=1,
+            seed=test_seed,
             profile="transient",
             op_timeout=0.5,
             run_timeout=60.0,
@@ -51,11 +54,12 @@ class TestChaosContract:
         assert report["unexpected_errors"] == {}
         assert report["balance"]["ok"]
 
-    def test_messages_profile(self):
+    @pytest.mark.parametrize("test_seed", [2], indirect=True)
+    def test_messages_profile(self, test_seed):
         report = run_chaos(
             nranks=2,
             rounds=8,
-            seed=2,
+            seed=test_seed,
             profile="messages",
             op_timeout=0.4,
             run_timeout=60.0,
@@ -81,11 +85,12 @@ class TestChaosContract:
         assert report["degraded_exits"] == [1]
         assert report["faults"]["fault_engine_crash"] == 1
 
-    def test_mixed_profile(self):
+    @pytest.mark.parametrize("test_seed", [0], indirect=True)
+    def test_mixed_profile(self, test_seed):
         report = run_chaos(
             nranks=3,
             rounds=12,
-            seed=0,
+            seed=test_seed,
             profile="mixed",
             op_timeout=0.5,
             run_timeout=90.0,

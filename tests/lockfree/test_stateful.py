@@ -26,6 +26,8 @@ from repro.lockfree.mpsc_queue import MPSCQueue, QueueFull
 from repro.lockfree.spsc_ring import SPSCRing
 from repro.util.rng import seeded_rng
 
+pytestmark = pytest.mark.deadline(150)
+
 CAP = 8
 
 
@@ -155,8 +157,9 @@ class TestQueueConcurrentProperties:
     NPRODUCERS = 4
     ITEMS = 400
 
-    @pytest.mark.parametrize("seed", [0, 1, 2])
-    def test_no_loss_no_dup_fifo_per_producer(self, seed):
+    @pytest.mark.parametrize("test_seed", [0, 1, 2], indirect=True)
+    def test_no_loss_no_dup_fifo_per_producer(self, test_seed):
+        seed = test_seed
         q: MPSCQueue = MPSCQueue(16)
         q.track_occupancy = True
         consumed: list[tuple[int, int]] = []
@@ -225,8 +228,9 @@ class TestFreeListConcurrentProperties:
     CYCLES = 300
     CAPACITY = 8
 
-    @pytest.mark.parametrize("seed", [0, 1])
-    def test_no_double_alloc_and_full_recovery(self, seed):
+    @pytest.mark.parametrize("test_seed", [0, 1], indirect=True)
+    def test_no_double_alloc_and_full_recovery(self, test_seed):
+        seed = test_seed
         fl: FreeList = FreeList(self.CAPACITY)
         owner: list[int | None] = [None] * self.CAPACITY
         violations: list[str] = []
@@ -312,11 +316,14 @@ class TestPoolSlotReuse:
         with pytest.raises(OffloadError):
             req.wait(timeout=5)
 
-    @pytest.mark.parametrize("seed", [0])
-    def test_concurrent_recycling_keeps_generations_distinct(self, seed):
+    @pytest.mark.parametrize("test_seed", [0], indirect=True)
+    def test_concurrent_recycling_keeps_generations_distinct(
+        self, test_seed
+    ):
         """Threads hammer a tiny pool through alloc/complete/release
         cycles; every retained stale handle must raise, and the pool
         must end fully free."""
+        seed = test_seed
         pool = OffloadRequestPool(capacity=2)
         stale: list[OffloadRequest] = []
         stale_lock = threading.Lock()
