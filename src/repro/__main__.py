@@ -122,6 +122,8 @@ def _cmd_chaos(
     op_timeout: float,
     run_timeout: float,
     as_json: bool,
+    pool_size: int = 1,
+    router: str | None = None,
 ) -> int:
     """Seeded chaos run; nonzero exit on any contract violation."""
     from repro.faults.chaos import render_report, run_chaos
@@ -133,6 +135,8 @@ def _cmd_chaos(
         profile=profile,
         op_timeout=op_timeout,
         run_timeout=run_timeout,
+        pool_size=pool_size,
+        router=router,
     )
     if as_json:
         import json
@@ -308,7 +312,23 @@ def main(argv: list[str] | None = None) -> int:
     cha.add_argument(
         "--profile",
         default="mixed",
-        choices=["messages", "stragglers", "transient", "crash", "mixed"],
+        choices=[
+            "messages",
+            "stragglers",
+            "transient",
+            "crash",
+            "shard-crash",
+            "mixed",
+        ],
+    )
+    cha.add_argument(
+        "--pool-size", type=int, default=1,
+        help="engine shards per rank (shard-crash defaults to 4)",
+    )
+    cha.add_argument(
+        "--router", default=None,
+        choices=["dest", "comm", "rr", "thread"],
+        help="pool routing policy (default: dest affinity)",
     )
     cha.add_argument(
         "--op-timeout", type=float, default=1.0,
@@ -356,6 +376,8 @@ def main(argv: list[str] | None = None) -> int:
             args.op_timeout,
             args.run_timeout,
             args.json,
+            args.pool_size,
+            args.router,
         )
     if args.cmd == "dst":
         return _cmd_dst(

@@ -38,6 +38,7 @@ from repro.core.request_pool import (
     OffloadEngineDied,
 )
 from repro.core.engine import OffloadEngine
+from repro.core.engine_pool import EnginePool, ShardRouter
 from repro.core.engine_group import OffloadEngineGroup
 from repro.core.recovery import (
     EngineWatchdog,
@@ -70,6 +71,8 @@ __all__ = [
     "RecoveryPolicy",
     "EngineWatchdog",
     "OffloadEngine",
+    "EnginePool",
+    "ShardRouter",
     "OffloadEngineGroup",
     "OffloadCommunicator",
     "offload_waitall",

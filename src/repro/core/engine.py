@@ -98,6 +98,12 @@ class OffloadEngine:
     pool_cache:
         Per-thread request-pool cache chunk (0 disables); see
         :class:`~repro.core.request_pool.OffloadRequestPool`.
+    request_pool:
+        Share an existing :class:`OffloadRequestPool` instead of
+        constructing a private one.  An :class:`EnginePool` passes one
+        pool to all its shards so any engine (including a thief that
+        stole another shard's batch) can complete any slot, and so the
+        facade can allocate a slot before routing.
     """
 
     def __init__(
@@ -111,12 +117,17 @@ class OffloadEngine:
         batch_size: int = _BATCH,
         coalesce_eager: bool = False,
         pool_cache: int = _POOL_CACHE,
+        request_pool: OffloadRequestPool | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.comm = comm
         self.queue: MPSCQueue[Command] = MPSCQueue(queue_capacity)
-        self.pool = OffloadRequestPool(pool_capacity, cache_size=pool_cache)
+        self.pool = (
+            request_pool
+            if request_pool is not None
+            else OffloadRequestPool(pool_capacity, cache_size=pool_cache)
+        )
         self.batch_size = batch_size
         if coalesce_eager:
             # Function-level import: offload_comm imports this module.
@@ -156,7 +167,11 @@ class OffloadEngine:
         )
         if self._telem is not None:
             self.queue.track_occupancy = True
-            self.pool.telemetry = self._telem.counters
+            if self.pool.telemetry is None:
+                # A shared pool keeps the first shard's counters: pool
+                # alloc/release telemetry is pool-global, and wiring it
+                # to every shard would double-count each event.
+                self.pool.telemetry = self._telem.counters
         # -- statistics ---------------------------------------------------
         self.commands_processed = 0
         self.progress_sweeps = 0
@@ -170,6 +185,17 @@ class OffloadEngine:
         self.batch_dequeues = 0
         self.batch_size_hwm = 0
         self.coalesced_messages = 0
+        self.steals = 0
+        self.steal_batch_hwm = 0
+        #: installed by EnginePool: callable(thief) -> (victim_queue,
+        #: commands) | None.  When set, an idle engine asks the pool
+        #: for a batch stolen from the deepest sibling ring.
+        self._steal_source = None
+        #: DST-only regression hook: when True, a thief that crashes
+        #: while issuing a stolen batch never releases the victim
+        #: ring's ``steal_pending`` — the wedged-victim leak the
+        #: try/finally in `_try_steal` exists to prevent.
+        self._unsafe_steal_leak_on_crash = False
         #: DST-only regression hook: when True, `_fail_pending` drops
         #: the unprocessed tail of a mid-batch crash instead of failing
         #: it — the lost-command bug `self._drained` was introduced to
@@ -324,8 +350,8 @@ class OffloadEngine:
     def __exit__(self, *exc) -> None:
         self.stop()
 
-    def route(self) -> "OffloadEngine":
-        """Engine-group compatibility: a bare engine routes to itself."""
+    def route(self, cmd: Command | None = None) -> "OffloadEngine":
+        """Pool/group compatibility: a bare engine routes to itself."""
         return self
 
     # ------------------------------------------------------------ submission
@@ -436,6 +462,10 @@ class OffloadEngine:
                         counters.record_max("batch_size_hwm", len(batch))
                     if self._process_batch():
                         shutdown = True
+                    # The batch is fully issued (or terminal); with
+                    # stealing enabled this re-opens the ring to
+                    # thieves.  No-op on a plain ring.
+                    self.queue.consume_done()
                 did += self._sweep()
                 if counters is not None:
                     counters.inc("testany_sweeps")
@@ -462,6 +492,15 @@ class OffloadEngine:
                         counters.inc("commands_drained", len(tail))
                     if self._process_batch():
                         shutdown = True
+                if (
+                    did == 0
+                    and not shutdown
+                    and not self._in_flight
+                    and self._steal_source is not None
+                ):
+                    # Fully idle with siblings possibly backed up:
+                    # batch-steal from the deepest sibling ring.
+                    did += self._try_steal()
                 if did == 0:
                     if self._in_flight:
                         # Work in flight: keep pumping progress, just
@@ -570,6 +609,47 @@ class OffloadEngine:
             self._drained.extendleft(reversed(run))
             raise
         return shutdown
+
+    def _try_steal(self) -> int:
+        """Steal and issue one batch from a sibling ring (pool mode).
+
+        The stolen commands are appended to *our* ``_drained`` and
+        issued through the normal ``_process_batch`` path, so crash
+        handling, retries, coalescing and telemetry treat them exactly
+        like locally drained commands (the thief's counters absorb
+        them: per-engine balance intentionally breaks under stealing,
+        pool-merged balance holds).  The victim ring's ``steal_pending``
+        is released even when dispatch crashes this engine — otherwise
+        the surviving victim could never hand out batches again.
+        """
+        source = self._steal_source
+        if source is None or self._dead is not None:
+            return 0
+        picked = source(self)
+        if picked is None:
+            return 0
+        victim_queue, cmds = picked
+        if not cmds:
+            return 0
+        self.steals += 1
+        if len(cmds) > self.steal_batch_hwm:
+            self.steal_batch_hwm = len(cmds)
+        counters = (
+            self._telem.counters if self._telem is not None else None
+        )
+        if counters is not None:
+            counters.inc("steals")
+            counters.record_max("steal_batch_hwm", len(cmds))
+            counters.inc("commands_drained", len(cmds))
+        self._drained.extend(cmds)
+        try:
+            self._process_batch()
+        except BaseException:
+            if not self._unsafe_steal_leak_on_crash:
+                victim_queue.steal_done()
+            raise
+        victim_queue.steal_done()
+        return len(cmds)
 
     def _flush_run(self, run: list[Command]) -> None:
         """Issue a run of coalescible sends as one wire message.
@@ -1084,6 +1164,8 @@ class OffloadEngine:
             "batch_dequeues": self.batch_dequeues,
             "batch_size_hwm": self.batch_size_hwm,
             "coalesced_messages": self.coalesced_messages,
+            "steals": self.steals,
+            "steal_batch_hwm": self.steal_batch_hwm,
         }
         if self._telem is not None:
             for name, value in self._telem.counters.snapshot().items():

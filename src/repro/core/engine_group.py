@@ -2,16 +2,20 @@
 
 The paper closes: replacing MPI with endpoint-capable low-level APIs
 "will allow us to use multiple threads for software offload".  This
-module provides that architecture on the substrate: an
-:class:`OffloadEngineGroup` runs N offload engines (each a dedicated
-thread with its own lock-free command queue and request pool) behind
-one communicator facade.
+module provides that architecture on the substrate as the historical
+thread-sticky specialization of the general
+:class:`~repro.core.engine_pool.EnginePool`: N offload engines behind
+one communicator facade, with application threads assigned an engine
+*stickily by thread identity*.  That policy preserves exactly the
+ordering MPI guarantees under ``MPI_THREAD_MULTIPLE`` (per-thread
+program order; no cross-thread ordering), while spreading
+command-processing and progress work over the group.
 
-Application threads are assigned an engine *stickily by thread
-identity*, which preserves exactly the ordering MPI guarantees under
-``MPI_THREAD_MULTIPLE`` (per-thread program order; no cross-thread
-ordering), while spreading command-processing and progress work over
-the group.
+Work stealing and autoscaling are deliberately off here: the group
+predates them and its contract is the plain sticky spread.  Use
+:class:`EnginePool` directly (or the ``pool_size``/``router`` knobs of
+:func:`~repro.core.interpose.offloaded`) for the routed, stealing,
+elastic pool.
 
 Honesty note: on this substrate the per-rank progress engine has a
 single library lock standing in for the endpoint, so the group's
@@ -23,23 +27,20 @@ ordering, and lifecycle all behave as the paper describes.
 
 from __future__ import annotations
 
-import threading
 from typing import TYPE_CHECKING
 
-from repro.core.engine import OffloadEngine
-from repro.mpisim.constants import ThreadLevel
-from repro.mpisim.exceptions import ThreadLevelError
+from repro.core.engine_pool import EnginePool
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpisim.communicator import Communicator
 
 
-class OffloadEngineGroup:
-    """N offload engines behind one ``route()`` interface.
+class OffloadEngineGroup(EnginePool):
+    """N thread-sticky offload engines behind one ``route()`` interface.
 
-    Drop-in wherever a single :class:`OffloadEngine` is used (the
-    facade calls ``route()`` to pick the engine for the current
-    thread; a bare engine's ``route()`` returns itself).
+    Drop-in wherever a single :class:`~repro.core.engine.OffloadEngine`
+    is used (the facade calls ``route()`` to pick the engine for the
+    current thread; a bare engine's ``route()`` returns itself).
     """
 
     def __init__(
@@ -57,118 +58,18 @@ class OffloadEngineGroup:
     ) -> None:
         if nthreads < 1:
             raise ValueError("nthreads must be >= 1")
-        if nthreads > 1 and comm.world.thread_level < ThreadLevel.MULTIPLE:
-            raise ThreadLevelError(
-                "multiple offload threads enter MPI concurrently; the "
-                "world must be MPI_THREAD_MULTIPLE"
-            )
-        engine_kwargs: dict = {}
-        if batch_size is not None:
-            engine_kwargs["batch_size"] = batch_size
-        if pool_cache is not None:
-            engine_kwargs["pool_cache"] = pool_cache
-        self.comm = comm
-        self.engines = [
-            OffloadEngine(
-                comm,
-                pool_capacity=pool_capacity,
-                queue_capacity=queue_capacity,
-                telemetry=telemetry,
-                faults=faults,
-                recovery=recovery,
-                coalesce_eager=coalesce_eager,
-                **engine_kwargs,
-            )
-            for _ in range(nthreads)
-        ]
-        self._assign_lock = threading.Lock()
-        self._assignment: dict[int, int] = {}
-        self._next = 0
-
-    # -- facade interface ---------------------------------------------------
-
-    def route(self) -> OffloadEngine:
-        """The engine serving the calling application thread.
-
-        Sticky round-robin: a thread keeps its engine for life, so its
-        operations retain program order (the MPI_THREAD_MULTIPLE
-        ordering contract).
-        """
-        ident = threading.get_ident()
-        idx = self._assignment.get(ident)
-        if idx is None:
-            with self._assign_lock:
-                idx = self._assignment.setdefault(
-                    ident, self._next % len(self.engines)
-                )
-                self._next += 1
-        return self.engines[idx]
-
-    # Compatibility surface with a single engine (stats/inspection).
-    @property
-    def pool(self):
-        return self.route().pool
-
-    @property
-    def queue(self):
-        return self.route().queue
-
-    @property
-    def telemetry(self):
-        """The routed engine's telemetry bundle (facade compatibility)."""
-        return self.route().telemetry
-
-    def stats(self) -> dict[str, int]:
-        """Aggregated statistics across the group (sums; maxima for
-        ``*_hwm`` high-water marks)."""
-        total: dict[str, int] = {}
-        for e in self.engines:
-            for k, v in e.stats().items():
-                if k.endswith("_hwm") or k.startswith("max_"):
-                    total[k] = max(total.get(k, 0), v)
-                else:
-                    total[k] = total.get(k, 0) + v
-        total["engines"] = len(self.engines)
-        return total
-
-    def telemetry_snapshot(self, include_trace: bool = False) -> dict:
-        """Merged structured snapshot across the group's engines."""
-        from repro import obs
-
-        return obs.merge(
-            [
-                e.telemetry_snapshot(include_trace=include_trace)
-                for e in self.engines
-            ]
+        super().__init__(
+            comm,
+            pool_size=nthreads,
+            router="thread",
+            steal_threshold=None,
+            autoscale=False,
+            pool_capacity=pool_capacity,
+            queue_capacity=queue_capacity,
+            telemetry=telemetry,
+            faults=faults,
+            recovery=recovery,
+            batch_size=batch_size,
+            coalesce_eager=coalesce_eager,
+            pool_cache=pool_cache,
         )
-
-    # -- lifecycle ------------------------------------------------------------
-
-    def start(self) -> "OffloadEngineGroup":
-        started = []
-        try:
-            for e in self.engines:
-                e.start()
-                started.append(e)
-        except BaseException:
-            for e in started:
-                e.abort("group start failed")
-            raise
-        return self
-
-    def stop(self, timeout: float = 30.0) -> None:
-        errors = []
-        for e in self.engines:
-            try:
-                e.stop(timeout=timeout)
-            except RuntimeError as exc:  # pragma: no cover - watchdog
-                errors.append(exc)
-                e.abort("group stop escalation")
-        if errors:  # pragma: no cover
-            raise errors[0]
-
-    def __enter__(self) -> "OffloadEngineGroup":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()

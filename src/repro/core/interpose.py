@@ -30,6 +30,11 @@ from repro.core.offload_comm import OffloadCommunicator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpisim.communicator import Communicator
 
+#: Default shard count when ``offloaded`` is called without an explicit
+#: ``pool_size``.  The test suite's pool-parametrized conftest fixture
+#: overrides this to run the whole matrix against a sharded pool.
+DEFAULT_POOL_SIZE = 1
+
 
 def interpose(
     comm: "Communicator", engine: OffloadEngine
@@ -58,6 +63,9 @@ def offloaded(
     batch_size: int | None = None,
     coalesce_eager: bool = False,
     pool_cache: int | None = None,
+    pool_size: int | None = None,
+    router: str | None = None,
+    steal_threshold: int | None = None,
 ) -> Iterator[OffloadCommunicator]:
     """Context manager: spawn offload thread(s) for ``comm``'s rank,
     yield the interposed communicator, and tear them down on exit (the
@@ -79,7 +87,18 @@ def offloaded(
     ``batch_size``, ``coalesce_eager`` and ``pool_cache`` are the
     engine's performance knobs (batched drain size, small-message
     coalescing, per-thread request-pool caching); ``None`` keeps the
-    engine defaults."""
+    engine defaults.
+
+    ``pool_size``/``router``/``steal_threshold`` configure the sharded
+    :class:`~repro.core.engine_pool.EnginePool` (N routed,
+    work-stealing engines per rank).  An *explicit* ``pool_size > 1``
+    requires ``MPI_THREAD_MULTIPLE`` and raises otherwise; when
+    ``pool_size`` is None the module default
+    (:data:`DEFAULT_POOL_SIZE`) applies but is silently clamped to 1
+    below ``MPI_THREAD_MULTIPLE`` so single-threaded worlds keep
+    working when the suite-wide default is raised.  ``nthreads > 1``
+    (the legacy thread-sticky group) takes precedence over
+    ``pool_size``."""
     perf_kwargs: dict = {"coalesce_eager": coalesce_eager}
     if batch_size is not None:
         perf_kwargs["batch_size"] = batch_size
@@ -105,6 +124,46 @@ def offloaded(
             yield OffloadCommunicator(comm, group, op_timeout)
         finally:
             _teardown(group)
+        return
+    effective_pool = pool_size if pool_size is not None else DEFAULT_POOL_SIZE
+    if pool_size is None and effective_pool > 1:
+        # Default-derived width: clamp rather than raise so the
+        # pool-parametrized suite can still exercise FUNNELED worlds.
+        from repro.mpisim.constants import ThreadLevel
+
+        level = getattr(
+            getattr(comm, "world", None),
+            "thread_level",
+            ThreadLevel.MULTIPLE,
+        )
+        if level < ThreadLevel.MULTIPLE:
+            effective_pool = 1
+    if effective_pool > 1:
+        from repro.core.engine_pool import EnginePool
+
+        pool_kwargs: dict = {}
+        if router is not None:
+            pool_kwargs["router"] = router
+        if steal_threshold is not None:
+            pool_kwargs["steal_threshold"] = steal_threshold
+        pool = EnginePool(
+            comm,
+            pool_size=effective_pool,
+            pool_capacity=pool_capacity,
+            queue_capacity=queue_capacity,
+            telemetry=telemetry,
+            faults=faults,
+            recovery=recovery,
+            batch_size=batch_size,
+            coalesce_eager=coalesce_eager,
+            pool_cache=pool_cache,
+            **pool_kwargs,
+        )
+        pool.start()
+        try:
+            yield OffloadCommunicator(comm, pool, op_timeout)
+        finally:
+            _teardown(pool)
         return
     engine = OffloadEngine(
         comm,

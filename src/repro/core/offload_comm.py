@@ -141,8 +141,28 @@ class OffloadCommunicator:
     # ------------------------------------------------------------- plumbing
 
     def _blocking(self, cmd: Command) -> Any:
+        # route(cmd) picks the shard that must carry this command (a
+        # single engine routes to itself; an EnginePool keys sends by
+        # destination, receives/collectives by communicator, etc. so
+        # every MPI-ordered stream stays on one ring).
+        holder = self.engine
+        try:
+            engine = holder.route(cmd)
+        except OffloadEngineDied:
+            # Only an EnginePool raises here, and only with every
+            # shard dead — the single-engine "engine died" contract.
+            rec = holder.recovery
+            if rec is not None and rec.degrade:
+                return self._degraded_blocking(self._any_engine(), cmd)
+            raise
+        return self._blocking_on(engine, cmd)
+
+    def _any_engine(self) -> OffloadEngine:
+        """Some engine to account degraded-mode work against."""
+        return getattr(self.engine, "engines", [self.engine])[0]
+
+    def _blocking_on(self, engine: OffloadEngine, cmd: Command) -> Any:
         assert cmd.done is not None
-        engine = self.engine.route()
         rec = engine.recovery
         if rec is not None and rec.degrade and engine.dead is not None:
             return self._degraded_blocking(engine, cmd)
@@ -200,16 +220,27 @@ class OffloadCommunicator:
                 watchdog.check()
 
     def _nonblocking(self, cmd_kind: K, **fields: Any) -> Any:
-        # route() picks this thread's engine (a single engine routes to
-        # itself; an OffloadEngineGroup shards threads over engines).
-        engine = self.engine.route()
+        # The request pool is shared across an EnginePool's shards, so
+        # the slot can be allocated before the command is routed.
+        holder = self.engine
+        slot = holder.pool.alloc()
+        cmd = Command(kind=cmd_kind, slot=slot, **fields)
+        try:
+            engine = holder.route(cmd)
+        except OffloadEngineDied:
+            holder.pool.release(slot)
+            rec = holder.recovery
+            if rec is not None and rec.degrade:
+                return self._degraded_nonblocking(
+                    self._any_engine(), cmd_kind, fields
+                )
+            raise
         rec = engine.recovery
         if rec is not None and rec.degrade and engine.dead is not None:
+            holder.pool.release(slot)
             return self._degraded_nonblocking(engine, cmd_kind, fields)
         if engine.telemetry is not None:
             engine.telemetry.counters.inc("app_nonblocking_calls")
-        slot = engine.pool.alloc()
-        cmd = Command(kind=cmd_kind, slot=slot, **fields)
         if self.op_timeout is not None:
             cmd.deadline = time.perf_counter() + self.op_timeout
         handle = OffloadRequest(
@@ -665,8 +696,38 @@ class OffloadCommunicator:
         return OffloadCommunicator(new_inner, self.engine, self.op_timeout)
 
     def flush(self) -> None:
-        """Wait until every previously submitted operation completed."""
-        self._blocking(Command(kind=K.FLUSH))
+        """Wait until every previously submitted operation completed.
+
+        Against an :class:`~repro.core.engine_pool.EnginePool` the
+        fence is broadcast: one FLUSH per live shard, since previously
+        submitted work may be spread over every ring.  A shard that
+        died needs no fence — its backlog was already terminally
+        failed, so there is nothing left to wait for.
+        """
+        engines = getattr(self.engine, "engines", None)
+        if engines is None:
+            self._blocking(Command(kind=K.FLUSH))
+            return
+        while True:
+            # Work stealing can move commands from a ring we have not
+            # fenced yet into a shard we already fenced, so one pass is
+            # only conclusive if no steal committed while it ran.  A
+            # steal during the pass means some pre-flush command may
+            # have dodged its fence — run another pass (strictly less
+            # unfinished work each time, so this converges).
+            steals_before = sum(e.queue.steals for e in engines)
+            for e in engines:
+                if e.dead is not None:
+                    continue
+                try:
+                    self._blocking_on(e, Command(kind=K.FLUSH))
+                except OffloadEngineDied:
+                    # Raced a shard crash: the crash failed all its
+                    # pending work typed, so the fence it would have
+                    # provided is vacuous.
+                    continue
+            if sum(e.queue.steals for e in engines) == steals_before:
+                return
 
     # ------------------------------------------------------------ persistent
 

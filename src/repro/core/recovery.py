@@ -3,7 +3,10 @@ watchdog, graceful degradation.
 
 The offload design funnels all of a rank's MPI activity through one
 communication thread, so that thread is a single point of failure.
-This module is the caller-side half of surviving it:
+A sharded :class:`~repro.core.engine_pool.EnginePool` splits the blast
+radius — one wedged shard is poisoned while its siblings keep
+completing — but each shard is still a thread that can die.  This
+module is the caller-side half of surviving either case:
 
 * :class:`RetryPolicy` — exponential-backoff re-driving of idempotent
   commands that failed with a transient error (off by default).
@@ -114,42 +117,59 @@ class RecoveryPolicy:
 
 
 class EngineWatchdog:
-    """Caller-side heartbeat monitor for one offload engine.
+    """Caller-side heartbeat monitor for an engine — or a whole pool.
 
-    The engine increments ``engine.heartbeat`` once per loop iteration;
-    callers hold one watchdog per wait and call :meth:`check` each
-    sampling period.  A heartbeat frozen past the bound (with the
-    thread either wedged or vanished) trips the watchdog, which poisons
-    the engine via :meth:`OffloadEngine.watchdog_trip`.
+    Each engine increments ``engine.heartbeat`` once per loop
+    iteration; callers hold one watchdog per wait and call
+    :meth:`check` each sampling period.  A heartbeat frozen past the
+    bound (with the thread either wedged or vanished) trips the
+    watchdog, which poisons the engine via
+    :meth:`OffloadEngine.watchdog_trip`.
+
+    Handed an :class:`~repro.core.engine_pool.EnginePool` (anything
+    with an ``engines`` attribute), the watchdog samples every live
+    shard independently and poisons only the wedged one — one shard
+    dying is a shard-local event, the pool survives and keeps routing
+    around it.
     """
 
-    __slots__ = ("engine", "timeout", "_last_beat", "_last_change")
+    __slots__ = ("engine", "engines", "timeout", "_states")
 
     def __init__(self, engine: "OffloadEngine", timeout: float) -> None:
         self.engine = engine
+        #: the individual engines monitored (the pool's shards, or the
+        #: single engine itself)
+        self.engines = list(getattr(engine, "engines", None) or [engine])
         self.timeout = timeout
-        self._last_beat = engine.heartbeat
-        self._last_change = time.perf_counter()
+        now = time.perf_counter()
+        #: per-shard (last heartbeat sampled, time it last advanced)
+        self._states = {
+            id(e): (e.heartbeat, now) for e in self.engines
+        }
 
     def check(self) -> bool:
-        """Sample once; returns True (and poisons) on a trip."""
-        engine = self.engine
-        if engine.dead is not None:
-            return False  # already dead; nothing to detect
-        beat = engine.heartbeat
+        """Sample every live shard once; True when any shard tripped.
+
+        Only the wedged shard is poisoned — siblings keep running."""
+        tripped = False
         now = time.perf_counter()
-        if beat != self._last_beat:
-            self._last_beat = beat
-            self._last_change = now
-            return False
-        thread = engine._thread
-        if thread is not None and not thread.is_alive():
-            engine.watchdog_trip("offload thread vanished")
-            return True
-        if now - self._last_change >= self.timeout:
-            engine.watchdog_trip(
-                f"heartbeat frozen for {now - self._last_change:.3f}s "
-                f"(bound {self.timeout}s)"
-            )
-            return True
-        return False
+        for engine in self.engines:
+            if engine.dead is not None:
+                continue  # already dead; nothing to detect
+            beat = engine.heartbeat
+            last_beat, last_change = self._states[id(engine)]
+            if beat != last_beat:
+                self._states[id(engine)] = (beat, now)
+                continue
+            thread = engine._thread
+            if thread is not None and not thread.is_alive():
+                engine.watchdog_trip("offload thread vanished")
+                tripped = True
+                continue
+            if now - last_change >= self.timeout:
+                engine.watchdog_trip(
+                    f"heartbeat frozen for {now - last_change:.3f}s "
+                    f"(bound {self.timeout}s)"
+                )
+                tripped = True
+        return tripped

@@ -37,7 +37,14 @@ from repro.mpisim.world import World
 from repro.obs.report import check_balance, merge
 
 #: Fault profiles selectable from the CLI.
-PROFILES = ("messages", "stragglers", "transient", "crash", "mixed")
+PROFILES = (
+    "messages",
+    "stragglers",
+    "transient",
+    "crash",
+    "shard-crash",
+    "mixed",
+)
 
 
 def default_plan(
@@ -112,6 +119,30 @@ def default_plan(
                 count=1,
             )
         )
+    if profile == "shard-crash":
+        # One engine-thread crash under load against a *sharded* pool
+        # (run_chaos widens pool_size for this profile): exactly one
+        # shard dies mid-storm, its pending work fails typed, sibling
+        # shards keep completing, and the pool-merged balance law must
+        # still hold — plus light eager delay noise so stealing and
+        # routing stay busy while the crash lands.
+        plan.add(
+            FaultRule(
+                FaultAction.ENGINE_CRASH,
+                rank=min(1, nranks - 1),
+                after=25,
+                count=1,
+            )
+        )
+        plan.add(
+            FaultRule(
+                FaultAction.DELAY,
+                kind="eager",
+                probability=0.05,
+                delay=0.01,
+                count=8,
+            )
+        )
     return plan
 
 
@@ -139,6 +170,9 @@ def _rank_program(
     lock: threading.Lock,
     batch_size: int | None = None,
     coalesce: bool = True,
+    pool_size: int = 1,
+    router: str | None = None,
+    steal_threshold: int | None = None,
 ) -> None:
     rank, size = comm.rank, comm.size
     report: dict[str, Any] = {
@@ -148,6 +182,7 @@ def _rank_program(
         "failed": {},
         "wait_timeouts": 0,
         "degraded_exit": False,
+        "dead_shards": 0,
         "snapshot": None,
     }
     n = max(1, payload_bytes)
@@ -175,10 +210,16 @@ def _rank_program(
         op_timeout=op_timeout,
         batch_size=batch_size,
         coalesce_eager=coalesce,
+        pool_size=pool_size if pool_size > 1 else None,
+        router=router,
+        steal_threshold=steal_threshold,
     ) as oc:
-        engine = oc.engine.route()
+        # ``holder`` is the bare engine or the EnginePool; ``dead`` is
+        # only non-None once *no* shard can serve (a pool with one dead
+        # shard keeps running: its streams are remapped to survivors).
+        holder = oc.engine
         for rnd in range(rounds):
-            if engine.dead is not None:
+            if holder.dead is not None:
                 # Engine died (injected crash / watchdog): exercise the
                 # degraded inline path with hazard-free operations —
                 # a probe and an eager fire-and-forget send — then
@@ -204,14 +245,25 @@ def _rank_program(
             oc.flush()
         except (OffloadError, MPIError):
             pass
-        report["snapshot"] = engine.telemetry_snapshot()
+        engines = getattr(holder, "engines", [holder])
+        report["dead_shards"] = sum(
+            1 for e in engines if e.dead is not None
+        )
+        # Pool-merged snapshot: per-shard balance intentionally breaks
+        # under stealing (victim counts the enqueue, thief the drain);
+        # the pool is the balanced unit of accounting.
+        report["snapshot"] = holder.telemetry_snapshot()
+        stats = holder.stats()
         report["stats"] = {
-            k: engine.stats().get(k, 0)
+            k: stats.get(k, 0)
             for k in (
                 "retries",
                 "deadline_expirations",
                 "watchdog_trips",
                 "degraded_mode_commands",
+                "steals",
+                "shard_scale_events",
+                "router_misroutes",
             )
         }
     with lock:
@@ -229,6 +281,9 @@ def run_chaos(
     plan: FaultPlan | None = None,
     batch_size: int | None = None,
     coalesce: bool = True,
+    pool_size: int = 1,
+    router: str | None = None,
+    steal_threshold: int | None = None,
 ) -> dict:
     """One seeded chaos run; returns a structured verdict report.
 
@@ -237,10 +292,23 @@ def run_chaos(
     with batched drain and (by default) eager coalescing enabled;
     ``batch_size`` overrides the engine default, ``coalesce=False``
     turns coalescing off.
+
+    ``pool_size > 1`` runs each rank on a sharded, work-stealing
+    :class:`~repro.core.engine_pool.EnginePool`; the ``shard-crash``
+    profile defaults to a 4-shard pool (one shard dies under load, the
+    pool must survive with the merged balance law intact).
     """
+    if profile == "shard-crash" and pool_size == 1:
+        pool_size = 4
     if plan is None:
         plan = default_plan(nranks, seed=seed, profile=profile)
-    world = World(nranks)
+    if pool_size > 1:
+        # Several offload threads per rank enter MPI concurrently.
+        from repro.mpisim.constants import ThreadLevel
+
+        world = World(nranks, thread_level=ThreadLevel.MULTIPLE)
+    else:
+        world = World(nranks)
     world.install_faults(plan)
     reports: list[dict] = []
     lock = threading.Lock()
@@ -262,6 +330,9 @@ def run_chaos(
             lock,
             batch_size,
             coalesce,
+            pool_size,
+            router,
+            steal_threshold,
             timeout=run_timeout,
         )
     except WorldError as we:
@@ -297,6 +368,13 @@ def run_chaos(
             "degraded_mode_commands",
         )
     }
+    pool_detail = {
+        k: sum(r.get("stats", {}).get(k, 0) for r in reports)
+        for k in ("steals", "shard_scale_events", "router_misroutes")
+    }
+    pool_detail["dead_shards"] = sum(
+        r.get("dead_shards", 0) for r in reports
+    )
     ok = (
         not hangs
         and not unexpected
@@ -311,6 +389,8 @@ def run_chaos(
         "rounds": rounds,
         "seed": seed,
         "profile": profile,
+        "pool_size": pool_size,
+        "pool": pool_detail,
         "ops": sum(r["ops"] for r in reports),
         "completed_ok": sum(r["ok"] for r in reports),
         "typed_failures": failed,
@@ -337,6 +417,8 @@ def render_report(report: dict) -> str:
         f"  faults_injected={report['faults'].get('faults_injected', 0)} "
         f"({ {k: v for k, v in report['faults'].items() if k.startswith('fault_')} })",
         f"  recovered={report['recovered']}",
+        f"  pool_size={report.get('pool_size', 1)} "
+        f"pool={report.get('pool', {})}",
         f"  degraded_exits={report['degraded_exits']}",
         "  balance: "
         + " ".join(

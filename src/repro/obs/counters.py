@@ -75,6 +75,16 @@ COUNTER_GLOSSARY: dict[str, str] = {
     "calling thread's slot cache (no shared-list CAS)",
     "pool_cache_misses": "request-pool allocations that refilled the "
     "thread cache from the shared free list (one CAS per chunk)",
+    # -- sharded engine pool (core.engine_pool) -------------------------
+    "steals": "batches an idle shard stole from the deepest sibling "
+    "command ring (work-stealing events)",
+    "steal_batch_hwm": "largest single batch of commands taken in one "
+    "steal",
+    "shard_scale_events": "autoscale transitions of the pool's active "
+    "routing width (grow on queue depth, shrink on sustained idleness)",
+    "router_misroutes": "routes where the sticky stream-to-shard "
+    "assignment disagreed with the policy's current placement (stale "
+    "placement after scale events or dead-shard remaps)",
     # -- deterministic simulation testing (repro.dst) -------------------
     "schedules_explored": "DST schedules executed by the explorer "
     "(one seeded interleaving each)",

@@ -13,14 +13,21 @@ Concurrency-test infrastructure (see TESTING.md):
   in this environment).  On expiry it dumps every thread's stack to
   stderr and hard-exits, so a wedged interleaving produces a
   diagnosable CI failure instead of a silent hang.
+* ``deadline(seconds, label)`` — the same watchdog as a *nestable*
+  context manager: a marked stress test can bound individual phases
+  with tighter inner deadlines; frames stack, the earliest expiry is
+  always armed, and any pre-existing ``faulthandler`` state is
+  restored when the last frame pops.
 """
 
 from __future__ import annotations
 
+import contextlib
 import faulthandler
 import os
 import sys
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -108,51 +115,113 @@ def pytest_terminal_summary(terminalreporter):
 
 
 # ---------------------------------------------------------------------------
-# per-test deadlines: @pytest.mark.deadline(seconds)
+# per-test deadlines: @pytest.mark.deadline(seconds) / nestable deadline()
 # ---------------------------------------------------------------------------
+
+#: active deadline frames: (absolute monotonic expiry, label, capman).
+#: A stack rather than a single timer so deadlines *compose*: a stress
+#: test marked ``@pytest.mark.deadline(120)`` can wrap an individual
+#: phase in ``with deadline(10, "pool drain")`` and each bound stays
+#: armed — popping the inner frame re-arms the outer one's remaining
+#: time instead of cancelling the watchdog outright.
+_deadline_frames: list[tuple[float, str, object]] = []
+_deadline_timer: threading.Timer | None = None
+#: ``faulthandler.is_enabled()`` before the first frame was pushed;
+#: restored (not unconditionally cleared) when the last frame pops, so
+#: a suite run under ``-X faulthandler`` keeps its crash dumps.
+_deadline_prev_faulthandler: bool | None = None
+_deadline_lock = threading.Lock()
+
+
+def _deadline_expire(frame) -> None:  # pragma: no cover - fires on hang
+    """Dump every thread's stack and hard-exit.
+
+    A wedged thread interleaving cannot be unwound from Python (the
+    stuck threads hold no cooperative cancellation point), so expiry
+    terminates the process with :data:`DEADLINE_EXIT_CODE` — CI then
+    shows exactly where every thread was stuck instead of timing the
+    whole job out with no diagnostics.
+    """
+    expiry, label, capman = frame
+    # fd-level capture would swallow the dump (and discard it at
+    # os._exit), so stop capturing before writing anything
+    if capman is not None:
+        try:
+            capman.stop_global_capturing()
+        except Exception:
+            pass
+    sys.stderr.write(
+        f"\n\nFATAL: {label} exceeded its deadline; "
+        "thread stacks follow.\n"
+    )
+    faulthandler.dump_traceback(file=sys.stderr)
+    sys.stderr.flush()
+    os._exit(DEADLINE_EXIT_CODE)
+
+
+def _deadline_rearm_locked() -> None:
+    """(Re)arm the shared timer for the earliest remaining expiry."""
+    global _deadline_timer, _deadline_prev_faulthandler
+    if _deadline_timer is not None:
+        _deadline_timer.cancel()
+        _deadline_timer = None
+    if not _deadline_frames:
+        # last frame popped: restore the pre-existing faulthandler
+        # state rather than unconditionally disabling dumps
+        if _deadline_prev_faulthandler is not None:
+            if _deadline_prev_faulthandler:
+                faulthandler.enable()
+            else:
+                faulthandler.disable()
+            _deadline_prev_faulthandler = None
+        return
+    if _deadline_prev_faulthandler is None:
+        # first frame pushed: C-level crashes inside the bounded
+        # window should dump too
+        _deadline_prev_faulthandler = faulthandler.is_enabled()
+        faulthandler.enable()
+    frame = min(_deadline_frames, key=lambda f: f[0])
+    delay = max(frame[0] - time.monotonic(), 0.0)
+    _deadline_timer = threading.Timer(delay, _deadline_expire, args=(frame,))
+    _deadline_timer.daemon = True
+    _deadline_timer.start()
+
+
+@contextlib.contextmanager
+def deadline(seconds: float, label: str = "deadline block", capman=None):
+    """Nestable hard wall-clock bound; dumps all stacks on expiry.
+
+    Frames stack: the shared watchdog timer always tracks the earliest
+    remaining expiry, and leaving an inner frame re-arms the enclosing
+    one.  ``faulthandler`` is enabled while any frame is armed and its
+    prior enabled-state is restored when the last frame pops.
+    """
+    frame = (time.monotonic() + seconds, label, capman)
+    with _deadline_lock:
+        _deadline_frames.append(frame)
+        _deadline_rearm_locked()
+    try:
+        yield
+    finally:
+        with _deadline_lock:
+            _deadline_frames.remove(frame)
+            _deadline_rearm_locked()
 
 
 @pytest.fixture(autouse=True)
 def _deadline_watchdog(request):
-    """Hard wall-clock bound for tests marked ``@pytest.mark.deadline``.
-
-    A wedged thread interleaving cannot be unwound from Python (the
-    stuck threads hold no cooperative cancellation point), so on expiry
-    the watchdog dumps **all** thread stacks via :mod:`faulthandler`
-    and terminates the process with :data:`DEADLINE_EXIT_CODE` — CI
-    then shows exactly where every thread was stuck instead of timing
-    the whole job out with no diagnostics.
-    """
+    """Arm :func:`deadline` for tests marked ``@pytest.mark.deadline``."""
     marker = request.node.get_closest_marker("deadline")
     if marker is None:
         yield
         return
     seconds = float(marker.args[0]) if marker.args else 120.0
     capman = request.config.pluginmanager.getplugin("capturemanager")
-
-    def _expire() -> None:  # pragma: no cover - only fires on a hang
-        # fd-level capture would swallow the dump (and discard it at
-        # os._exit), so stop capturing before writing anything
-        if capman is not None:
-            try:
-                capman.stop_global_capturing()
-            except Exception:
-                pass
-        sys.stderr.write(
-            f"\n\nFATAL: {request.node.nodeid} exceeded its "
-            f"{seconds:g}s deadline; thread stacks follow.\n"
-        )
-        faulthandler.dump_traceback(file=sys.stderr)
-        sys.stderr.flush()
-        os._exit(DEADLINE_EXIT_CODE)
-
-    timer = threading.Timer(seconds, _expire)
-    timer.daemon = True
-    timer.start()
-    try:
+    with deadline(
+        seconds, label=f"{request.node.nodeid} ({seconds:g}s)",
+        capman=capman,
+    ):
         yield
-    finally:
-        timer.cancel()
 
 
 def run_world(nranks, fn, *args, thread_level=THREAD_FUNNELED, **kwargs):

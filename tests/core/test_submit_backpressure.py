@@ -93,7 +93,10 @@ class TestLiveBackpressure:
             with offloaded(
                 comm, queue_capacity=4, telemetry=True
             ) as oc:
-                engine = oc.engine
+                # pin one shard: this test wedges a single command
+                # ring on purpose (route() is the identity on a bare
+                # engine, the calling thread's shard on a pool)
+                engine = oc.engine.route()
                 # wedge the engine so the ring genuinely fills
                 wedge = Command(
                     kind=CommandKind.CALL, fn=lambda: gate.wait(30)

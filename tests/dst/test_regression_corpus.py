@@ -19,14 +19,18 @@ class TestCorpusRegistry:
             "queue-close-enqueue",
             "freelist-double-free",
             "engine-mid-batch-crash",
+            "steal-vs-submit",
+            "steal-vs-close",
+            "shard-crash-stolen-work",
+            "routing-order",
             "queue-linearizability",
             "freelist-linearizability",
             "pool-linearizability",
         }
 
-    def test_three_regressions_three_oracles(self):
+    def test_seven_regressions_three_oracles(self):
         regressions = [t for t in CORPUS.values() if t.regression]
-        assert len(regressions) == 3
+        assert len(regressions) == 7
         assert len(CORPUS) - len(regressions) == 3
 
     def test_oracle_targets_reject_fix_disabled(self):
@@ -61,6 +65,51 @@ class TestSmokeRegressions:
             "engine-mid-batch-crash", fix_disabled=False, schedules=50
         )
         assert not fixed.result.found and fixed.expected
+
+
+class TestPoolSmokeRegressions:
+    """The sharded-pool races (steal protocol, routing stickiness)
+    rediscovered within a bounded budget and clean once fixed."""
+
+    @pytest.mark.parametrize(
+        "name, budget",
+        [
+            ("steal-vs-submit", 300),
+            ("steal-vs-close", 100),
+            ("shard-crash-stolen-work", 100),
+            ("routing-order", 100),
+        ],
+    )
+    def test_pool_targets_found_and_clean(self, name, budget):
+        broken = run_target(name, fix_disabled=True, schedules=budget)
+        assert broken.result.found and broken.expected
+        assert broken.result.failure.token[0] == "random"
+        fixed = run_target(name, fix_disabled=False, schedules=50)
+        assert not fixed.result.found and fixed.expected
+
+    def test_steal_token_replays_and_fix_survives_schedule(self):
+        broken = run_target(
+            "steal-vs-close", fix_disabled=True, schedules=100
+        )
+        token = broken.result.failure.token
+        target = CORPUS["steal-vs-close"]
+        replayed = Explorer(lambda: target.make(True)).replay(token)
+        assert replayed is not None
+        assert type(replayed.error) is type(broken.result.failure.error)
+        # the exact schedule that broke the unclaimed steal passes once
+        # the consumer claim is honoured
+        assert Explorer(lambda: target.make(False)).replay(token) is None
+
+    def test_routing_order_token_replays(self):
+        broken = run_target(
+            "routing-order", fix_disabled=True, schedules=100
+        )
+        kind, seed = broken.result.failure.token
+        assert kind == "random"
+        target = CORPUS["routing-order"]
+        replayed = Explorer(lambda: target.make(True)).replay(seed)
+        assert replayed is not None
+        assert Explorer(lambda: target.make(False)).replay(seed) is None
 
 
 class TestReplayContract:
@@ -132,9 +181,9 @@ class TestDeepTier:
             (o.target, o.fix_disabled, o.result.found) for o in wrong
         ]
         # both directions ran: planted bugs found, fixed code clean
-        assert sum(o.fix_disabled for o in outcomes) == 3
-        assert len(outcomes) == 9
+        assert sum(o.fix_disabled for o in outcomes) == 7
+        assert len(outcomes) == 17
         snap = counters.snapshot()
         assert snap["schedules_explored"] > 0
         assert snap["lin_histories_checked"] > 0
-        assert snap["dst_violations"] == 3
+        assert snap["dst_violations"] == 7

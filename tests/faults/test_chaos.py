@@ -97,6 +97,42 @@ class TestChaosContract:
         )
         assert report["ok"], render_report(report)
 
+    @pytest.mark.parametrize("test_seed", [4], indirect=True)
+    def test_shard_crash_profile(self, test_seed):
+        # one shard of each rank's 4-wide pool dies under load; the
+        # pool must reroute around it with no hang, no lost
+        # completion, and the pool-merged balance law intact
+        report = run_chaos(
+            nranks=2,
+            rounds=10,
+            seed=test_seed,
+            profile="shard-crash",
+            op_timeout=0.5,
+            run_timeout=90.0,
+        )
+        assert report["ok"], render_report(report)
+        assert report["hangs"] == []
+        assert report["unexpected_errors"] == {}
+        assert report["balance"]["ok"]
+        assert report["pool_size"] == 4
+        assert report["faults"]["fault_engine_crash"] >= 1
+        # the crash killed shards, not ranks: nobody degraded to
+        # inline issuance and at least one shard is recorded dead
+        assert report["pool"]["dead_shards"] >= 1
+
+    def test_shard_crash_cli_exit_code(self):
+        from repro.__main__ import main
+
+        argv = [
+            "chaos",
+            "--nranks", "2",
+            "--rounds", "6",
+            "--seed", "7",
+            "--profile", "shard-crash",
+            "--op-timeout", "0.5",
+        ]
+        assert main(argv) == 0
+
     def test_cli_exit_code(self):
         from repro.__main__ import main
 

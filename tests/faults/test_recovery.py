@@ -256,6 +256,87 @@ class TestDegradedMode:
         assert all(run_world_mt(1, prog, timeout=60))
 
 
+class TestPoolRecovery:
+    """One wedged shard is a shard-local failure: its pending work
+    fails typed while sibling shards keep completing."""
+
+    def test_wedged_shard_fails_pending_typed_siblings_survive(self):
+        rec = RecoveryPolicy(watchdog_timeout=0.2, poll_interval=0.01)
+
+        def prog(comm):
+            gate = threading.Event()
+            try:
+                with offloaded(comm, pool_size=4, recovery=rec) as oc:
+                    pool = oc.engine
+                    shard0 = pool.engines[0]
+                    # wedge shard 0 on a blocking CALL, then queue a
+                    # victim behind it on the same ring
+                    shard0.submit(
+                        Command(
+                            kind=CommandKind.CALL,
+                            fn=lambda: gate.wait(30),
+                        )
+                    )
+                    time.sleep(0.05)  # shard 0 dequeues the wedge
+                    victim = Command(
+                        kind=CommandKind.CALL, fn=lambda: None
+                    )
+                    shard0.submit(victim)
+                    t0 = time.perf_counter()
+                    OffloadCommunicator._watchful_wait(shard0, victim, rec)
+                    # unblocked by the watchdog bound, not the wedge
+                    assert time.perf_counter() - t0 < 1.0
+                    assert isinstance(victim.error, OffloadEngineDied)
+                    assert shard0.dead is not None
+                    assert shard0.stats()["watchdog_trips"] == 1
+                    # the pool survives: only every-shard-dead is dead
+                    assert pool.dead is None
+                    # siblings keep completing routed work
+                    assert oc.allreduce(np.ones(1))[0] == 1.0
+                    gate.set()
+            finally:
+                gate.set()
+            return True
+
+        assert all(run_world_mt(1, prog, timeout=60))
+
+    def test_pool_watchdog_monitors_every_shard(self):
+        from repro.core.recovery import EngineWatchdog
+
+        def prog(comm):
+            gate = threading.Event()
+            try:
+                with offloaded(comm, pool_size=2) as oc:
+                    pool = oc.engine
+                    shard0, shard1 = pool.engines
+                    shard0.submit(
+                        Command(
+                            kind=CommandKind.CALL,
+                            fn=lambda: gate.wait(30),
+                        )
+                    )
+                    time.sleep(0.05)
+                    # a watchdog holding the *pool* samples all shards
+                    wd = EngineWatchdog(pool, timeout=0.15)
+                    assert wd.engines == list(pool.engines)
+                    stop_at = time.perf_counter() + 5.0
+                    tripped = False
+                    while not tripped and time.perf_counter() < stop_at:
+                        time.sleep(0.02)
+                        tripped = wd.check()
+                    assert tripped, "pool watchdog never tripped"
+                    # only the wedged shard was poisoned
+                    assert shard0.dead is not None
+                    assert shard1.dead is None
+                    gate.set()
+                    assert oc.allreduce(np.ones(1))[0] == 1.0
+            finally:
+                gate.set()
+            return True
+
+        assert all(run_world_mt(1, prog, timeout=60))
+
+
 class TestStopTimeout:
     def test_stop_timeout_names_pending_work(self):
         def prog(comm):

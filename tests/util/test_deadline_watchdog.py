@@ -1,0 +1,78 @@
+"""The nestable ``deadline()`` watchdog composes and restores state.
+
+The watchdog kills the process on expiry, so these tests only exercise
+the *arming* logic: frame stacking, earliest-expiry selection, re-arm
+on inner pop, and faulthandler state restoration.  Expiry itself is
+covered by the chaos/stress tiers actually relying on it.
+"""
+
+import faulthandler
+
+import pytest
+
+import tests.conftest as conftest
+from tests.conftest import deadline
+
+
+def _armed_delay() -> float:
+    timer = conftest._deadline_timer
+    assert timer is not None, "watchdog timer should be armed"
+    return timer.interval
+
+
+class TestDeadlineNesting:
+    def test_frames_stack_and_earliest_expiry_wins(self):
+        base = len(conftest._deadline_frames)
+        with deadline(60.0, "outer"):
+            assert len(conftest._deadline_frames) == base + 1
+            outer_delay = _armed_delay()
+            assert outer_delay > 30.0
+            with deadline(5.0, "inner"):
+                # the tighter inner bound takes over the shared timer
+                assert len(conftest._deadline_frames) == base + 2
+                assert _armed_delay() < 6.0
+            # popping the inner frame re-arms the outer one's
+            # *remaining* time instead of cancelling the watchdog
+            assert len(conftest._deadline_frames) == base + 1
+            assert 30.0 < _armed_delay() <= 60.0
+        assert len(conftest._deadline_frames) == base
+
+    def test_inner_longer_than_outer_keeps_outer_armed(self):
+        with deadline(5.0, "outer"):
+            with deadline(60.0, "inner"):
+                # earliest expiry is still the outer frame
+                assert _armed_delay() < 6.0
+
+    def test_faulthandler_state_restored_after_last_pop(self):
+        was_enabled = faulthandler.is_enabled()
+        if conftest._deadline_frames:
+            pytest.skip("another deadline frame is active")
+        try:
+            faulthandler.disable()
+            with deadline(30.0, "outer"):
+                assert faulthandler.is_enabled()
+                with deadline(10.0, "inner"):
+                    assert faulthandler.is_enabled()
+                # still inside a frame: state must NOT be restored yet
+                assert faulthandler.is_enabled()
+            assert not faulthandler.is_enabled()
+            faulthandler.enable()
+            with deadline(30.0, "outer"):
+                pass
+            assert faulthandler.is_enabled()
+        finally:
+            if was_enabled:
+                faulthandler.enable()
+            else:
+                faulthandler.disable()
+
+    @pytest.mark.deadline(120)
+    def test_marker_and_context_manager_compose(self):
+        # the autouse fixture holds the outer frame for this test
+        assert conftest._deadline_frames
+        depth = len(conftest._deadline_frames)
+        with deadline(3.0, "phase"):
+            assert len(conftest._deadline_frames) == depth + 1
+            assert _armed_delay() < 4.0
+        assert len(conftest._deadline_frames) == depth
+        assert _armed_delay() > 4.0
