@@ -12,9 +12,86 @@ Run with::
 
 from __future__ import annotations
 
+import json
+import os
 import sys
+from pathlib import Path
 
 import pytest
+
+
+class BenchTrajectory:
+    """Collector behind the per-run ``BENCH_<name>.json`` artifacts.
+
+    Benchmarks append sweep ``rows`` (one dict per measured point) and
+    named summary ``metrics``.  Each metric carries:
+
+    * ``kind`` — ``"counter"`` for deterministic values (copy counts,
+      hit rates) that the ratchet gate blocks on, ``"time"`` for noisy
+      wall-clock values the gate only checks under ``--strict``;
+    * ``direction`` — ``"higher"`` or ``"lower"`` is better, so the
+      ratchet knows which way a drift is a regression.
+
+    At session end one ``BENCH_<name>.json`` per registered name is
+    written to ``$REPRO_BENCH_OUT`` (default ``benchmarks/out``);
+    ``benchmarks/ratchet.py`` compares those against the committed
+    ``benchmarks/baselines/``.
+    """
+
+    def __init__(self) -> None:
+        self._store: dict[str, dict] = {}
+
+    def _entry(self, name: str) -> dict:
+        return self._store.setdefault(name, {"rows": [], "metrics": {}})
+
+    def add_row(self, name: str, **row) -> None:
+        self._entry(name)["rows"].append(row)
+
+    def metric(
+        self,
+        name: str,
+        key: str,
+        value,
+        kind: str = "time",
+        direction: str = "higher",
+    ) -> None:
+        assert kind in ("counter", "time") and direction in (
+            "higher",
+            "lower",
+        )
+        self._entry(name)["metrics"][key] = {
+            "value": value,
+            "kind": kind,
+            "direction": direction,
+        }
+
+    def write(self, out_dir: Path) -> list[Path]:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        written = []
+        for name, payload in sorted(self._store.items()):
+            path = out_dir / f"BENCH_{name}.json"
+            with open(path, "w") as fh:
+                json.dump(
+                    {"name": name, **payload}, fh, indent=2, sort_keys=True
+                )
+                fh.write("\n")
+            written.append(path)
+        return written
+
+
+@pytest.fixture(scope="session")
+def bench_trajectory():
+    """Session-wide :class:`BenchTrajectory`; artifacts are written on
+    session teardown (one file per benchmark name that registered)."""
+    traj = BenchTrajectory()
+    yield traj
+    out_dir = Path(
+        os.environ.get(
+            "REPRO_BENCH_OUT", str(Path(__file__).parent / "out")
+        )
+    )
+    for path in traj.write(out_dir):
+        print(f"\n[bench-trajectory] wrote {path}")
 
 
 @pytest.fixture(autouse=True, scope="session")

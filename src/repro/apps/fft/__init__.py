@@ -19,6 +19,7 @@ from repro.apps.fft.serial import fft1d, ifft1d, fft_flops
 from repro.apps.fft.distributed import (
     transpose_fft,
     lowcomm_fft,
+    FFTWorkspace,
     LowCommLayout,
     block_to_cyclic,
     local_block,
@@ -31,6 +32,7 @@ __all__ = [
     "fft_flops",
     "transpose_fft",
     "lowcomm_fft",
+    "FFTWorkspace",
     "LowCommLayout",
     "block_to_cyclic",
     "local_block",

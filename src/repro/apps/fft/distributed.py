@@ -46,15 +46,63 @@ def local_block(x_global: np.ndarray, rank: int, nranks: int) -> np.ndarray:
     return np.ascontiguousarray(x_global[rank * l : (rank + 1) * l])
 
 
-def block_to_cyclic(comm: Any, x_local: np.ndarray) -> np.ndarray:
-    """First transpose: block layout -> cyclic layout (one all-to-all)."""
+class FFTWorkspace:
+    """Persistent staging buffers for the distributed FFT transposes.
+
+    Without a workspace every call to :func:`block_to_cyclic`,
+    :func:`lowcomm_fft`, or :func:`transpose_fft` materializes its
+    pack/exchange buffers with ``np.ascontiguousarray``/``np.empty`` —
+    an allocation per segment per call, right inside the window the
+    all-to-all is supposed to hide compute in.  A workspace keeps one
+    keyed buffer per staging role and gathers the strided views into
+    it with ``np.copyto``, so steady-state iterations (FFT solvers
+    call these in a loop) allocate only their returned result.
+
+    Contract: returned arrays never alias workspace storage (they stay
+    valid after the next call), and a workspace belongs to a single
+    rank — staging buffers are reused in place, so sharing one across
+    concurrently executing ranks races the exchanges.  Buffers are
+    lazily (re)allocated when a key is first seen or its shape/dtype
+    changes, so one workspace can serve differently sized problems,
+    just not with reuse across the size change.
+    """
+
+    def __init__(self) -> None:
+        self._bufs: dict[Any, np.ndarray] = {}
+
+    def buf(
+        self, key: Any, shape: tuple[int, ...], dtype: Any = np.complex128
+    ) -> np.ndarray:
+        """The persistent buffer for ``key``, allocated on first use."""
+        b = self._bufs.get(key)
+        if b is None or b.shape != shape or b.dtype != np.dtype(dtype):
+            b = np.empty(shape, dtype=dtype)
+            self._bufs[key] = b
+        return b
+
+
+def block_to_cyclic(
+    comm: Any, x_local: np.ndarray, workspace: FFTWorkspace | None = None
+) -> np.ndarray:
+    """First transpose: block layout -> cyclic layout (one all-to-all).
+
+    With a ``workspace`` the send/recv staging comes from persistent
+    buffers (strided gather via ``np.copyto``) instead of fresh
+    allocations; the returned array is always freshly owned.
+    """
     p, l = _check(comm, x_local.shape[0])
     if p == 1:
         return x_local.copy()
-    send = np.ascontiguousarray(x_local.reshape(l // p, p).T)
-    recv = np.empty_like(send)
+    if workspace is None:
+        send = np.ascontiguousarray(x_local.reshape(l // p, p).T)
+        recv = np.empty_like(send)
+        comm.alltoall(send, recv)
+        return recv.reshape(l)
+    send = workspace.buf("b2c_send", (p, l // p), x_local.dtype)
+    np.copyto(send, x_local.reshape(l // p, p).T)
+    recv = workspace.buf("b2c_recv", (p, l // p), x_local.dtype)
     comm.alltoall(send, recv)
-    return recv.reshape(l)
+    return recv.reshape(l).copy()
 
 
 def _twiddle(q: int, l: int, n: int) -> np.ndarray:
@@ -88,6 +136,7 @@ def lowcomm_fft(
     comm: Any,
     x_cyclic: np.ndarray,
     segments: int = 1,
+    workspace: FFTWorkspace | None = None,
 ) -> tuple[np.ndarray, LowCommLayout]:
     """Single-transpose FFT with segmented, pipelined exchange.
 
@@ -98,6 +147,12 @@ def lowcomm_fft(
     ``s+1``'s exchange is posted before segment ``s``'s short DFT runs,
     so with asynchronous progress the exchange hides behind compute —
     the paper's SOI pipelining (§5.2).
+
+    A ``workspace`` (see :class:`FFTWorkspace`) makes the per-segment
+    send/recv staging persistent across calls: each segment's columns
+    are gathered into a reused buffer instead of a fresh
+    ``ascontiguousarray`` copy.  The returned tile ``G`` is always
+    freshly allocated.
     """
     p, l = _check(comm, x_cyclic.shape[0])
     n = p * l
@@ -121,8 +176,15 @@ def lowcomm_fft(
     reqs: list[Any] = []
     for s in range(segments):
         lo, hi = edges[s], edges[s + 1]
-        sends.append(np.ascontiguousarray(z_mat[:, lo:hi]))
-        recvs.append(np.empty((p, hi - lo), dtype=np.complex128))
+        if workspace is None:
+            send = np.ascontiguousarray(z_mat[:, lo:hi])
+            recv = np.empty((p, hi - lo), dtype=np.complex128)
+        else:
+            send = workspace.buf(("lc_send", s), (p, hi - lo))
+            np.copyto(send, z_mat[:, lo:hi])
+            recv = workspace.buf(("lc_recv", s), (p, hi - lo))
+        sends.append(send)
+        recvs.append(recv)
         reqs.append(None)
 
     def post(s: int) -> None:
@@ -139,23 +201,32 @@ def lowcomm_fft(
     return g, LowCommLayout(p, l)
 
 
-def transpose_fft(comm: Any, x_block: np.ndarray) -> np.ndarray:
+def transpose_fft(
+    comm: Any, x_block: np.ndarray, workspace: FFTWorkspace | None = None
+) -> np.ndarray:
     """Ordered distributed FFT: three all-to-all exchanges.
 
     Block layout in, block layout out (rank p returns X[pL:(p+1)L]).
+    ``workspace`` threads persistent staging through all three
+    exchanges; the returned spectrum is always freshly owned.
     """
     p, l = _check(comm, x_block.shape[0])
     if p == 1:
         return fft1d(x_block)
     # Exchange 1: block -> cyclic.
-    x_cyc = block_to_cyclic(comm, x_block)
+    x_cyc = block_to_cyclic(comm, x_block, workspace=workspace)
     # Exchange 2 (inside): single-transpose core, unsegmented.
-    g, _layout = lowcomm_fft(comm, x_cyc, segments=1)
-    # Exchange 3: lowcomm layout -> ordered block layout.
-    recv = np.empty_like(g)
-    comm.alltoall(np.ascontiguousarray(g), recv)
-    # recv[m, c'] = X[rank*L + m*(L//P) + c']  ->  flatten in (m, c').
-    return recv.reshape(l)
+    g, _layout = lowcomm_fft(comm, x_cyc, segments=1, workspace=workspace)
+    # Exchange 3: lowcomm layout -> ordered block layout.  ``g`` is a
+    # fresh contiguous tile, so it is sent in place.
+    if workspace is None:
+        recv = np.empty_like(g)
+        comm.alltoall(g, recv)
+        # recv[m, c'] = X[rank*L + m*(L//P) + c']  ->  flatten in (m, c').
+        return recv.reshape(l)
+    recv = workspace.buf("tf_recv", g.shape)
+    comm.alltoall(g, recv)
+    return recv.reshape(l).copy()
 
 
 def gather_lowcomm_output(

@@ -98,6 +98,15 @@ class OffloadEngine:
     pool_cache:
         Per-thread request-pool cache chunk (0 disables); see
         :class:`~repro.core.request_pool.OffloadRequestPool`.
+    zero_copy:
+        ``True``/``False`` switches the *rank's* substrate progress
+        engine onto/off the zero-copy data plane (DESIGN.md §14):
+        offloaded eager sends of contiguous buffers then ship a
+        borrowed view and pay exactly one copy, at match time — the
+        paper's "no extra copy out of user buffers" claim.  The flag
+        is rank-wide (the progress engine is shared by every shard and
+        the app's direct calls); ``None`` leaves the current setting
+        untouched.
     request_pool:
         Share an existing :class:`OffloadRequestPool` instead of
         constructing a private one.  An :class:`EnginePool` passes one
@@ -118,10 +127,13 @@ class OffloadEngine:
         coalesce_eager: bool = False,
         pool_cache: int = _POOL_CACHE,
         request_pool: OffloadRequestPool | None = None,
+        zero_copy: bool | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         self.comm = comm
+        if zero_copy is not None:
+            comm.engine.zero_copy = zero_copy
         self.queue: MPSCQueue[Command] = MPSCQueue(queue_capacity)
         self.pool = (
             request_pool
@@ -1166,6 +1178,14 @@ class OffloadEngine:
             "coalesced_messages": self.coalesced_messages,
             "steals": self.steals,
             "steal_batch_hwm": self.steal_batch_hwm,
+            # Data-plane copy accounting lives on the substrate's
+            # progress engine (rank-wide, shared by every shard).
+            # getattr: DST harness targets drive the engine with a
+            # stub communicator that has no progress engine behind it.
+            "payload_copies": getattr(self.comm.engine, "payload_copies", 0),
+            "payload_zero_copy_hits": getattr(
+                self.comm.engine, "payload_zero_copy_hits", 0
+            ),
         }
         if self._telem is not None:
             for name, value in self._telem.counters.snapshot().items():

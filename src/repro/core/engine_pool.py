@@ -264,6 +264,7 @@ class EnginePool:
         batch_size: int | None = None,
         coalesce_eager: bool = False,
         pool_cache: int | None = None,
+        zero_copy: bool | None = None,
     ) -> None:
         if pool_size < 1:
             raise ValueError("pool_size must be >= 1")
@@ -291,6 +292,11 @@ class EnginePool:
         engine_kwargs: dict = {"coalesce_eager": coalesce_eager}
         if batch_size is not None:
             engine_kwargs["batch_size"] = batch_size
+        if zero_copy is not None:
+            # Rank-wide substrate toggle: every shard shares this
+            # rank's progress engine, so setting it once per shard is
+            # idempotent.
+            engine_kwargs["zero_copy"] = zero_copy
         self.engines = [
             OffloadEngine(
                 comm,

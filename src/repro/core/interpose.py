@@ -66,6 +66,7 @@ def offloaded(
     pool_size: int | None = None,
     router: str | None = None,
     steal_threshold: int | None = None,
+    zero_copy: bool | None = None,
 ) -> Iterator[OffloadCommunicator]:
     """Context manager: spawn offload thread(s) for ``comm``'s rank,
     yield the interposed communicator, and tear them down on exit (the
@@ -98,7 +99,57 @@ def offloaded(
     below ``MPI_THREAD_MULTIPLE`` so single-threaded worlds keep
     working when the suite-wide default is raised.  ``nthreads > 1``
     (the legacy thread-sticky group) takes precedence over
-    ``pool_size``."""
+    ``pool_size``.
+
+    ``zero_copy`` toggles the substrate's zero-copy data plane
+    (DESIGN.md §14) for this rank's progress engine for the duration
+    of the context, restoring the previous setting on exit.  The
+    toggle is rank-wide: it affects every send posted by this rank
+    while the context is active, including ones made outside the
+    offloaded communicator.  ``None`` (default) leaves the world's
+    setting untouched."""
+    restore_zero_copy: bool | None = None
+    if zero_copy is not None:
+        restore_zero_copy = comm.engine.zero_copy
+        comm.engine.zero_copy = zero_copy
+    try:
+        yield from _offloaded_body(
+            comm,
+            pool_capacity=pool_capacity,
+            queue_capacity=queue_capacity,
+            nthreads=nthreads,
+            telemetry=telemetry,
+            faults=faults,
+            recovery=recovery,
+            op_timeout=op_timeout,
+            batch_size=batch_size,
+            coalesce_eager=coalesce_eager,
+            pool_cache=pool_cache,
+            pool_size=pool_size,
+            router=router,
+            steal_threshold=steal_threshold,
+        )
+    finally:
+        if restore_zero_copy is not None:
+            comm.engine.zero_copy = restore_zero_copy
+
+
+def _offloaded_body(
+    comm: "Communicator",
+    pool_capacity: int,
+    queue_capacity: int,
+    nthreads: int,
+    telemetry: bool | None,
+    faults,
+    recovery,
+    op_timeout: float | None,
+    batch_size: int | None,
+    coalesce_eager: bool,
+    pool_cache: int | None,
+    pool_size: int | None,
+    router: str | None,
+    steal_threshold: int | None,
+) -> Iterator[OffloadCommunicator]:
     perf_kwargs: dict = {"coalesce_eager": coalesce_eager}
     if batch_size is not None:
         perf_kwargs["batch_size"] = batch_size

@@ -729,6 +729,22 @@ class OffloadCommunicator:
             if sum(e.queue.steals for e in engines) == steals_before:
                 return
 
+    def payload_counters(self) -> tuple[int, int]:
+        """``(payload_copies, payload_zero_copy_hits)`` for this rank.
+
+        Reads the substrate progress engine's data-plane accounting
+        (DESIGN.md §14): intermediate payload materializations versus
+        deliveries satisfied directly from the sender's user buffer.
+        The final copy into a posted receive buffer is never counted —
+        ``payload_copies == 0`` on the happy path means every byte
+        moved exactly once.
+        """
+        eng = self.inner.engine
+        return (
+            getattr(eng, "payload_copies", 0),
+            getattr(eng, "payload_zero_copy_hits", 0),
+        )
+
     # ------------------------------------------------------------ persistent
 
     def send_init(self, buf: Any, dest: int, tag: int = 0):

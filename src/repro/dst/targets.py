@@ -62,6 +62,16 @@ cross-shard path its correctness argument leans on:
     (:attr:`ShardRouter._unsafe_ignore_stickiness` disables
     stickiness).
 
+The zero-copy data-plane PR added one more:
+
+``eager-deferred-copy``
+    A zero-copy eager send that completes at *post* time tells the
+    sender its buffer is reusable while a late-matching receiver will
+    still read it through the borrowed reference.  Fixed by deferring
+    completion to the match, where the single copy runs
+    (:attr:`ProgressEngine._unsafe_complete_eager_at_post` re-opens
+    the race).
+
 This module imports :mod:`repro.core` and therefore must never be
 imported from :mod:`repro.dst.hooks`'s import path (see the package
 docstring); consumers reach it via ``repro.dst.targets`` directly or
@@ -615,6 +625,91 @@ class RoutingOrderProgram:
 
 
 # ---------------------------------------------------------------------------
+# Regression race 8: zero-copy eager send completing before the copy
+# ---------------------------------------------------------------------------
+
+
+class EagerDeferredCopyProgram:
+    """Zero-copy eager send racing the sender's buffer reuse.
+
+    The zero-copy data plane (DESIGN.md §14) lets an eager send borrow
+    the user's buffer and defer the single copy to match time.  That
+    is only sound if the send request completes *at the match* — the
+    classic zero-copy race is completing it at post time, which tells
+    the sender "your buffer is reusable" while a late-matching
+    receiver will still read it.
+
+    Rank 0 posts a zero-copy eager send, waits for completion, then
+    scribbles the buffer (legal reuse under MPI semantics); rank 1
+    posts its receive at a schedule-chosen later point.  Invariant:
+    the receiver observes the original payload, never the scribble.
+    :attr:`ProgressEngine._unsafe_complete_eager_at_post` re-opens the
+    race.
+    """
+
+    def __init__(self, fix_disabled: bool, nbytes: int = 64) -> None:
+        import numpy as np
+
+        from repro.mpisim.constants import ThreadLevel
+        from repro.mpisim.world import World
+
+        self.np = np
+        self.world = World(
+            2, ThreadLevel.MULTIPLE, zero_copy=True
+        )
+        self.world.engines[0]._unsafe_complete_eager_at_post = fix_disabled
+        self.nbytes = nbytes
+        self.expected = np.arange(nbytes, dtype=np.uint8)
+        self.received: Any = None
+
+    def setup(self, sched: Any) -> None:
+        np = self.np
+
+        def sender() -> None:
+            comm = self.world.comm_world(0)
+            buf = self.expected.copy()
+            req = comm.isend(buf, 1, tag=3)
+            # Bounded completion wait: each pass is one atomic library
+            # call (no lock held across a yield), and the schedule
+            # decides how the receiver's posting interleaves with it.
+            for _ in range(40):
+                if req.done:
+                    break
+                _dst.yield_point("zc.send_wait")
+            if req.done:
+                # MPI contract: a completed send means the buffer is
+                # ours again.  With completion deferred to the match
+                # this can never be observed by the receiver.
+                buf[:] = 0xEE
+
+        def receiver() -> None:
+            comm = self.world.comm_world(1)
+            _dst.yield_point("zc.recv_delay")
+            rbuf = np.empty(self.nbytes, dtype=np.uint8)
+            rreq = comm.irecv(rbuf, 0, tag=3)
+            for _ in range(40):
+                if rreq.done:
+                    break
+                comm.engine.progress()
+                _dst.yield_point("zc.recv_pump")
+            if rreq.done:
+                self.received = rbuf.copy()
+
+        sched.spawn(sender, name="sender")
+        sched.spawn(receiver, name="receiver")
+
+    def check(self) -> None:
+        if self.received is None:
+            return  # delivery did not complete within this schedule
+        if not (self.received == self.expected).all():
+            raise InvariantViolation(
+                "receiver observed the sender's post-completion "
+                "scribble through a borrowed zero-copy buffer — the "
+                "eager send completed before the deferred copy ran"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Linearizability targets (history-recording programs)
 # ---------------------------------------------------------------------------
 
@@ -872,6 +967,17 @@ CORPUS: dict[str, Target] = {
                 "stream split over two shards and reordered"
             ),
             make=RoutingOrderProgram,
+            regression=True,
+            strategy="random",
+            schedules=200,
+        ),
+        Target(
+            name="eager-deferred-copy",
+            description=(
+                "zero-copy eager send completed at post time: sender's "
+                "buffer reuse races the deferred match-time copy"
+            ),
+            make=EagerDeferredCopyProgram,
             regression=True,
             strategy="random",
             schedules=200,

@@ -284,6 +284,7 @@ def run_chaos(
     pool_size: int = 1,
     router: str | None = None,
     steal_threshold: int | None = None,
+    zero_copy: bool = False,
 ) -> dict:
     """One seeded chaos run; returns a structured verdict report.
 
@@ -297,6 +298,11 @@ def run_chaos(
     :class:`~repro.core.engine_pool.EnginePool`; the ``shard-crash``
     profile defaults to a 4-shard pool (one shard dies under load, the
     pool must survive with the merged balance law intact).
+
+    ``zero_copy=True`` runs the storm over the zero-copy data plane
+    (DESIGN.md §14) — eager sends borrow user buffers and complete at
+    match time, so DROP/DUPLICATE rules exercise the fault hooks'
+    send-request completion and deep-copy paths.
     """
     if profile == "shard-crash" and pool_size == 1:
         pool_size = 4
@@ -306,9 +312,13 @@ def run_chaos(
         # Several offload threads per rank enter MPI concurrently.
         from repro.mpisim.constants import ThreadLevel
 
-        world = World(nranks, thread_level=ThreadLevel.MULTIPLE)
+        world = World(
+            nranks,
+            thread_level=ThreadLevel.MULTIPLE,
+            zero_copy=zero_copy,
+        )
     else:
-        world = World(nranks)
+        world = World(nranks, zero_copy=zero_copy)
     world.install_faults(plan)
     reports: list[dict] = []
     lock = threading.Lock()

@@ -43,7 +43,8 @@ from enum import Enum
 from random import Random
 from typing import TYPE_CHECKING, Callable
 
-from repro.mpisim.envelope import Envelope, EnvelopeKind
+from repro.mpisim.envelope import BufferRef, Envelope, EnvelopeKind
+from repro.mpisim.status import EMPTY_STATUS
 from repro.obs.counters import Counters
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -287,15 +288,63 @@ class FaultPlan:
                     continue
                 self._count(rule.action)
                 if rule.action is FaultAction.DROP:
+                    # Eager data is lost in transit *after* leaving the
+                    # sender: complete any zero-copy send request so the
+                    # sender does not wait forever on a match that can
+                    # never happen (classic eager sends completed at
+                    # post time; this preserves that semantics).
+                    self._complete_eager_sends(env)
                     return []
                 if rule.action is FaultAction.DELAY:
                     release = time.perf_counter() + rule.delay
                     self._delayed.append((release, dst, env))
                     return []
-                # DUPLICATE (EAGER: payload was already copied by the
-                # sender; the receiver copies out, so sharing is safe)
-                return [(dst, env), (dst, env)]
+                # DUPLICATE: the duplicate must own its bytes.  A
+                # zero-copy EAGER envelope carries a *borrowed* view of
+                # the sender's live user buffer plus the sender's
+                # pending request — sharing the envelope would alias
+                # the user buffer (late match reads post-reuse data)
+                # and double-complete the request.  Owned payloads can
+                # still share (the receiver copies out on each match).
+                return [(dst, env), (dst, self._duplicate(env))]
         return [(dst, env)]
+
+    @staticmethod
+    def _complete_eager_sends(env: Envelope) -> None:
+        """Complete pending zero-copy eager send requests on ``env``."""
+        if env.kind is EnvelopeKind.EAGER:
+            if env.send_req is not None and not env.send_req.done:
+                env.send_req._complete(EMPTY_STATUS)
+        elif env.kind is EnvelopeKind.COALESCED and env.parts:
+            for part in env.parts:
+                if part.send_req is not None and not part.send_req.done:
+                    part.send_req._complete(EMPTY_STATUS)
+
+    def _duplicate(self, env: Envelope) -> Envelope:
+        """A safe second delivery of an EAGER envelope.
+
+        Borrowed :class:`BufferRef` payloads are deep-copied (one
+        materialization, counted in ``duplicate_deep_copies``) and the
+        send-request reference is stripped: the original envelope alone
+        completes the sender.
+        """
+        payload = env.payload
+        if isinstance(payload, BufferRef) and not payload.owned:
+            payload = payload.materialize()
+            self.counters.inc("duplicate_deep_copies")
+        if payload is env.payload and env.send_req is None:
+            # Owned payload, no request reference: sharing the envelope
+            # object is safe (pre-zero-copy behavior, unchanged).
+            return env
+        return Envelope(
+            kind=env.kind,
+            src=env.src,
+            dst=env.dst,
+            context_id=env.context_id,
+            tag=env.tag,
+            nbytes=env.nbytes,
+            payload=payload,
+        )
 
     # ----------------------------------------------------- hook: progress
 

@@ -14,7 +14,8 @@ from typing import Any
 
 import numpy as np
 
-from repro.mpisim.exceptions import TruncationError
+from repro.mpisim.envelope import BufferRef
+from repro.mpisim.exceptions import DatatypeMismatch, TruncationError
 
 
 def as_send_buffer(buf: Any) -> np.ndarray:
@@ -56,21 +57,52 @@ def as_recv_buffer(buf: Any) -> np.ndarray:
     return arr.reshape(-1).view(np.uint8)
 
 
-def copy_into(dst: np.ndarray, payload: np.ndarray) -> int:
+def copy_into(dst: np.ndarray, payload: "np.ndarray | BufferRef") -> int:
     """Copy ``payload`` bytes into ``dst``; returns bytes copied.
+
+    This is the zero-copy data plane's *single* copy: the payload may
+    be a :class:`~repro.mpisim.envelope.BufferRef` borrowing the
+    sender's live user buffer, in which case the bytes move directly
+    from that buffer into the receiver's posted view with no
+    intermediate materialization.
+
+    ``dst`` may be any writable NumPy view:
+
+    * contiguous views (any dtype) take the flat byte path;
+    * strided / non-contiguous views are filled element-wise through
+      ``dst.flat`` — the payload byte count must then be a whole
+      number of destination elements, else :class:`DatatypeMismatch`
+      is raised (the old path silently dropped the partial element).
 
     Raises :class:`TruncationError` when the payload does not fit,
     mirroring ``MPI_ERR_TRUNCATE``.  Short messages are fine (the
     status carries the true count).
     """
-    n = payload.nbytes
+    src = payload.view if isinstance(payload, BufferRef) else payload
+    n = src.nbytes
     if n > dst.nbytes:
         raise TruncationError(
             f"message of {n} bytes truncated: receive buffer holds "
             f"{dst.nbytes}"
         )
-    if n:
-        dst[:n] = payload[:n]
+    if not n:
+        return 0
+    src_bytes = src.reshape(-1).view(np.uint8)
+    if dst.flags.c_contiguous:
+        dst_bytes = dst.reshape(-1).view(np.uint8)
+        dst_bytes[:n] = src_bytes
+        return n
+    # Strided destination: bytes cannot be viewed in place, so lay the
+    # payload down element-by-element through the strided iterator.
+    itemsize = dst.dtype.itemsize
+    if n % itemsize:
+        raise DatatypeMismatch(
+            f"payload of {n} bytes does not divide into whole "
+            f"{dst.dtype} elements ({itemsize} bytes each) for a "
+            f"non-contiguous destination view"
+        )
+    k = n // itemsize
+    dst.flat[:k] = src_bytes.view(dst.dtype)
     return n
 
 

@@ -19,6 +19,14 @@ destination as one wire message (the offload engine's small-message
 coalescer packs them at issue time).  The receiver unpacks and handles
 the parts in order, so matching semantics are exactly those of the
 individual eager sends.
+
+Payloads are either an owned ``np.ndarray`` (the sender copied at post
+time — the classic eager data path) or a :class:`BufferRef`, the
+zero-copy data plane's unit of currency: a flat byte view plus a
+dtype/shape header and an explicit ``owned``/``borrowed`` lifetime bit.
+A *borrowed* ref aliases the sender's user buffer; the matching layer
+copies it exactly once, directly into the receiver's posted buffer, and
+only then completes the sender's request (DESIGN.md §14).
 """
 
 from __future__ import annotations
@@ -31,6 +39,67 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpisim.requests import RecvRequest, SendRequest
+
+
+@dataclass(slots=True)
+class BufferRef:
+    """A payload by reference: byte view + header + lifetime bit.
+
+    ``view`` is a flat ``uint8`` array.  ``owned=False`` means the view
+    aliases memory the *application* owns (the sender's user buffer):
+    it may only be read while the originating send request is pending,
+    and whoever needs the bytes past that point must
+    :meth:`materialize` first.  ``owned=True`` means the ref owns its
+    bytes outright (a materialized copy, or a buffer built for the
+    message) and may be held indefinitely.
+
+    The ``dtype``/``shape`` header describes the logical array the
+    bytes encode (the RMA path round-trips typed window data through
+    it via :meth:`as_array`); for the two-sided byte path it is simply
+    ``uint8``/``(nbytes,)``.
+    """
+
+    view: np.ndarray
+    owned: bool
+    dtype: str = "uint8"
+    shape: tuple = ()
+
+    @classmethod
+    def borrow(cls, arr: np.ndarray) -> "BufferRef":
+        """Wrap ``arr`` without copying (borrowed lifetime)."""
+        flat = arr.reshape(-1).view(np.uint8)
+        return cls(
+            view=flat, owned=False, dtype=str(arr.dtype), shape=arr.shape
+        )
+
+    @classmethod
+    def own(cls, arr: np.ndarray) -> "BufferRef":
+        """Take an owned copy of ``arr`` (one materialization)."""
+        flat = np.array(
+            arr.reshape(-1).view(np.uint8), dtype=np.uint8, copy=True
+        )
+        return cls(
+            view=flat, owned=True, dtype=str(arr.dtype), shape=arr.shape
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return self.view.nbytes
+
+    def materialize(self) -> "BufferRef":
+        """An owned ref with the same bytes (no-op when already owned)."""
+        if self.owned:
+            return self
+        return BufferRef(
+            view=self.view.copy(),
+            owned=True,
+            dtype=self.dtype,
+            shape=self.shape,
+        )
+
+    def as_array(self) -> np.ndarray:
+        """The header-typed view of the bytes (no copy)."""
+        return self.view.view(np.dtype(self.dtype)).reshape(self.shape)
 
 
 class EnvelopeKind(Enum):
@@ -51,8 +120,8 @@ class Envelope:
     context_id: int
     tag: int
     nbytes: int
-    payload: np.ndarray | None = None  # EAGER only
-    send_req: "SendRequest | None" = None  # RTS / CTS
+    payload: "np.ndarray | BufferRef | None" = None  # EAGER only
+    send_req: "SendRequest | None" = None  # RTS / CTS / zero-copy EAGER
     recv_req: "RecvRequest | None" = None  # CTS only
     rma: object | None = None  # RMA only: an RMAMessage record
     parts: "list[Envelope] | None" = None  # COALESCED only

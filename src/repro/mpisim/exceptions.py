@@ -23,6 +23,17 @@ class TruncationError(MPIError):
     """
 
 
+class DatatypeMismatch(MPIError):
+    """Payload bytes cannot be laid down in the destination view.
+
+    Raised by :func:`repro.mpisim.datatypes.copy_into` when a strided
+    (non-contiguous) destination cannot absorb the payload without
+    splitting an element — e.g. 10 bytes into a ``float64`` view.
+    Mirrors ``MPI_ERR_TYPE``: the old code path silently truncated to
+    whole elements instead of surfacing the disagreement.
+    """
+
+
 class ThreadLevelError(MPIError):
     """An MPI call violated the requested thread-support level.
 

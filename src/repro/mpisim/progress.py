@@ -24,8 +24,13 @@ import numpy as np
 
 from repro.mpisim import datatypes
 from repro.mpisim.constants import DEFAULT_EAGER_THRESHOLD, PROC_NULL
-from repro.mpisim.envelope import Envelope, EnvelopeKind
-from repro.mpisim.exceptions import MPIError, RankDeadError, TruncationError
+from repro.mpisim.envelope import BufferRef, Envelope, EnvelopeKind
+from repro.mpisim.exceptions import (
+    DatatypeMismatch,
+    MPIError,
+    RankDeadError,
+    TruncationError,
+)
 from repro.mpisim.matching import PostedReceiveQueue, UnexpectedQueue
 from repro.mpisim.requests import (
     CompletedRequest,
@@ -47,10 +52,17 @@ class ProgressEngine:
         rank: int,
         deliver: Callable[[int, Envelope], None],
         eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+        zero_copy: bool = False,
     ) -> None:
         self.rank = rank
         self._deliver = deliver  # world-level routing: (dst, env) -> None
         self.eager_threshold = eager_threshold
+        #: zero-copy data plane (DESIGN.md §14): eager sends ship a
+        #: *borrowed* :class:`BufferRef` aliasing the user buffer and
+        #: complete at match time, after the single direct copy into
+        #: the receiver's posted buffer.  Off by default: classic eager
+        #: semantics (copy at post time, complete immediately).
+        self.zero_copy = zero_copy
         self._inbox: deque[Envelope] = deque()
         self._prq = PostedReceiveQueue()
         self._umq = UnexpectedQueue()
@@ -66,6 +78,13 @@ class ProgressEngine:
         self.coalesced_sends = 0
         self.bytes_sent = 0
         self.envelopes_handled = 0
+        #: intermediate payload materializations (send-time eager
+        #: copies, fault-duplicate deep copies) — NOT the final copy
+        #: into the receiver's posted buffer, which every protocol pays
+        self.payload_copies = 0
+        #: deliveries satisfied directly from the sender's user buffer
+        #: (one copy total, no intermediate materialization)
+        self.payload_zero_copy_hits = 0
         #: telemetry hook: a :class:`repro.obs.trace.TraceBuffer` an
         #: offload engine attaches while it runs (else None)
         self.trace = None
@@ -75,6 +94,14 @@ class ProgressEngine:
         #: ranks known dead, shared across the world's engines (empty
         #: dict in normal operation: the guard is one truthiness check)
         self.dead_ranks: dict[int, BaseException] = {}
+        #: DST-only regression hook: complete zero-copy eager sends at
+        #: *post* time (the pre-fix behavior) instead of at match time.
+        #: Re-opens the classic zero-copy race — sender legally reuses
+        #: its buffer after completion while a late-matching receiver
+        #: still reads the borrowed view.  Only ever set by the
+        #: regression corpus (repro.dst.targets), never by production
+        #: code.
+        self._unsafe_complete_eager_at_post = False
 
     # -- library lock ------------------------------------------------------
 
@@ -103,9 +130,12 @@ class ProgressEngine:
     ) -> Request:
         """Nonblocking send entry point (``isend``).
 
-        Eager messages are buffered and complete immediately; larger
-        ones post a ready-to-send and complete once the rendezvous is
-        driven to the data transfer by later progress.
+        Eager messages are buffered and complete immediately — unless
+        :attr:`zero_copy` is on, in which case they ship a *borrowed*
+        view of the user buffer and complete only once the receiver's
+        match copies it (exactly one copy, paid at match time).
+        Larger messages post a ready-to-send and complete once the
+        rendezvous is driven to the data transfer by later progress.
         """
         if dst == PROC_NULL:
             return CompletedRequest()
@@ -118,9 +148,29 @@ class ProgressEngine:
         try:
             self.bytes_sent += payload.nbytes
             if payload.nbytes <= self.eager_threshold:
+                self.eager_sends += 1
+                if self.zero_copy:
+                    req = SendRequest(self, payload, dst, tag, context_id)
+                    env = Envelope(
+                        kind=EnvelopeKind.EAGER,
+                        src=self.rank,
+                        dst=dst,
+                        context_id=context_id,
+                        tag=tag,
+                        nbytes=payload.nbytes,
+                        payload=BufferRef.borrow(payload),
+                        send_req=req,
+                    )
+                    self._deliver(dst, env)
+                    if (
+                        self._unsafe_complete_eager_at_post
+                        and not req.done
+                    ):
+                        req._complete(EMPTY_STATUS)
+                    return req
                 # Eager: copy now (this copy IS the cost the paper's
                 # Figure 4 shows growing toward the 128 KB threshold).
-                self.eager_sends += 1
+                self.payload_copies += 1
                 env = Envelope(
                     kind=EnvelopeKind.EAGER,
                     src=self.rank,
@@ -173,11 +223,27 @@ class ProgressEngine:
             )
         self._acquire()
         try:
+            zero_copy = self.zero_copy
             parts: list[Envelope] = []
+            reqs: list[Request] = []
             for payload, tag in zip(payloads, tags):
                 assert payload.nbytes <= self.eager_threshold
                 self.bytes_sent += payload.nbytes
                 self.eager_sends += 1
+                if zero_copy:
+                    req: Request = SendRequest(
+                        self, payload, dst, tag, context_id
+                    )
+                    part_payload: "np.ndarray | BufferRef" = (
+                        BufferRef.borrow(payload)
+                    )
+                    send_req = req
+                else:
+                    self.payload_copies += 1
+                    req = CompletedRequest(EMPTY_STATUS)
+                    part_payload = payload.copy()
+                    send_req = None
+                reqs.append(req)
                 parts.append(
                     Envelope(
                         kind=EnvelopeKind.EAGER,
@@ -186,7 +252,8 @@ class ProgressEngine:
                         context_id=context_id,
                         tag=tag,
                         nbytes=payload.nbytes,
-                        payload=payload.copy(),
+                        payload=part_payload,
+                        send_req=send_req,
                     )
                 )
             self.coalesced_sends += 1
@@ -200,7 +267,11 @@ class ProgressEngine:
                 parts=parts,
             )
             self._deliver(dst, env)
-            return [CompletedRequest(EMPTY_STATUS) for _ in parts]
+            if zero_copy and self._unsafe_complete_eager_at_post:
+                for req in reqs:
+                    if not req.done:
+                        req._complete(EMPTY_STATUS)
+            return reqs
         finally:
             self._release()
 
@@ -324,9 +395,10 @@ class ProgressEngine:
     def fail_pending_on_death(self, exc: BaseException) -> None:
         """*This* rank died: fail peers' requests parked on it.
 
-        Peers' rendezvous sends (RTS in our inbox/unexpected queue) and
-        matched transfers awaiting our copy (CTS in our inbox) would
-        otherwise wait forever for a progress pump that will never run.
+        Peers' rendezvous sends (RTS in our inbox/unexpected queue),
+        zero-copy eager sends still awaiting our match, and matched
+        transfers awaiting our copy (CTS in our inbox) would otherwise
+        wait forever for a progress pump that will never run.
         """
         err = RankDeadError(f"rank {self.rank} died: {exc}")
         self._acquire()
@@ -339,8 +411,16 @@ class ProgressEngine:
                 for req in (env.send_req, env.recv_req):
                     if req is not None and not req.done:
                         req._fail(err)
+                if env.parts:
+                    for part in env.parts:
+                        if (
+                            part.send_req is not None
+                            and not part.send_req.done
+                        ):
+                            part.send_req._fail(err)
             for env in self._umq.remove_where(
                 lambda e: e.kind is EnvelopeKind.RTS
+                or e.send_req is not None
             ):
                 if env.send_req is not None and not env.send_req.done:
                     env.send_req._fail(err)
@@ -442,12 +522,30 @@ class ProgressEngine:
         """A receive and an envelope found each other."""
         req.matched = True
         if env.kind is EnvelopeKind.EAGER:
-            assert env.payload is not None
+            payload = env.payload
+            send_req = env.send_req
+            assert payload is not None
             try:
-                n = datatypes.copy_into(req.buffer, env.payload)
-            except TruncationError as exc:
+                n = datatypes.copy_into(req.buffer, payload)
+            except (TruncationError, DatatypeMismatch) as exc:
                 req._fail(exc)
+                # Truncation is the receiver's error (MPI_ERR_TRUNCATE
+                # surfaces on the receive); the zero-copy sender's data
+                # still left its buffer, so its request completes.
+                if send_req is not None and not send_req.done:
+                    send_req._complete(EMPTY_STATUS)
                 return
+            if isinstance(payload, BufferRef) and not payload.owned:
+                # Single copy, straight out of the sender's live user
+                # buffer into the posted receive: the zero-copy hit.
+                self.payload_zero_copy_hits += 1
+            if send_req is not None and not send_req.done:
+                # Deferred completion: only now — with the bytes safely
+                # in the receiver's buffer — does the sender's buffer
+                # legally revert to the application.  Completing before
+                # this copy is the classic zero-copy race (DST target
+                # ``eager-deferred-copy``).
+                send_req._complete(EMPTY_STATUS)
             req._complete(Status(env.src, env.tag, n))
         elif env.kind is EnvelopeKind.RTS:
             # Rendezvous: tell the sender where the data goes.  The
@@ -536,6 +634,8 @@ class ProgressEngine:
             "coalesced_sends": self.coalesced_sends,
             "bytes_sent": self.bytes_sent,
             "envelopes_handled": self.envelopes_handled,
+            "payload_copies": self.payload_copies,
+            "payload_zero_copy_hits": self.payload_zero_copy_hits,
         }
         out.update(self.pending_counts())
         return out

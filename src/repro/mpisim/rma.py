@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from repro.mpisim.envelope import BufferRef
 from repro.mpisim.exceptions import MPIError
 from repro.mpisim.requests import Request
 from repro.mpisim.status import EMPTY_STATUS
@@ -57,7 +58,11 @@ class RMAMessage:
     origin: int  # global rank
     target: int  # global rank
     offset: int = 0
-    payload: np.ndarray | None = None
+    #: put/acc carry a :class:`BufferRef` (borrowed under zero-copy:
+    #: the origin buffer is only read at target-apply time, which the
+    #: RMA contract makes legal — origin buffers must stay untouched
+    #: until local completion); control ops carry plain arrays
+    payload: "np.ndarray | BufferRef | None" = None
     reduce_op: Any = None
     request: "Request | None" = None  # origin-side completion
     lock_kind: str = LOCK_SHARED
@@ -148,6 +153,37 @@ class Window:
     def _send(self, msg: RMAMessage) -> None:
         self.comm.engine.send_rma(msg)
 
+    def _pack_origin(self, origin: np.ndarray) -> BufferRef:
+        """Origin data for put/accumulate as a :class:`BufferRef`.
+
+        Under the engine's zero-copy mode a contiguous, dtype-matching
+        origin is *borrowed* — no copy here; the target's apply reads
+        straight out of the user buffer (legal until local completion
+        per the RMA contract).  Otherwise the bytes are materialized
+        exactly once (a derived-datatype pack or the classic
+        copy-at-post path), counted in ``payload_copies``.
+        """
+        engine = self.comm.engine
+        data = np.asarray(origin)
+        if data.dtype != self.dtype or not data.flags.c_contiguous:
+            # Pack: one materialization, unavoidable (dtype/stride
+            # conversion), and the result is ours to keep.
+            packed = np.ascontiguousarray(
+                origin, dtype=self.dtype
+            ).reshape(-1)
+            engine.payload_copies += 1
+            return BufferRef(
+                view=packed.view(np.uint8),
+                owned=True,
+                dtype=str(self.dtype),
+                shape=packed.shape,
+            )
+        flat = data.reshape(-1)
+        if engine.zero_copy:
+            return BufferRef.borrow(flat)
+        engine.payload_copies += 1
+        return BufferRef.own(flat)
+
     def _check_range(self, target_offset: int, count: int) -> None:
         if target_offset < 0 or count < 0:
             raise RMAError("negative offset or count")
@@ -167,8 +203,8 @@ class Window:
         completes only when the ack comes back) — synchronize with
         ``fence``/``flush``/``unlock``.
         """
-        data = np.ascontiguousarray(origin, dtype=self.dtype).reshape(-1)
-        self._check_range(target_offset, data.size)
+        ref = self._pack_origin(origin)
+        self._check_range(target_offset, ref.nbytes // self.dtype.itemsize)
         req = Request(self.comm.engine)
         msg = RMAMessage(
             op="put",
@@ -176,7 +212,7 @@ class Window:
             origin=self.comm.engine.rank,
             target=self._global(target_rank),
             offset=target_offset,
-            payload=data.copy(),
+            payload=ref,
             request=req,
         )
         self._track(target_rank, req)
@@ -225,8 +261,8 @@ class Window:
         """
         from repro.mpisim.reduce_ops import SUM
 
-        data = np.ascontiguousarray(origin, dtype=self.dtype).reshape(-1)
-        self._check_range(target_offset, data.size)
+        ref = self._pack_origin(origin)
+        self._check_range(target_offset, ref.nbytes // self.dtype.itemsize)
         req = Request(self.comm.engine)
         msg = RMAMessage(
             op="acc",
@@ -234,7 +270,7 @@ class Window:
             origin=self.comm.engine.rank,
             target=self._global(target_rank),
             offset=target_offset,
-            payload=data.copy(),
+            payload=ref,
             reduce_op=op or SUM,
             request=req,
         )
@@ -314,20 +350,22 @@ class Window:
         hence target-side atomicity)."""
         if msg.op == "put":
             assert msg.payload is not None
-            end = msg.offset + msg.payload.size
+            data = self._payload_array(msg.payload, engine)
+            end = msg.offset + data.size
             if end > self.local.size:
                 self._nack(msg, engine, f"put outside window ({end})")
                 return
-            self.local[msg.offset : end] = msg.payload.view(self.dtype)
+            self.local[msg.offset : end] = data
             self._ack(msg, engine)
         elif msg.op == "acc":
             assert msg.payload is not None
-            end = msg.offset + msg.payload.size
+            data = self._payload_array(msg.payload, engine)
+            end = msg.offset + data.size
             if end > self.local.size:
                 self._nack(msg, engine, f"accumulate outside window ({end})")
                 return
             view = self.local[msg.offset : end]
-            msg.reduce_op(view, msg.payload.view(self.dtype), out=view)
+            msg.reduce_op(view, data, out=view)
             self._ack(msg, engine)
         elif msg.op == "get":
             assert msg.payload is not None
@@ -377,6 +415,19 @@ class Window:
             self._locks.queue = still
         else:  # pragma: no cover - defensive
             raise RMAError(f"unknown RMA op {msg.op!r}")
+
+    def _payload_array(self, payload, engine) -> np.ndarray:
+        """Window-typed view of a put/acc payload (no copy).
+
+        A *borrowed* ref means the bytes are coming straight out of the
+        origin's user buffer right now — the zero-copy hit, counted on
+        the target engine (mirroring the two-sided receiver side).
+        """
+        if isinstance(payload, BufferRef):
+            if not payload.owned:
+                engine.payload_zero_copy_hits += 1
+            return payload.as_array().view(self.dtype)
+        return payload.view(self.dtype)
 
     def _ack(self, msg: RMAMessage, engine) -> None:
         engine.send_rma(

@@ -40,6 +40,11 @@ class World:
         The granted thread-support level, enforced at every MPI call.
     eager_threshold:
         Protocol switchover in bytes (paper's MPI used 128 KB).
+    zero_copy:
+        Enable the zero-copy data plane (DESIGN.md §14): eager sends
+        borrow the user buffer and complete at match time, paying
+        exactly one copy — directly into the receiver's posted buffer.
+        Off by default (classic copy-at-post eager semantics).
     """
 
     def __init__(
@@ -47,14 +52,18 @@ class World:
         nranks: int,
         thread_level: ThreadLevel = THREAD_FUNNELED,
         eager_threshold: int = DEFAULT_EAGER_THRESHOLD,
+        zero_copy: bool = False,
     ) -> None:
         if nranks <= 0:
             raise ValueError("nranks must be positive")
         self.nranks = nranks
         self.thread_level = ThreadLevel(thread_level)
         self.eager_threshold = eager_threshold
+        self.zero_copy = zero_copy
         self.engines = [
-            ProgressEngine(r, self._deliver, eager_threshold)
+            ProgressEngine(
+                r, self._deliver, eager_threshold, zero_copy=zero_copy
+            )
             for r in range(nranks)
         ]
         self._funnel: dict[int, int | None] = {r: None for r in range(nranks)}
@@ -97,6 +106,12 @@ class World:
         for req in (env.send_req, env.recv_req):
             if req is not None and not req.done:
                 req._fail(err)
+        if env.parts:
+            # Coalesced wrapper: zero-copy parts carry live send
+            # requests of their own.
+            for part in env.parts:
+                if part.send_req is not None and not part.send_req.done:
+                    part.send_req._fail(err)
 
     # -- fault injection ---------------------------------------------------
 
@@ -235,3 +250,11 @@ class World:
 
     def total_bytes_sent(self) -> int:
         return sum(e.bytes_sent for e in self.engines)
+
+    def total_payload_copies(self) -> int:
+        """Intermediate payload materializations across all ranks."""
+        return sum(e.payload_copies for e in self.engines)
+
+    def total_payload_zero_copy_hits(self) -> int:
+        """Direct user-buffer-to-posted-buffer deliveries, all ranks."""
+        return sum(e.payload_zero_copy_hits for e in self.engines)

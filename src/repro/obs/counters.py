@@ -94,6 +94,18 @@ COUNTER_GLOSSARY: dict[str, str] = {
     "linearizability against a sequential model spec",
     "dst_violations": "explored schedules that violated an invariant, "
     "deadlocked, or produced a non-linearizable history",
+    # -- zero-copy data plane (DESIGN.md §14) ---------------------------
+    "payload_copies": "intermediate payload materializations (eager "
+    "copy-at-post, RMA origin packing, fault-plan duplicate deep "
+    "copies); the final copy into a posted receive buffer is never "
+    "counted, so 0 on the zero-copy happy path means each byte moved "
+    "exactly once",
+    "payload_zero_copy_hits": "deliveries satisfied directly from the "
+    "sender's live user buffer into the receiver's posted buffer "
+    "(counted on the receiving/target rank)",
+    "duplicate_deep_copies": "borrowed zero-copy payloads a fault "
+    "plan's DUPLICATE action had to materialize so the duplicate "
+    "cannot alias the sender's buffer",
 }
 
 

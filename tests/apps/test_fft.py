@@ -7,6 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.apps.fft import (
+    FFTWorkspace,
     block_to_cyclic,
     fft1d,
     fft_flops,
@@ -176,6 +177,67 @@ class TestDistributed:
 
         with pytest.raises(WorldError):
             run_world(2, prog)
+
+    @pytest.mark.parametrize("segments", [1, 4])
+    def test_workspace_matches_workspace_free_path(self, segments):
+        """Persistent staging must be numerically invisible: same
+        spectrum with and without an FFTWorkspace, across repeated
+        calls reusing the same workspace."""
+        N = 128
+        xg = _signal(N, key=("ws", segments))
+
+        def prog(comm):
+            ws = FFTWorkspace()
+            for _ in range(3):  # steady-state reuse, not just call 1
+                plain = transpose_fft(
+                    comm, local_block(xg, comm.rank, comm.size)
+                )
+                cached = transpose_fft(
+                    comm,
+                    local_block(xg, comm.rank, comm.size),
+                    workspace=ws,
+                )
+                np.testing.assert_allclose(cached, plain, atol=1e-10)
+                cyc = block_to_cyclic(
+                    comm, local_block(xg, comm.rank, comm.size), workspace=ws
+                )
+                g, _ = lowcomm_fft(
+                    comm, cyc, segments=segments, workspace=ws
+                )
+                g2, _ = lowcomm_fft(comm, cyc, segments=segments)
+                np.testing.assert_allclose(g, g2, atol=1e-10)
+            return True
+
+        assert all(run_world(4, prog))
+
+    def test_workspace_buffers_are_reused(self):
+        ws = FFTWorkspace()
+        a = ws.buf("k", (4, 4))
+        b = ws.buf("k", (4, 4))
+        assert a is b
+        # shape change reallocates; same shape again reuses the new one
+        c = ws.buf("k", (2, 2))
+        assert c is not a and c is ws.buf("k", (2, 2))
+
+    def test_workspace_results_do_not_alias_staging(self):
+        """A second call must not clobber the first call's result."""
+        N = 64
+        xg = _signal(N, key="alias")
+        yg = _signal(N, key="alias2")
+
+        def prog(comm):
+            ws = FFTWorkspace()
+            first = transpose_fft(
+                comm, local_block(xg, comm.rank, comm.size), workspace=ws
+            )
+            snapshot = first.copy()
+            transpose_fft(
+                comm, local_block(yg, comm.rank, comm.size), workspace=ws
+            )
+            np.testing.assert_array_equal(first, snapshot)
+            return True
+
+        assert all(run_world(2, prog))
 
     def test_through_offload(self):
         N = 128

@@ -44,6 +44,33 @@ def _apply_full(sign=1):
 REF_D = _apply_full(sign=1)
 
 
+class TestRollInto:
+    """The preallocated roll used by the interior stencil must be
+    exactly ``np.roll`` for every axis and shift it is fed."""
+
+    @pytest.mark.parametrize("axis", [0, 1, 2, 3])
+    @pytest.mark.parametrize("shift", [-1, 1, 0, 3, -5])
+    def test_matches_np_roll(self, axis, shift):
+        from repro.apps.qcd.dslash import _roll_into
+
+        rng = np.random.default_rng(7)
+        src = rng.standard_normal((3, 4, 2, 5, 4, 3)).astype(np.complex128)
+        dst = np.empty_like(src)
+        out = _roll_into(dst, src, shift, axis)
+        assert out is dst  # in place, no allocation
+        np.testing.assert_array_equal(dst, np.roll(src, shift, axis=axis))
+
+    def test_operator_reuses_roll_scratch(self):
+        def prog(comm):
+            D = DslashOperator(GEOM_1, comm, U_FULL)
+            before = (D._roll_fwd, D._roll_bwd)
+            D.apply(PSI_FULL)
+            D.apply(PSI_FULL)
+            return before == (D._roll_fwd, D._roll_bwd)
+
+        assert all(run_world(1, prog))
+
+
 class TestGammaAlgebra:
     @pytest.mark.parametrize("mu", range(4))
     def test_hermitian(self, mu):

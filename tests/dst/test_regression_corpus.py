@@ -23,14 +23,15 @@ class TestCorpusRegistry:
             "steal-vs-close",
             "shard-crash-stolen-work",
             "routing-order",
+            "eager-deferred-copy",
             "queue-linearizability",
             "freelist-linearizability",
             "pool-linearizability",
         }
 
-    def test_seven_regressions_three_oracles(self):
+    def test_eight_regressions_three_oracles(self):
         regressions = [t for t in CORPUS.values() if t.regression]
-        assert len(regressions) == 7
+        assert len(regressions) == 8
         assert len(CORPUS) - len(regressions) == 3
 
     def test_oracle_targets_reject_fix_disabled(self):
@@ -112,6 +113,35 @@ class TestPoolSmokeRegressions:
         assert Explorer(lambda: target.make(False)).replay(seed) is None
 
 
+class TestZeroCopySmokeRegression:
+    """The deferred-copy window race (DESIGN.md §14) rediscovered
+    within a bounded budget, clean when fixed, and replayable from the
+    single printed token."""
+
+    def test_eager_deferred_copy_found_and_clean(self):
+        broken = run_target(
+            "eager-deferred-copy", fix_disabled=True, schedules=100
+        )
+        assert broken.result.found and broken.expected
+        fixed = run_target(
+            "eager-deferred-copy", fix_disabled=False, schedules=50
+        )
+        assert not fixed.result.found and fixed.expected
+
+    def test_eager_deferred_copy_token_replays(self):
+        broken = run_target(
+            "eager-deferred-copy", fix_disabled=True, schedules=100
+        )
+        kind, seed = broken.result.failure.token
+        assert kind == "random"
+        target = CORPUS["eager-deferred-copy"]
+        replayed = Explorer(lambda: target.make(True)).replay(seed)
+        assert replayed is not None
+        # the exact schedule that exposed the premature completion
+        # passes once completion is deferred to the match-time copy
+        assert Explorer(lambda: target.make(False)).replay(seed) is None
+
+
 class TestReplayContract:
     """A failure token is a complete reproduction recipe."""
 
@@ -181,9 +211,9 @@ class TestDeepTier:
             (o.target, o.fix_disabled, o.result.found) for o in wrong
         ]
         # both directions ran: planted bugs found, fixed code clean
-        assert sum(o.fix_disabled for o in outcomes) == 7
-        assert len(outcomes) == 17
+        assert sum(o.fix_disabled for o in outcomes) == 8
+        assert len(outcomes) == 19
         snap = counters.snapshot()
         assert snap["schedules_explored"] > 0
         assert snap["lin_histories_checked"] > 0
-        assert snap["dst_violations"] == 7
+        assert snap["dst_violations"] == 8

@@ -66,6 +66,22 @@ class TestChaosContract:
         )
         assert report["ok"], render_report(report)
 
+    @pytest.mark.parametrize("test_seed", [3], indirect=True)
+    def test_messages_profile_zero_copy(self, test_seed):
+        # same storm over the zero-copy data plane: DROP must complete
+        # borrowed-buffer sends, DUPLICATE must deep-copy them — any
+        # miss surfaces as a hang or an untyped error here
+        report = run_chaos(
+            nranks=2,
+            rounds=8,
+            seed=test_seed,
+            profile="messages",
+            op_timeout=0.4,
+            run_timeout=60.0,
+            zero_copy=True,
+        )
+        assert report["ok"], render_report(report)
+
     def test_crash_degrades_not_hangs(self):
         # deterministic: no probability rules — rank 1's engine dies on
         # its 7th command and the facade degrades to inline issuance

@@ -149,6 +149,84 @@ class TestMessageScope:
         assert plan.stats().get("fault_duplicate", 0) == 0
 
 
+class TestZeroCopyMessageFaults:
+    """Message-scope faults over the zero-copy data plane: borrowed
+    payloads and live send requests must survive DROP and DUPLICATE."""
+
+    def test_duplicate_cannot_alias_senders_buffer(self):
+        """The duplicate is deep-copied at delivery time, so the
+        sender's post-completion scribble can never leak into the
+        second receive (plan.py would otherwise hand both matches a
+        view of the same live user buffer)."""
+        plan = FaultPlan(
+            [FaultRule(FaultAction.DUPLICATE, rank=1, kind="eager", tag=5)]
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                buf = np.full(4, 9.0)
+                req = comm.isend(buf, 1, tag=5)
+                req.wait(timeout=10)
+                # MPI contract: completed send -> buffer is reusable.
+                buf[:] = -1.0
+                return True
+            a, b = np.empty(4), np.empty(4)
+            r1 = comm.irecv(a, 0, tag=5)
+            r2 = comm.irecv(b, 0, tag=5)
+            r1.wait(timeout=10)
+            r2.wait(timeout=10)
+            return a[0] == 9.0 and b[0] == 9.0
+
+        world = World(2, thread_level=THREAD_MULTIPLE, zero_copy=True)
+        world.install_faults(plan)
+        assert all(world.run(prog, timeout=30))
+        assert plan.stats()["fault_duplicate"] == 1
+        assert plan.stats()["duplicate_deep_copies"] == 1
+        # exactly one materialization total: the duplicate's
+        assert world.total_payload_copies() == 0
+
+    def test_duplicate_of_classic_eager_still_shares(self):
+        """Pre-zero-copy behavior preserved: an owned (copy-at-post)
+        payload needs no deep copy to be duplicated."""
+        plan = FaultPlan(
+            [FaultRule(FaultAction.DUPLICATE, rank=1, kind="eager", tag=5)]
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                comm.send(np.full(2, 3.0), 1, tag=5)
+                return True
+            a, b = np.empty(2), np.empty(2)
+            comm.irecv(a, 0, tag=5).wait(timeout=10)
+            comm.irecv(b, 0, tag=5).wait(timeout=10)
+            return a[0] == 3.0 and b[0] == 3.0
+
+        world = World(2, thread_level=THREAD_MULTIPLE)
+        world.install_faults(plan)
+        assert all(world.run(prog, timeout=30))
+        assert plan.stats().get("duplicate_deep_copies", 0) == 0
+
+    def test_drop_completes_pending_zero_copy_send(self):
+        """Data lost in transit must still complete the sender —
+        otherwise a dropped zero-copy eager send waits forever for a
+        match that can never happen."""
+        plan = FaultPlan(
+            [FaultRule(FaultAction.DROP, rank=1, kind="eager", tag=7)]
+        )
+
+        def prog(comm):
+            if comm.rank == 0:
+                req = comm.isend(np.arange(8, dtype=np.uint8), 1, tag=7)
+                req.wait(timeout=10)  # must not hang
+                return req.done
+            return True  # receiver never posts: the data is gone
+
+        world = World(2, thread_level=THREAD_MULTIPLE, zero_copy=True)
+        world.install_faults(plan)
+        assert all(world.run(prog, timeout=30))
+        assert plan.stats()["fault_drop"] == 1
+
+
 class TestCommandScope:
     def test_command_error_surfaces_typed_and_engine_survives(self):
         plan = FaultPlan(

@@ -1,0 +1,136 @@
+"""``copy_into`` over strided destinations and BufferRef payloads.
+
+The zero-copy data plane routes its single copy through
+:func:`repro.mpisim.datatypes.copy_into`; these property tests pin the
+generalized contract — contiguous views take the flat byte path, any
+strided writable view is filled element-wise, partial trailing
+elements raise :class:`DatatypeMismatch` instead of silently
+truncating, and oversized payloads raise :class:`TruncationError`.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpisim import datatypes
+from repro.mpisim.envelope import BufferRef
+from repro.mpisim.exceptions import DatatypeMismatch, TruncationError
+
+DTYPES = [np.uint8, np.int32, np.int64, np.float64, np.complex128]
+
+
+def _payload_bytes(rng, nbytes):
+    return rng.integers(0, 256, size=nbytes).astype(np.uint8)
+
+
+class TestContiguous:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_exact_fit_any_dtype(self, dtype):
+        src = np.arange(4, dtype=dtype)
+        dst = np.zeros(4, dtype=dtype)
+        n = datatypes.copy_into(dst, src.view(np.uint8).reshape(-1))
+        assert n == src.nbytes
+        np.testing.assert_array_equal(dst, src)
+
+    def test_short_message_leaves_tail(self):
+        dst = np.full(8, 7, dtype=np.uint8)
+        n = datatypes.copy_into(dst, np.zeros(3, dtype=np.uint8))
+        assert n == 3
+        assert (dst[:3] == 0).all() and (dst[3:] == 7).all()
+
+    def test_oversize_raises_truncation(self):
+        dst = np.zeros(2, dtype=np.uint8)
+        with pytest.raises(TruncationError):
+            datatypes.copy_into(dst, np.zeros(3, dtype=np.uint8))
+
+    def test_empty_payload_is_noop(self):
+        dst = np.full(4, 9, dtype=np.uint8)
+        assert datatypes.copy_into(dst, np.empty(0, dtype=np.uint8)) == 0
+        assert (dst == 9).all()
+
+    def test_bufferref_payload_contiguous(self):
+        src = np.arange(16, dtype=np.int32)
+        dst = np.zeros(16, dtype=np.int32)
+        n = datatypes.copy_into(dst, BufferRef.borrow(src))
+        assert n == src.nbytes
+        np.testing.assert_array_equal(dst, src)
+
+
+class TestStrided:
+    def test_every_other_element(self):
+        back = np.zeros(8, dtype=np.int64)
+        dst = back[::2]
+        src = np.arange(4, dtype=np.int64)
+        n = datatypes.copy_into(dst, src.view(np.uint8).reshape(-1))
+        assert n == 32
+        np.testing.assert_array_equal(back[::2], src)
+        assert (back[1::2] == 0).all()
+
+    def test_partial_element_raises_mismatch(self):
+        back = np.zeros(8, dtype=np.int64)
+        dst = back[::2]
+        with pytest.raises(DatatypeMismatch):
+            datatypes.copy_into(dst, np.zeros(12, dtype=np.uint8))
+        assert (back == 0).all()  # nothing written before the raise
+
+    def test_transposed_2d_view(self):
+        back = np.zeros((3, 4), dtype=np.float64)
+        dst = back.T  # non-contiguous
+        src = np.arange(12, dtype=np.float64)
+        datatypes.copy_into(dst, src.view(np.uint8).reshape(-1))
+        np.testing.assert_array_equal(dst.flatten(), src)
+
+    def test_bufferref_payload_strided_dst(self):
+        back = np.zeros(6, dtype=np.float64)
+        src = np.arange(3, dtype=np.float64)
+        datatypes.copy_into(back[::2], BufferRef.borrow(src))
+        np.testing.assert_array_equal(back[::2], src)
+
+
+class TestPropertyRandomStrides:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        dtype_ix=st.integers(0, len(DTYPES) - 1),
+        nelems=st.integers(1, 32),
+        stride=st.integers(2, 4),
+        seed=st.integers(0, 2**16),
+        as_ref=st.booleans(),
+    )
+    def test_strided_roundtrip(self, dtype_ix, nelems, stride, seed, as_ref):
+        dtype = np.dtype(DTYPES[dtype_ix])
+        rng = np.random.default_rng(seed)
+        back = np.zeros(nelems * stride, dtype=dtype)
+        dst = back[::stride]
+        raw = _payload_bytes(rng, nelems * dtype.itemsize)
+        payload = BufferRef.borrow(raw) if as_ref else raw
+        n = datatypes.copy_into(dst, payload)
+        assert n == raw.nbytes
+        np.testing.assert_array_equal(
+            dst.view(np.uint8)
+            if dst.flags.c_contiguous
+            else np.ascontiguousarray(dst).view(np.uint8).reshape(-1),
+            raw,
+        )
+        # untouched holes between strides
+        mask = np.ones(len(back), dtype=bool)
+        mask[::stride] = False
+        assert (back.view(np.uint8).reshape(len(back), -1)[mask] == 0).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        dtype_ix=st.integers(1, len(DTYPES) - 1),  # itemsize > 1
+        nelems=st.integers(1, 16),
+        extra=st.integers(1, 7),
+        stride=st.integers(2, 3),
+    )
+    def test_partial_trailing_element_always_raises(
+        self, dtype_ix, nelems, extra, stride
+    ):
+        dtype = np.dtype(DTYPES[dtype_ix])
+        extra = extra % dtype.itemsize or 1
+        back = np.zeros((nelems + 1) * stride, dtype=dtype)
+        dst = back[::stride]
+        payload = np.zeros(nelems * dtype.itemsize + extra, dtype=np.uint8)
+        with pytest.raises(DatatypeMismatch):
+            datatypes.copy_into(dst, payload)
