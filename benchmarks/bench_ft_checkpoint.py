@@ -1,0 +1,200 @@
+"""Fault-tolerance cost model: checkpoint overhead and recovery cost.
+
+Two questions the ULFM/checkpoint subsystem (DESIGN.md §15) must
+answer quantitatively:
+
+* what does *checkpointing* cost when nothing fails?  Measured as
+  store commit throughput (memory and disk) and as the end-to-end
+  fault-free ``run_resilient`` epoch rate versus the same epochs with
+  checkpointing disabled by construction (commit is one snapshot per
+  epoch by one rank — the overhead is bounded and small);
+* what does *recovery* cost when a rank dies?  Measured as the
+  elapsed-time ratio of a run with one injected fail-stop (revoke →
+  agree → shrink → restore → replay) over the fault-free run, plus
+  the deterministic outcome counters the ratchet gates on: exactly
+  one restart, a bitwise-identical final state, and the full
+  checkpoint byte volume committed exactly once per epoch.
+
+Timing metrics are advisory (``kind="time"``); the outcome counters
+are blocking (``kind="counter"``) — a recovery that silently replays
+twice, loses determinism, or double-commits moves a gated counter.
+
+``REPRO_BENCH_SMOKE=1`` shrinks blob counts/sizes for the CI smoke
+lane; the counter gates hold at any size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.ft import DiskCheckpointStore, MemoryCheckpointStore, run_resilient
+from repro.ft.workloads import CNNEpochApp
+from repro.mpisim import THREAD_MULTIPLE, World
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+#: checkpoint-store throughput sweep
+BLOB_SIZE = 4 * 1024 if SMOKE else 256 * 1024
+N_BLOBS = 8 if SMOKE else 128
+
+#: recovery-scenario workload (small: the quantity is the ratio)
+APP_CONF = dict(
+    epochs=3 if SMOKE else 5,
+    batch=8,
+    features=6,
+    hidden=8,
+    classes=3,
+    units=4,
+)
+NRANKS = 3
+VICTIM = 2
+CRASH_EPOCH = 1
+
+
+class _DeathAt:
+    """One rank fail-stops at a fixed epoch (first attempt only)."""
+
+    def __init__(self, app):
+        self.app = app
+        self.name = app.name
+        self.epochs = app.epochs
+
+    def init(self, comm):
+        return self.app.init(comm)
+
+    def step(self, comm, state, epoch):
+        inner = getattr(comm, "inner", comm)
+        if epoch == CRASH_EPOCH and inner.engine.rank == VICTIM:
+            exc = RuntimeError("bench: injected fail-stop")
+            inner.world.mark_rank_dead(VICTIM, exc)
+            raise exc
+        return self.app.step(comm, state, epoch)
+
+    def snapshot(self, state):
+        return self.app.snapshot(state)
+
+    def restore(self, blob):
+        return self.app.restore(blob)
+
+    def finish(self, comm, state):
+        return self.app.finish(comm, state)
+
+
+@pytest.mark.parametrize("kind", ["memory", "disk"])
+def test_checkpoint_commit_throughput(
+    benchmark, bench_trajectory, tmp_path, kind
+):
+    """Store commit rate: the per-epoch cost ceiling of checkpointing."""
+    blob = np.arange(BLOB_SIZE, dtype=np.uint8).tobytes()
+
+    def run():
+        if kind == "memory":
+            store = MemoryCheckpointStore()
+        else:
+            store = DiskCheckpointStore(str(tmp_path / f"ck-{time.monotonic_ns()}"))
+        t0 = time.perf_counter()
+        for e in range(N_BLOBS):
+            store.commit(e, blob)
+        elapsed = time.perf_counter() - t0
+        return store, elapsed
+
+    store, elapsed = benchmark.pedantic(
+        run, iterations=1, rounds=1 if SMOKE else 3
+    )
+    ns_per_commit = elapsed / N_BLOBS * 1e9
+    mb_s = (N_BLOBS * BLOB_SIZE) / elapsed / 1e6
+    print(
+        f"\n  {kind:6s} commit: {ns_per_commit:10.0f} ns/op "
+        f"({mb_s:8.1f} MB/s)"
+    )
+    # idempotent accounting: every byte counted exactly once
+    assert store.stats()["checkpoint_bytes"] == N_BLOBS * BLOB_SIZE
+    bench_trajectory.add_row(
+        "ft_checkpoint",
+        section="commit",
+        kind=kind,
+        blob_size=BLOB_SIZE,
+        n_blobs=N_BLOBS,
+        ns_per_commit=round(ns_per_commit),
+        mb_per_s=round(mb_s, 1),
+        smoke=SMOKE,
+    )
+    bench_trajectory.metric(
+        "ft_checkpoint",
+        f"commit_ns_{kind}",
+        round(ns_per_commit),
+        kind="time",
+        direction="lower",
+    )
+
+
+def test_recovery_cost_and_outcome(benchmark, bench_trajectory):
+    """One fail-stop mid-run: bounded slowdown, exact recovery outcome."""
+
+    def run():
+        ref_app = CNNEpochApp(**APP_CONF)
+        t0 = time.perf_counter()
+        ref = run_resilient(ref_app, World(NRANKS, THREAD_MULTIPLE))
+        t_clean = time.perf_counter() - t0
+        assert ref.ok, ref
+
+        app = _DeathAt(CNNEpochApp(**APP_CONF))
+        t0 = time.perf_counter()
+        rec = run_resilient(app, World(NRANKS, THREAD_MULTIPLE))
+        t_faulty = time.perf_counter() - t0
+        return ref, t_clean, rec, t_faulty
+
+    ref, t_clean, rec, t_faulty = benchmark.pedantic(
+        run, iterations=1, rounds=1 if SMOKE else 3
+    )
+    ratio = t_faulty / t_clean
+    bitwise = int(rec.ok and rec.result == ref.result)
+    print(
+        f"\n  fault-free {t_clean * 1e3:8.1f} ms, one fail-stop "
+        f"{t_faulty * 1e3:8.1f} ms (x{ratio:.2f}); "
+        f"restarts={rec.restarts} bitwise={'OK' if bitwise else 'FAIL'}"
+    )
+    snap_bytes = len(ref.result)
+    bench_trajectory.add_row(
+        "ft_checkpoint",
+        section="recovery",
+        nranks=NRANKS,
+        epochs=APP_CONF["epochs"],
+        clean_ms=round(t_clean * 1e3, 1),
+        faulty_ms=round(t_faulty * 1e3, 1),
+        slowdown=round(ratio, 2),
+        restarts=rec.restarts,
+        dead=rec.dead,
+        shrink_epochs=rec.counters.get("shrink_epochs", 0),
+        smoke=SMOKE,
+    )
+    # deterministic outcome gates
+    assert rec.restarts == 1
+    assert rec.dead == [VICTIM]
+    assert bitwise == 1
+    assert rec.checkpoint_bytes == APP_CONF["epochs"] * snap_bytes
+    bench_trajectory.metric(
+        "ft_checkpoint",
+        "recovery_restarts",
+        rec.restarts,
+        kind="counter",
+        direction="lower",
+    )
+    bench_trajectory.metric(
+        "ft_checkpoint",
+        "recovery_bitwise_match",
+        bitwise,
+        kind="counter",
+        direction="higher",
+    )
+    bench_trajectory.metric(
+        "ft_checkpoint",
+        "recovery_slowdown",
+        round(ratio, 2),
+        kind="time",
+        direction="lower",
+    )

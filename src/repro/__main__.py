@@ -319,6 +319,7 @@ def main(argv: list[str] | None = None) -> int:
             "crash",
             "shard-crash",
             "mixed",
+            "rank-crash-survive",
         ],
     )
     cha.add_argument(

@@ -65,6 +65,19 @@ _IDLE_SLEEP = 2e-5
 _IDLE_SLEEP_MAX = 1e-3
 
 
+def _is_rank_dead(exc: BaseException) -> bool:
+    """Is ``exc`` (or its cause chain) a substrate RankDeadError?"""
+    from repro.mpisim.exceptions import RankDeadError
+
+    seen = 0
+    while exc is not None and seen < 8:
+        if isinstance(exc, RankDeadError):
+            return True
+        exc = exc.__cause__ or exc.__context__
+        seen += 1
+    return False
+
+
 @dataclass(slots=True)
 class _InFlight:
     inner: "Request"
@@ -365,6 +378,11 @@ class OffloadEngine:
     def route(self, cmd: Command | None = None) -> "OffloadEngine":
         """Pool/group compatibility: a bare engine routes to itself."""
         return self
+
+    def remap_shrunk(self, old_comm, new_comm) -> int:
+        """Pool compatibility: a bare engine keeps no per-communicator
+        routing state, so a shrink needs no remap here."""
+        return 0
 
     # ------------------------------------------------------------ submission
 
@@ -788,6 +806,22 @@ class OffloadEngine:
         rec = self.recovery
         if (
             rec is not None
+            and getattr(rec, "rank_failure", "fail") == "shrink"
+            and cmd.comm is not None
+            and _is_rank_dead(exc)
+        ):
+            # ULFM recovery mode: a peer death surfaced through this
+            # command — revoke its communicator so every survivor's
+            # operations on it fail typed *now* (locally, remotely via
+            # REVOKE notices), unblocking the revoke→agree→shrink
+            # driver instead of leaving siblings to time out one by
+            # one.  Idempotent; the command itself still fails below.
+            try:
+                cmd.comm.revoke()
+            except Exception:  # noqa: BLE001 - revoke is best-effort
+                pass
+        if (
+            rec is not None
             and rec.retry is not None
             and cmd.kind in IDEMPOTENT_KINDS
             and cmd.attempts < rec.retry.max_retries
@@ -1067,6 +1101,22 @@ class OffloadEngine:
                 )
         inner = entry.inner
         status = inner.status
+        rec = self.recovery
+        if (
+            inner.error is not None
+            and rec is not None
+            and getattr(rec, "rank_failure", "fail") == "shrink"
+            and entry.command is not None
+            and entry.command.comm is not None
+            and _is_rank_dead(inner.error)
+        ):
+            # An in-flight operation (e.g. a posted receive) failed
+            # because its peer died after dispatch: same ULFM response
+            # as a dispatch-time death (see _command_failed).
+            try:
+                entry.command.comm.revoke()
+            except Exception:  # noqa: BLE001 - revoke is best-effort
+                pass
         # Engine-level statuses carry global ranks; convert to the
         # command's communicator-local numbering before publishing.
         if (

@@ -178,6 +178,25 @@ class ShardRouter:
             self._streams[key] = pick
             return pick
 
+    def release_comm(self, comm_id: int) -> int:
+        """Drop every stream keyed to communicator ``comm_id``.
+
+        Called after a shrink: the revoked communicator failed all of
+        its streams' work typed, so their sticky assignments are dead
+        weight — releasing them lets the shrunk communicator's streams
+        (a different ``id()``) start placement fresh.  Returns how many
+        stream pins were dropped.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._streams
+                if isinstance(key, tuple) and key[0] == comm_id
+            ]
+            for key in stale:
+                del self._streams[key]
+            return len(stale)
+
 
 class _PoolCounters:
     """Read-mostly merged view over the shards' telemetry counters."""
@@ -361,6 +380,17 @@ class EnginePool:
         may submit directly; the router picks the shard at submit
         time, exactly as the facade does."""
         self.route(cmd).submit(cmd)
+
+    def remap_shrunk(self, old_comm, new_comm) -> int:
+        """Forget the revoked communicator's stream pins after a shrink.
+
+        ``old_comm`` has been revoked — every command it still owned
+        failed typed — and ``new_comm`` is its shrunk replacement.  The
+        shrunk communicator is a distinct object, so its streams key
+        fresh in the router; all this must do is drop the dead pins so
+        the table does not grow across repeated shrinks.  Returns the
+        number of released stream pins."""
+        return self.router.release_comm(id(old_comm))
 
     def _maybe_scale(self) -> None:
         self._route_ops += 1

@@ -695,6 +695,48 @@ class OffloadCommunicator:
             return None
         return OffloadCommunicator(new_inner, self.engine, self.op_timeout)
 
+    # ------------------------------------------------------ fault tolerance
+
+    @property
+    def revoked(self) -> bool:
+        """True once the wrapped communicator has been revoked."""
+        return self.inner.revoked
+
+    def revoke(self) -> None:
+        """Revoke the wrapped communicator (see ULFM semantics).
+
+        Runs *inline on the calling thread*, never through the offload
+        ring: revocation is the fault plane, and it must work exactly
+        when the offload path is wedged or poisoned.  The substrate's
+        ``revoke`` takes the library lock directly and needs no engine
+        cooperation.
+        """
+        self.inner.revoke()
+
+    def agree(self, flag: int = 1, timeout: float = 60.0) -> int:
+        """Fault-tolerant agreement over the survivors (inline).
+
+        Like :meth:`revoke`, this bypasses the offload ring: agreement
+        must terminate even when the shards serving this communicator
+        are drowning in typed failures.  The protocol pumps the
+        substrate progress engine from the calling thread.
+        """
+        return self.inner.agree(flag, timeout=timeout)
+
+    def shrink(self, timeout: float = 60.0) -> "OffloadCommunicator":
+        """Revoke + agree on survivors + rebuild, offload-side.
+
+        Returns a fresh facade over the shrunk substrate communicator
+        and releases the revoked communicator's stream pins from the
+        pool router, so the survivor's streams get fresh shard
+        assignments instead of inheriting dead sticky state.
+        """
+        new_inner = self.inner.shrink(timeout=timeout)
+        remap = getattr(self.engine, "remap_shrunk", None)
+        if remap is not None:
+            remap(self.inner, new_inner)
+        return OffloadCommunicator(new_inner, self.engine, self.op_timeout)
+
     def flush(self) -> None:
         """Wait until every previously submitted operation completed.
 

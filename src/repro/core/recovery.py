@@ -108,12 +108,22 @@ class RecoveryPolicy:
         ``OffloadEngineDied``.
     poll_interval:
         Caller-side sampling period for the done flag / heartbeat.
+    rank_failure:
+        What the engine does when a command fails with
+        :class:`~repro.mpisim.exceptions.RankDeadError`.  ``"fail"``
+        (default): terminal-fail the command, leave recovery to the
+        application.  ``"shrink"``: additionally *revoke* the command's
+        communicator, so every survivor's in-flight and future
+        operations on it fail typed at once and the application's
+        recovery driver (see :func:`repro.ft.run_resilient`) can run
+        revoke→agree→shrink without waiting out stragglers.
     """
 
     retry: RetryPolicy | None = None
     watchdog_timeout: float | None = None
     degrade: bool = False
     poll_interval: float = 0.02
+    rank_failure: str = "fail"
 
 
 class EngineWatchdog:

@@ -72,6 +72,25 @@ The zero-copy data-plane PR added one more:
     (:attr:`ProgressEngine._unsafe_complete_eager_at_post` re-opens
     the race).
 
+The fault-tolerance PR (ULFM revoke/shrink/agree, DESIGN.md §15) added
+two more:
+
+``agree-participant-crash``
+    A participant that dies between its round-1 candidate sends leaves
+    a partial candidate set behind; an agreement that decides after one
+    round regardless of gather failures and live-mask mismatches lets
+    one survivor consume the dead rank's candidate while another trusts
+    its own — two different "agreed" values
+    (:attr:`World._unsafe_agree_trust_first_round` disables the
+    decisiveness guard).
+
+``shrink-inflight-eager``
+    A zero-copy eager envelope still in the delivery pipe when
+    ``revoke()`` purges the receiver's UMQ arrives *after* the purge
+    and parks forever — its sender's deferred-completion request never
+    terminates (:attr:`ProgressEngine._unsafe_skip_revoked_drain_check`
+    disables the drain-time poisoning that closes the window).
+
 This module imports :mod:`repro.core` and therefore must never be
 imported from :mod:`repro.dst.hooks`'s import path (see the package
 docstring); consumers reach it via ``repro.dst.targets`` directly or
@@ -709,6 +728,166 @@ class EagerDeferredCopyProgram:
             )
 
 
+class AgreeParticipantCrashProgram:
+    """Fault-tolerant agreement racing a participant's death.
+
+    The ULFM agreement (``Communicator.agree``, DESIGN.md §15) must
+    return the **same** value on every survivor even when a participant
+    dies mid-protocol.  The guard doing that work is the decisiveness
+    check: a round only decides when no send/receive failed, every
+    gathered candidate belonged to this exact round, and every
+    participant reported the identical live-mask.
+
+    Here rank 2 ships its round-1 candidate ``0`` to rank 0 *only*,
+    then dies at a schedule-chosen point while ranks 0 and 1 run
+    ``agree(1)``.  With the guard off
+    (:attr:`World._unsafe_agree_trust_first_round`) a rank decides
+    after round 1 regardless: schedules where rank 0 still believed
+    rank 2 live (it consumes the ``0``, decides ``0``) while rank 1
+    already saw it dead (its gather fails, it trusts its own ``1``)
+    split-brain the agreement.  With the guard on, the mask mismatch
+    and gather failure force re-rounds, and the laggard adopts the
+    decider's ``DECIDED`` notice — the values always match.
+    """
+
+    def __init__(self, fix_disabled: bool) -> None:
+        from repro.mpisim.constants import ThreadLevel
+        from repro.mpisim.world import World
+
+        self.world = World(3, ThreadLevel.MULTIPLE)
+        self.world._unsafe_agree_trust_first_round = fix_disabled
+        self.values: dict[int, int] = {}
+        self.complete = False
+
+    def setup(self, sched: Any) -> None:
+        from repro.mpisim.communicator import _FT_CAND
+        from repro.mpisim.exceptions import MPIError
+
+        def crasher() -> None:
+            comm = self.world.comm_world(2)
+            # Round-1 candidate 0 to rank 0 only, full live-mask —
+            # exactly what a rank that dies between its sends leaves
+            # behind.
+            comm._ft_send(0, 0, _FT_CAND, 1, 0, 0b111)
+            _dst.yield_point("agree.crash_window")
+            self.world.mark_rank_dead(
+                2, RuntimeError("participant died mid-agreement")
+            )
+
+        def participant(rank: int) -> None:
+            comm = self.world.comm_world(rank)
+            try:
+                self.values[rank] = comm.agree(1)
+            except MPIError:
+                pass  # typed protocol failure: not a split brain
+
+        sched.spawn(crasher, name="crasher")
+        sched.spawn(participant, 0, name="agree0")
+        sched.spawn(participant, 1, name="agree1")
+
+    def check(self) -> None:
+        if len(self.values) < 2:
+            return  # a participant did not decide within this schedule
+        if self.values[0] != self.values[1]:
+            raise InvariantViolation(
+                f"split-brain agreement: rank 0 returned "
+                f"{self.values[0]}, rank 1 returned {self.values[1]} — "
+                f"survivors of one agreement must return one value"
+            )
+
+
+class ShrinkInflightEagerProgram:
+    """Revoke racing a zero-copy eager send already in flight.
+
+    ``revoke()`` purges the receiver's unexpected-message queue and
+    fails the purged senders' requests — but an envelope still in the
+    delivery pipe at purge time arrives *afterwards*.  The drain-time
+    revoked check in ``ProgressEngine._handle`` poisons such arrivals
+    (failing the sender's request typed); with it off
+    (:attr:`ProgressEngine._unsafe_skip_revoked_drain_check`) the
+    zero-copy envelope parks in the UMQ forever, nothing can legally
+    receive it, and the sender's deferred-completion send request never
+    reaches a terminal state — exactly the hang ``shrink`` exists to
+    make impossible.
+
+    Rank 0 posts a zero-copy eager send; rank 1 revokes the world
+    communicator at a schedule-chosen point; both shrink (the
+    fault-management plane ignores revoked guards, so recovery itself
+    still runs).  Invariant: after recovery the send request is
+    terminal — completed or typed-failed, never limbo.
+    """
+
+    def __init__(self, fix_disabled: bool, nbytes: int = 64) -> None:
+        import numpy as np
+
+        from repro.mpisim.constants import ThreadLevel
+        from repro.mpisim.world import World
+
+        self.np = np
+        self.world = World(2, ThreadLevel.MULTIPLE, zero_copy=True)
+        self.world.engines[1]._unsafe_skip_revoked_drain_check = (
+            fix_disabled
+        )
+        self.nbytes = nbytes
+        self.send_req: Any = None
+        self.posted = False
+        self.complete = 0
+
+    def setup(self, sched: Any) -> None:
+        np = self.np
+        from repro.mpisim.exceptions import CommRevokedError, MPIError
+
+        def sender() -> None:
+            comm = self.world.comm_world(0)
+            buf = np.arange(self.nbytes, dtype=np.uint8)
+            try:
+                self.send_req = comm.isend(buf, 1, tag=5)
+                self.posted = True
+            except CommRevokedError:
+                pass  # revoke won the race to the post: typed, fine
+            for _ in range(40):
+                if self.send_req is None or self.send_req.done:
+                    break
+                comm.engine.progress()
+                _dst.yield_point("shrink.send_pump")
+            try:
+                comm.shrink()
+            except MPIError:
+                pass
+            self.complete += 1
+
+        def revoker() -> None:
+            comm = self.world.comm_world(1)
+            _dst.yield_point("shrink.revoke_delay")
+            comm.revoke()
+            for _ in range(40):
+                comm.engine.progress()
+                _dst.yield_point("shrink.revoke_pump")
+                if self.posted and (
+                    self.send_req is None or self.send_req.done
+                ):
+                    break
+            try:
+                comm.shrink()
+            except MPIError:
+                pass
+            self.complete += 1
+
+        sched.spawn(sender, name="sender")
+        sched.spawn(revoker, name="revoker")
+
+    def check(self) -> None:
+        if self.complete < 2:
+            return  # recovery did not finish within this schedule
+        if self.send_req is not None and not self.send_req.done:
+            raise InvariantViolation(
+                "zero-copy eager send request still in limbo after "
+                "revoke + shrink: the envelope arrived after the "
+                "revoke purge and parked in the UMQ with no drain-time "
+                "poisoning"
+            )
+
+
 # ---------------------------------------------------------------------------
 # Linearizability targets (history-recording programs)
 # ---------------------------------------------------------------------------
@@ -981,6 +1160,28 @@ CORPUS: dict[str, Target] = {
             regression=True,
             strategy="random",
             schedules=200,
+        ),
+        Target(
+            name="agree-participant-crash",
+            description=(
+                "participant death mid-agreement vs the decisiveness "
+                "guard (split-brain agree values)"
+            ),
+            make=AgreeParticipantCrashProgram,
+            regression=True,
+            strategy="random",
+            schedules=300,
+        ),
+        Target(
+            name="shrink-inflight-eager",
+            description=(
+                "zero-copy eager arrival after the revoke purge vs "
+                "the drain-time check (send request in limbo forever)"
+            ),
+            make=ShrinkInflightEagerProgram,
+            regression=True,
+            strategy="random",
+            schedules=300,
         ),
         Target(
             name="queue-linearizability",

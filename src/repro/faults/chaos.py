@@ -44,6 +44,7 @@ PROFILES = (
     "crash",
     "shard-crash",
     "mixed",
+    "rank-crash-survive",
 )
 
 
@@ -59,6 +60,8 @@ def default_plan(
     """
     if profile not in PROFILES:
         raise ValueError(f"unknown chaos profile {profile!r}")
+    if profile == "rank-crash-survive":
+        return crash_survive_plan(nranks, seed=seed)
     plan = FaultPlan(seed=seed)
     if profile in ("messages", "mixed"):
         plan.add(
@@ -144,6 +147,124 @@ def default_plan(
             )
         )
     return plan
+
+
+def crash_survive_plan(
+    nranks: int, seed: int = 0, ncrashes: int | None = None
+) -> FaultPlan:
+    """Seeded fail-stop deaths for the ``rank-crash-survive`` profile.
+
+    RANK_CRASH rules **only**: the ULFM recovery plane's agreement
+    traffic is eager-kind, so message DROP rules could stall the
+    recovery protocol itself — this profile injects pure fail-stop
+    deaths and leaves delivery intact, which is exactly the ULFM fault
+    model.  ``after`` windows are kept small so every death lands
+    while the workload's epochs are still issuing commands.
+    """
+    import random
+
+    rng = random.Random(f"crash-survive:{seed}")
+    if ncrashes is None:
+        ncrashes = max(1, min(nranks - 2, nranks // 2))
+    victims = rng.sample(range(nranks), ncrashes)
+    plan = FaultPlan(seed=seed)
+    for i, victim in enumerate(victims):
+        plan.add(
+            FaultRule(
+                FaultAction.RANK_CRASH,
+                rank=victim,
+                after=rng.randint(3, 8),
+                count=1,
+                rule_id=f"ft-crash-{i}",
+            )
+        )
+    return plan
+
+
+def run_crash_survive(
+    nranks: int = 4,
+    seed: int = 0,
+    run_timeout: float = 120.0,
+    plan: FaultPlan | None = None,
+) -> dict:
+    """The ``rank-crash-survive`` chaos profile: finish, don't fail fast.
+
+    Drives the paper's two end-to-end workloads (the Fig. 14 CNN
+    trainer and the Fig. 9 QCD solver loop, in resilient epoch form)
+    through :func:`repro.ft.resilient.run_resilient` over the offload
+    engine while a seeded plan crashes ranks.  The contract is
+    stronger than the other profiles' no-hang/typed-failure check:
+
+    * the run **completes** — survivors shrink around the dead and
+      finish every epoch (``restarts >= 1`` proves recovery ran);
+    * the survivors' results are **bitwise identical** to a fault-free
+      single-rank reference run of the same workload.
+    """
+    from repro.ft.resilient import run_resilient
+    from repro.ft.workloads import CNNEpochApp, QCDEpochApp
+    from repro.mpisim.constants import ThreadLevel
+
+    ft: dict[str, dict] = {}
+    unexpected: dict[str, str] = {}
+    fault_stats: dict[str, int] = {}
+    total_restarts = 0
+    for App in (CNNEpochApp, QCDEpochApp):
+        app = App(seed=seed)
+        reference = run_resilient(
+            App(seed=seed),
+            World(1, thread_level=ThreadLevel.MULTIPLE),
+            run_timeout=run_timeout,
+        )
+        world = World(nranks, thread_level=ThreadLevel.MULTIPLE)
+        wplan = plan or crash_survive_plan(nranks, seed=seed)
+        world.install_faults(wplan)
+        report = run_resilient(
+            app, world, offload=True, run_timeout=run_timeout
+        )
+        bitwise = (
+            report.result is not None
+            and report.result == reference.result
+        )
+        ft[app.name] = {
+            "ok": report.ok and bitwise and report.restarts >= 1,
+            "bitwise": bitwise,
+            "restarts": report.restarts,
+            "dead": report.dead,
+            "survivors": sorted(report.results),
+            "checkpoint_bytes": report.checkpoint_bytes,
+            **report.counters,
+        }
+        for rank, msg in report.unexpected.items():
+            unexpected[f"{app.name}:r{rank}"] = msg
+        for k, v in wplan.stats().items():
+            fault_stats[k] = fault_stats.get(k, 0) + v
+        total_restarts += report.restarts
+        # fresh plan per workload: count windows are consumed
+        plan = None
+    ok = all(d["ok"] for d in ft.values()) and not unexpected
+    return {
+        "ok": ok,
+        "nranks": nranks,
+        "rounds": sum(
+            App(seed=seed).epochs for App in (CNNEpochApp, QCDEpochApp)
+        ),
+        "seed": seed,
+        "profile": "rank-crash-survive",
+        "pool_size": 1,
+        "pool": {},
+        "ops": sum(d["restarts"] + 1 for d in ft.values()),
+        "completed_ok": sum(1 for d in ft.values() if d["ok"]),
+        "typed_failures": {},
+        "wait_timeouts": 0,
+        "hangs": [],
+        "unexpected_errors": unexpected,
+        "degraded_exits": [],
+        "faults": fault_stats,
+        "recovered": {"restarts": total_restarts},
+        "balance": {"ok": True},
+        "balance_violations": [],
+        "ft": ft,
+    }
 
 
 def _attempt(report: dict, fn) -> None:
@@ -304,6 +425,12 @@ def run_chaos(
     match time, so DROP/DUPLICATE rules exercise the fault hooks'
     send-request completion and deep-copy paths.
     """
+    if profile == "rank-crash-survive":
+        # Entirely different contract (complete + bitwise-correct
+        # instead of fail-typed); delegated to the resilient driver.
+        return run_crash_survive(
+            nranks=nranks, seed=seed, run_timeout=run_timeout, plan=plan
+        )
     if profile == "shard-crash" and pool_size == 1:
         pool_size = 4
     if plan is None:
@@ -444,6 +571,16 @@ def render_report(report: dict) -> str:
         lines.append(f"  UNEXPECTED: {report['unexpected_errors']}")
     if report["balance_violations"]:
         lines.append(f"  VIOLATIONS: {report['balance_violations']}")
+    for name, d in report.get("ft", {}).items():
+        lines.append(
+            f"  ft[{name}]: restarts={d['restarts']} dead={d['dead']} "
+            f"survivors={d['survivors']} "
+            f"revokes={d.get('comm_revokes', 0)} "
+            f"agree_rounds={d.get('agree_rounds', 0)} "
+            f"shrinks={d.get('shrink_epochs', 0)} "
+            f"ckpt_bytes={d.get('checkpoint_bytes', 0)} "
+            + ("bitwise-OK" if d["bitwise"] else "BITWISE-MISMATCH")
+        )
     lines.append(
         "  verdict: " + ("PASS" if report["ok"] else "FAIL")
     )

@@ -148,6 +148,13 @@ class FaultRule:
     error:
         COMMAND_ERROR rules: message for the raised
         :class:`TransientFaultError` (or a zero-arg exception factory).
+    rule_id:
+        Stable identifier stamped onto injected exceptions (and, for
+        RANK_CRASH rules, carried into the substrate's
+        :class:`~repro.mpisim.exceptions.RankDeadError` messages), so a
+        failure observed deep in a chaos run names the rule that caused
+        it.  Auto-assigned as ``"r<index>:<action>"`` when the rule is
+        added to a plan without one.
     """
 
     action: FaultAction
@@ -161,6 +168,7 @@ class FaultRule:
     delay: float = 0.0
     duration: float = 0.0
     error: str | Callable[[], BaseException] | None = None
+    rule_id: str | None = None
     # -- per-rule state (managed by the plan, under its lock) ----------
     seen: int = field(default=0, repr=False)
     hits: int = field(default=0, repr=False)
@@ -203,9 +211,13 @@ class FaultRule:
 
     def make_error(self) -> BaseException:
         if callable(self.error):
-            return self.error()
-        msg = self.error or f"injected fault ({self.action.value})"
-        return TransientFaultError(msg)
+            exc = self.error()
+        else:
+            msg = self.error or f"injected fault ({self.action.value})"
+            exc = TransientFaultError(msg)
+        if getattr(exc, "rule_id", None) is None:
+            exc.rule_id = self.rule_id
+        return exc
 
 
 class FaultPlan:
@@ -227,6 +239,9 @@ class FaultPlan:
         self, rules: "list[FaultRule] | tuple[FaultRule, ...]" = (), seed: int = 0
     ) -> None:
         self.rules: list[FaultRule] = list(rules)
+        for i, rule in enumerate(self.rules):
+            if rule.rule_id is None:
+                rule.rule_id = f"r{i}:{rule.action.value}"
         self.seed = seed
         self._rng = Random(seed)
         self._lock = threading.Lock()
@@ -238,6 +253,8 @@ class FaultPlan:
     # ------------------------------------------------------------ setup
 
     def add(self, rule: FaultRule) -> "FaultPlan":
+        if rule.rule_id is None:
+            rule.rule_id = f"r{len(self.rules)}:{rule.action.value}"
         self.rules.append(rule)
         return self
 
@@ -416,13 +433,15 @@ class FaultPlan:
         if action is FaultAction.COMMAND_ERROR:
             return rule.make_error()
         if action is FaultAction.RANK_CRASH and self._world is not None:
-            self._world.mark_rank_dead(
-                rank, InjectedCrash(f"rank {rank} crashed (injected)")
-            )
-        raise InjectedCrash(
+            death = InjectedCrash(f"rank {rank} crashed (injected)")
+            death.rule_id = rule.rule_id
+            self._world.mark_rank_dead(rank, death)
+        crash = InjectedCrash(
             f"offload thread of rank {rank} crashed at command "
             f"#{engine.commands_processed} ({kind}) [injected]"
         )
+        crash.rule_id = rule.rule_id
+        raise crash
 
     # ------------------------------------------------------------ helpers
 

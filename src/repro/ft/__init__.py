@@ -1,0 +1,37 @@
+"""Fault tolerance: surviving rank death (DESIGN.md §15).
+
+The offload stack concentrates failure *detection* — a dead rank's
+traffic fails typed everywhere within one progress interaction — but
+until this package, detection was terminal: a chaos workload that lost
+a rank failed fast.  ``repro.ft`` closes the loop with the ULFM-style
+recovery plane (``Communicator.revoke`` / ``agree`` / ``shrink`` in
+:mod:`repro.mpisim`) plus application-level checkpoint/restart:
+
+* :mod:`repro.ft.checkpoint` — versioned, consistent snapshots
+  (in-memory and on-disk stores, atomic commit);
+* :mod:`repro.ft.resilient` — the :func:`run_resilient` driver:
+  checkpoint at epoch boundaries, and on a rank death run
+  revoke → agree → shrink, restore the survivors from the last
+  consistent checkpoint, and keep going;
+* :mod:`repro.ft.workloads` — membership-agnostic, bitwise-
+  deterministic epoch workloads (the Fig. 14 CNN trainer and the
+  Fig. 9 QCD solver loop) whose results are byte-identical whether
+  the run lost ranks or not.
+"""
+
+from repro.ft.checkpoint import (
+    Checkpoint,
+    CheckpointStore,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+)
+from repro.ft.resilient import ResilientReport, run_resilient
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "DiskCheckpointStore",
+    "MemoryCheckpointStore",
+    "ResilientReport",
+    "run_resilient",
+]

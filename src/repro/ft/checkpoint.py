@@ -1,0 +1,173 @@
+"""Versioned checkpoint stores for the resilient driver.
+
+A checkpoint is one *committed, consistent* snapshot of the replicated
+application state at an epoch boundary: it is written only after every
+survivor agreed the epoch completed (see
+:func:`repro.ft.resilient.run_resilient`), so restoring from the
+latest committed version is always safe — a crash between the
+agreement and the commit merely replays one deterministic epoch.
+
+Consistency rules (DESIGN.md §15):
+
+* **Commit is atomic.**  The in-memory store swaps a dict entry under
+  a lock; the disk store writes a temp file and ``os.replace``\\ s it
+  into place, so a reader never observes a torn snapshot.
+* **Versions are immutable.**  ``commit`` of an epoch that already has
+  a snapshot is a no-op (first writer wins): after a shrink several
+  survivors may race to re-commit the same replayed epoch with
+  byte-identical blobs.
+* **Restore reads the newest committed version**, never a newer
+  uncommitted one — ``latest`` only sees what ``commit`` finished.
+
+Every committed byte is counted in the store's ``checkpoint_bytes``
+counter (obs glossary), and recovery cycles increment ``restarts``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass
+
+from repro.obs.counters import Counters
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One committed snapshot: the epoch it closes and its bytes."""
+
+    epoch: int
+    blob: bytes
+
+
+class CheckpointStore:
+    """Base class: versioned snapshots keyed by epoch.
+
+    Subclasses implement ``_put``/``_get``/``_epochs``; the public
+    surface adds idempotent commit, latest-version lookup, and the
+    ``checkpoint_bytes``/``restarts`` counters shared with the
+    resilient driver.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.counters = Counters()
+
+    # -- subclass storage primitives ---------------------------------------
+
+    def _put(self, epoch: int, blob: bytes) -> None:
+        raise NotImplementedError
+
+    def _get(self, epoch: int) -> bytes | None:
+        raise NotImplementedError
+
+    def _epochs(self) -> list[int]:
+        raise NotImplementedError
+
+    # -- public surface ----------------------------------------------------
+
+    def commit(self, epoch: int, blob: bytes) -> bool:
+        """Commit ``blob`` as epoch ``epoch``'s snapshot.
+
+        First writer wins; re-commits of an existing epoch are no-ops
+        (replayed epochs produce byte-identical state, so there is
+        nothing to reconcile).  Returns True when this call wrote.
+        """
+        with self._lock:
+            if self._get(epoch) is not None:
+                return False
+            self._put(epoch, bytes(blob))
+        self.counters.inc("checkpoint_bytes", len(blob))
+        return True
+
+    def load(self, epoch: int) -> Checkpoint | None:
+        with self._lock:
+            blob = self._get(epoch)
+        return None if blob is None else Checkpoint(epoch, blob)
+
+    def latest(self) -> Checkpoint | None:
+        """The newest committed snapshot (None when empty)."""
+        with self._lock:
+            epochs = self._epochs()
+            if not epochs:
+                return None
+            epoch = max(epochs)
+            blob = self._get(epoch)
+        return None if blob is None else Checkpoint(epoch, blob)
+
+    def epochs(self) -> list[int]:
+        with self._lock:
+            return sorted(self._epochs())
+
+    def record_restart(self) -> None:
+        """Count one revoke→agree→shrink→restore recovery cycle."""
+        self.counters.inc("restarts")
+
+    def stats(self) -> dict[str, int]:
+        return self.counters.snapshot()
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """Snapshots in a process-local dict (ranks share the process)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._blobs: dict[int, bytes] = {}
+
+    def _put(self, epoch: int, blob: bytes) -> None:
+        self._blobs[epoch] = blob
+
+    def _get(self, epoch: int) -> bytes | None:
+        return self._blobs.get(epoch)
+
+    def _epochs(self) -> list[int]:
+        return list(self._blobs)
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """Snapshots as files: ``ckpt_<epoch>.bin`` under one directory.
+
+    Commit writes ``.ckpt_<epoch>.tmp`` and ``os.replace``\\ s it into
+    place — the rename is atomic, so a snapshot either exists complete
+    or not at all, never torn.
+    """
+
+    _PREFIX = "ckpt_"
+    _SUFFIX = ".bin"
+
+    def __init__(self, directory: str) -> None:
+        super().__init__()
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, epoch: int) -> str:
+        return os.path.join(
+            self.directory, f"{self._PREFIX}{epoch:08d}{self._SUFFIX}"
+        )
+
+    def _put(self, epoch: int, blob: bytes) -> None:
+        tmp = os.path.join(self.directory, f".{self._PREFIX}{epoch:08d}.tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._path(epoch))
+
+    def _get(self, epoch: int) -> bytes | None:
+        try:
+            with open(self._path(epoch), "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            return None
+
+    def _epochs(self) -> list[int]:
+        out = []
+        for name in os.listdir(self.directory):
+            if name.startswith(self._PREFIX) and name.endswith(self._SUFFIX):
+                try:
+                    out.append(
+                        int(name[len(self._PREFIX):-len(self._SUFFIX)])
+                    )
+                except ValueError:
+                    continue
+        return out

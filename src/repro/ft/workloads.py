@@ -1,0 +1,257 @@
+"""Membership-agnostic epoch workloads for the resilient driver.
+
+The hard part of surviving a rank death is not restarting — it is
+restarting *without changing the answer*.  Both workloads here (the
+paper's Fig. 14 CNN trainer and Fig. 9 QCD solver loop, reduced to
+epoch form) are built so that a run that loses ranks, shrinks, and
+resumes from a checkpoint produces **bitwise identical** final state
+to a fault-free run at any rank count.  Two ingredients:
+
+* **Replicated state, unit-sharded work.**  The full application state
+  lives on every rank.  Each epoch's work is cut into a fixed number
+  of canonical *units*; unit ``u`` is computed by rank ``u % P`` for
+  the *current* membership, so ownership re-balances transparently
+  after a shrink — but a unit's arithmetic depends only on (state,
+  epoch), never on who computes it.
+* **Disjoint-slot exchange.**  Owners write results into disjoint rows
+  of a zero-initialized ``(units, ...)`` array and a single
+  ``allreduce(SUM)`` replicates the full set.  Every element has
+  exactly one nonzero contributor, and IEEE-754 ``x + 0.0`` is exact,
+  so the reduction is bitwise reproducible for *any* rank count and
+  *any* reduction order.  The final combination across units happens
+  locally, in canonical unit order.
+
+Both apps implement the driver protocol
+(:func:`repro.ft.resilient.run_resilient`): ``epochs``, ``init``,
+``step``, ``snapshot``, ``restore``, ``finish``.  ``step`` is pure
+(fresh scratch objects per call) so one app instance can be shared by
+every rank thread.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import seeded_rng
+
+
+class CNNEpochApp:
+    """Fig. 14 CNN training as a resilient epoch workload.
+
+    One epoch = one SGD step of a dense classifier
+    (:class:`repro.apps.cnn.layers.Dense` stack with the softmax
+    cross-entropy head) on a deterministic synthetic batch.  The batch
+    is cut into ``units`` canonical slices; each owner runs the full
+    forward/backward on its slices and contributes the per-unit
+    gradients through the disjoint-slot exchange.  The state vector is
+    the flattened parameters plus one trailing slot accumulating the
+    epoch losses (so the final bytes witness the whole training
+    history, not just the last step).
+    """
+
+    name = "cnn-fig14"
+
+    def __init__(
+        self,
+        epochs: int = 5,
+        batch: int = 16,
+        features: int = 12,
+        hidden: int = 16,
+        classes: int = 4,
+        units: int = 8,
+        lr: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if batch % units:
+            raise ValueError(f"batch {batch} not divisible by {units} units")
+        self.epochs = epochs
+        self.batch = batch
+        self.features = features
+        self.hidden = hidden
+        self.classes = classes
+        self.units = units
+        self.lr = lr
+        self.seed = seed
+        self._shapes = [
+            (hidden, features),
+            (hidden,),
+            (classes, hidden),
+            (classes,),
+        ]
+        self._nparams = sum(int(np.prod(s)) for s in self._shapes)
+
+    # -- model plumbing ----------------------------------------------------
+
+    def _build(self, params: np.ndarray):
+        from repro.apps.cnn.layers import Dense, ReLU
+        from repro.apps.cnn.network import Sequential
+
+        model = Sequential(
+            [
+                Dense(self.features, self.hidden, seed=("ft", self.seed, 0)),
+                ReLU(),
+                Dense(self.hidden, self.classes, seed=("ft", self.seed, 1)),
+            ]
+        )
+        off = 0
+        for layer, name, p in model.parameters():
+            n = p.size
+            layer.params[name] = params[off : off + n].reshape(p.shape).copy()
+            off += n
+        return model
+
+    def _pack(self, arrays) -> np.ndarray:
+        return np.concatenate([np.asarray(a).ravel() for a in arrays])
+
+    def _batch_for(self, epoch: int):
+        rng = seeded_rng("ft-cnn-batch", self.seed, epoch)
+        x = rng.standard_normal((self.batch, self.features))
+        y = rng.integers(0, self.classes, self.batch)
+        return x, y
+
+    # -- driver protocol ---------------------------------------------------
+
+    def init(self, comm) -> np.ndarray:
+        from repro.apps.cnn.layers import Dense, ReLU
+        from repro.apps.cnn.network import Sequential
+
+        # The layers' own seeded initializations are the initial state.
+        model = Sequential(
+            [
+                Dense(self.features, self.hidden, seed=("ft", self.seed, 0)),
+                ReLU(),
+                Dense(self.hidden, self.classes, seed=("ft", self.seed, 1)),
+            ]
+        )
+        params = self._pack(p for _, _, p in model.parameters())
+        return np.concatenate([params, [0.0]])
+
+    def step(self, comm, state: np.ndarray, epoch: int) -> np.ndarray:
+        params = state[:-1]
+        x, y = self._batch_for(epoch)
+        bs = self.batch // self.units
+        size, me = comm.size, comm.rank
+        unit_grads = np.zeros((self.units, self._nparams))
+        unit_loss = np.zeros(self.units)
+        for u in range(self.units):
+            if u % size != me:
+                continue
+            model = self._build(params)
+            loss = model.loss(x[u * bs : (u + 1) * bs], y[u * bs : (u + 1) * bs])
+            model.backward()
+            unit_grads[u] = self._pack(
+                layer.grads[name]
+                for layer, name, _ in model.parameters()
+            )
+            unit_loss[u] = loss
+        all_grads = comm.allreduce(unit_grads)
+        all_loss = comm.allreduce(unit_loss)
+        # Canonical-order combination: identical on every rank at any P.
+        grad = np.zeros(self._nparams)
+        loss_sum = 0.0
+        for u in range(self.units):
+            grad += all_grads[u]
+            loss_sum += all_loss[u]
+        new_params = params - self.lr * (grad / self.units)
+        return np.concatenate(
+            [new_params, [state[-1] + loss_sum / self.units]]
+        )
+
+    def snapshot(self, state: np.ndarray) -> bytes:
+        return state.tobytes()
+
+    def restore(self, blob: bytes) -> np.ndarray:
+        return np.frombuffer(blob, dtype=np.float64).copy()
+
+    def finish(self, comm, state: np.ndarray) -> np.ndarray:
+        return state
+
+
+class QCDEpochApp:
+    """Fig. 9 QCD solver loop as a resilient epoch workload.
+
+    One epoch = a few Richardson iterations ``x += omega * (b - A x)``
+    of a Wilson-like nearest-neighbor hopping operator
+    ``A = I - kappa * (shift(+1) + shift(-1))`` on a periodic 1-D
+    lattice — the Dslash-apply + global-reduction structure of the
+    paper's solvers (§5.1) in epoch form.  The operator application is
+    unit-sharded over lattice slices (the state is replicated, so an
+    owner computes its slice exactly, neighbors included), and the
+    residual norm is accumulated from per-unit partial dots combined
+    in canonical unit order.  State = the field plus one trailing slot
+    accumulating residual norms across epochs.
+    """
+
+    name = "qcd-fig9"
+
+    def __init__(
+        self,
+        epochs: int = 5,
+        sites: int = 64,
+        units: int = 8,
+        iters: int = 3,
+        kappa: float = 0.45,
+        omega: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        if sites % units:
+            raise ValueError(f"{sites} sites not divisible by {units} units")
+        self.epochs = epochs
+        self.sites = sites
+        self.units = units
+        self.iters = iters
+        self.kappa = kappa
+        self.omega = omega
+        self.seed = seed
+
+    def _rhs(self) -> np.ndarray:
+        return seeded_rng("ft-qcd-rhs", self.seed).standard_normal(self.sites)
+
+    def _apply_unit(self, x: np.ndarray, u: int) -> np.ndarray:
+        """A x restricted to unit ``u``'s site slice (x is replicated)."""
+        ns = self.sites // self.units
+        lo = u * ns
+        idx = np.arange(lo, lo + ns)
+        return (
+            x[idx]
+            - self.kappa * (x[(idx + 1) % self.sites] + x[(idx - 1) % self.sites])
+        )
+
+    # -- driver protocol ---------------------------------------------------
+
+    def init(self, comm) -> np.ndarray:
+        return np.concatenate([np.zeros(self.sites), [0.0]])
+
+    def step(self, comm, state: np.ndarray, epoch: int) -> np.ndarray:
+        x = state[:-1].copy()
+        resid_acc = state[-1]
+        b = self._rhs()
+        ns = self.sites // self.units
+        size, me = comm.size, comm.rank
+        for _ in range(self.iters):
+            y = np.zeros(self.sites)
+            partial = np.zeros(self.units)
+            for u in range(self.units):
+                if u % size != me:
+                    continue
+                au = self._apply_unit(x, u)
+                y[u * ns : (u + 1) * ns] = au
+                r_u = b[u * ns : (u + 1) * ns] - au
+                partial[u] = float(r_u @ r_u)
+            y = comm.allreduce(y)
+            partial = comm.allreduce(partial)
+            rnorm2 = 0.0
+            for u in range(self.units):
+                rnorm2 += partial[u]
+            x = x + self.omega * (b - y)
+            resid_acc += np.sqrt(rnorm2)
+        return np.concatenate([x, [resid_acc]])
+
+    def snapshot(self, state: np.ndarray) -> bytes:
+        return state.tobytes()
+
+    def restore(self, blob: bytes) -> np.ndarray:
+        return np.frombuffer(blob, dtype=np.float64).copy()
+
+    def finish(self, comm, state: np.ndarray) -> np.ndarray:
+        return state

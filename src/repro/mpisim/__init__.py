@@ -42,7 +42,9 @@ from repro.mpisim.constants import (
     MAX_USER_TAG,
 )
 from repro.mpisim.exceptions import (
+    CommRevokedError,
     MPIError,
+    RankDeadError,
     TruncationError,
     InvalidRankError,
     InvalidTagError,
@@ -96,6 +98,8 @@ __all__ = [
     "THREAD_MULTIPLE",
     "MAX_USER_TAG",
     "MPIError",
+    "CommRevokedError",
+    "RankDeadError",
     "TruncationError",
     "InvalidRankError",
     "InvalidTagError",

@@ -19,6 +19,8 @@ point:
 from __future__ import annotations
 
 import threading
+import time
+from collections import deque
 from typing import TYPE_CHECKING, Any, Sequence
 
 import numpy as np
@@ -31,9 +33,12 @@ from repro.mpisim.constants import (
     PROC_NULL,
     ThreadLevel,
 )
+from repro.mpisim.envelope import Envelope, EnvelopeKind
 from repro.mpisim.exceptions import (
     InvalidRankError,
     InvalidTagError,
+    MPIError,
+    RankDeadError,
     ThreadLevelError,
 )
 from repro.mpisim.reduce_ops import ReduceOp, SUM
@@ -46,6 +51,10 @@ if TYPE_CHECKING:  # pragma: no cover
 
 #: Internal tag space base for collective traffic (beyond user tags).
 _COLL_TAG_BASE = MAX_USER_TAG + 1
+
+#: Agreement-protocol message kinds (wire word [1] of an ft message).
+_FT_CAND = 0  # candidate value for a round
+_FT_DECIDED = 1  # final value; receivers adopt and re-disseminate
 
 
 class Communicator:
@@ -69,10 +78,22 @@ class Communicator:
         #: context ids: even for point-to-point, odd for collectives
         self.ctx_p2p = 2 * cid
         self.ctx_coll = 2 * cid + 1
+        #: fault-management context (negative by construction): the
+        #: ULFM plane — ``agree``/``shrink`` traffic — which bypasses
+        #: every revoked-communicator guard, so survivors can still
+        #: coordinate on a revoked communicator (DESIGN.md §15)
+        self.ctx_ft = -(2 * cid + 2)
         self.rank = group.index(engine.rank)
         self.size = len(group)
         self._coll_seq = 0
         self._coll_lock = threading.Lock()
+        #: agreement epoch counter (one per ``agree`` call; collective
+        #: call order keeps survivors' epochs aligned)
+        self._agree_seq = 0
+        self._agree_lock = threading.Lock()
+        #: ft-plane messages pulled but belonging to a later epoch,
+        #: per comm-local peer (consumed before posting new receives)
+        self._ft_backlog: dict[int, deque[np.ndarray]] = {}
         self._serial_guard: int | None = None
         self._serial_lock = threading.Lock()
 
@@ -567,6 +588,276 @@ class Communicator:
             return nbc.ialltoall(self, sendbuf, recvbuf)
         finally:
             self._exit()
+
+    # ---------------------------------------------- fault tolerance (ULFM)
+    # The fault-management plane: callable from any thread (no _enter —
+    # recovery must run even when the funnel/offload thread is the
+    # casualty), working even on a revoked communicator (ctx_ft is
+    # negative, bypassing every revoked guard).  DESIGN.md §15.
+
+    @property
+    def revoked(self) -> bool:
+        """Has this communicator been revoked (locally known)?"""
+        return self.cid in self.engine._revoked
+
+    def revoke(self) -> None:
+        """Revoke the communicator (ULFM ``MPI_Comm_revoke``).
+
+        Poisons every in-flight and future operation on it — locally at
+        once, remotely via an explicit ``REVOKE`` notice to every group
+        member plus piggybacked notices on all subsequent traffic
+        (``World._deliver`` stamps them), so peers learn of the revoke
+        without a side channel.  Idempotent; never raises on dead peers.
+        """
+        if not self.engine.apply_revoke(self.cid):
+            return
+        for g in self.group:
+            if g == self.engine.rank:
+                continue
+            self.world._deliver(
+                g,
+                Envelope(
+                    kind=EnvelopeKind.REVOKE,
+                    src=self.engine.rank,
+                    dst=g,
+                    context_id=self.ctx_p2p,
+                    tag=-1,
+                    nbytes=0,
+                ),
+            )
+
+    # -- agreement ---------------------------------------------------------
+
+    def _ft_send(
+        self, peer: int, epoch: int, kind: int, rnd: int, value: int,
+        mask_bits: int,
+    ) -> None:
+        """Ship one ft-plane word to comm-local ``peer`` (eager, 40 B)."""
+        msg = np.array(
+            [epoch, kind, rnd, value, mask_bits], dtype=np.int64
+        )
+        self.engine.post_send(msg, self.group[peer], 0, self.ctx_ft)
+
+    def _ft_wait(self, req: Request, deadline: float) -> None:
+        """Actively pump progress until ``req`` completes.
+
+        Must not park on the request event: nobody else pumps this
+        rank's engine during agreement, so the waiter drives its own
+        progress.  Under a DST scheduler each iteration is a yield
+        point instead of a sleep, keeping the wait replayable.
+        """
+        from repro.dst import hooks as _dst
+
+        while True:
+            self.engine.progress()
+            if req.done:
+                if req.error is not None:
+                    raise req.error
+                return
+            if _dst.is_virtual_thread():
+                _dst.yield_point("agree.recv_wait")
+            else:
+                if time.perf_counter() > deadline:
+                    raise MPIError(
+                        "agree: timed out waiting for a peer message"
+                    )
+                time.sleep(1e-5)
+
+    def _ft_next_msg(
+        self, peer: int, epoch: int, deadline: float
+    ) -> np.ndarray:
+        """Next ft-plane message from ``peer`` with epoch >= ``epoch``.
+
+        Stale-epoch messages (leftovers of an agreement this rank
+        already finished) are dropped; per-pair FIFO guarantees a
+        peer's traffic arrives in the order it was sent, so the first
+        non-stale message is the relevant one.
+        """
+        backlog = self._ft_backlog.setdefault(peer, deque())
+        while True:
+            while backlog:
+                msg = backlog.popleft()
+                if int(msg[0]) >= epoch:
+                    return msg
+            buf = np.empty(5, dtype=np.int64)
+            req = self.engine.post_recv(
+                buf, self.group[peer], 0, self.ctx_ft
+            )
+            self._ft_wait(req, deadline)
+            if int(buf[0]) >= epoch:
+                return buf.copy()
+
+    def agree(self, flag: int = 1, timeout: float = 60.0) -> int:
+        """Fault-tolerant agreement (ULFM ``MPI_Comm_agree``).
+
+        Returns the bitwise AND of every participant's ``flag``, with
+        the guarantee that **all survivors return the same value** even
+        when participants die mid-protocol.  Works on a revoked
+        communicator (it runs on the fault-management context).
+
+        Protocol (DESIGN.md §15): rounds of all-to-all candidate
+        exchange.  Each round a rank sends ``CAND(epoch, round, cand,
+        mask)`` to every peer it believes live, then gathers exactly
+        one in-round message from each; a round *decides* only if no
+        send or receive failed, every gathered message was this exact
+        round's candidate, and every participant reported the identical
+        live-mask — i.e. all deciders of a round consumed identical
+        candidate sets, hence compute identical values.  Non-deciders
+        retry; per-pair FIFO means they next consume a decider's
+        ``DECIDED`` notice and adopt its value, re-disseminating before
+        returning so chains of adopters stay consistent.  Candidates
+        only shrink (bitwise AND is monotone), and the shared dead-rank
+        table means live-masks converge once deaths stop — so the loop
+        terminates.
+        """
+        eng = self.engine
+        world = self.world
+        with self._agree_lock:
+            epoch = self._agree_seq
+            self._agree_seq += 1
+        deadline = time.perf_counter() + timeout
+        cand = int(flag)
+        trust_first = world._unsafe_agree_trust_first_round
+        max_rounds = 4 * self.size + 8
+        stash: dict[int, np.ndarray] = {}
+        rnd = 0
+        decided_value: int | None = None
+        while decided_value is None:
+            rnd += 1
+            if rnd > max_rounds:
+                raise MPIError(
+                    f"agree: no decision after {max_rounds} rounds "
+                    f"(cid {self.cid}, epoch {epoch})"
+                )
+            eng.agree_rounds += 1
+            dead = world.dead_ranks
+            mask = [
+                i
+                for i in range(self.size)
+                if self.group[i] == eng.rank or self.group[i] not in dead
+            ]
+            mask_bits = 0
+            for i in mask:
+                mask_bits |= 1 << i
+            decisive = True
+            for i in mask:
+                if i == self.rank:
+                    continue
+                try:
+                    self._ft_send(
+                        i, epoch, _FT_CAND, rnd, cand, mask_bits
+                    )
+                except RankDeadError:
+                    decisive = False
+            for i in mask:
+                if i == self.rank:
+                    continue
+                msg = stash.pop(i, None)
+                while True:
+                    if msg is None:
+                        try:
+                            msg = self._ft_next_msg(i, epoch, deadline)
+                        except RankDeadError:
+                            decisive = False
+                            break
+                    kind = int(msg[1])
+                    if kind == _FT_DECIDED:
+                        decided_value = int(msg[3])
+                        break
+                    mrnd = int(msg[2])
+                    if mrnd < rnd:
+                        # Stale round (we retried past it): drop.
+                        msg = None
+                        continue
+                    cand &= int(msg[3])
+                    if mrnd > rnd:
+                        # Peer ran ahead; its value is safe to AND
+                        # (monotone) but deciding on drifted rounds is
+                        # not — keep it for the round it belongs to.
+                        stash[i] = msg
+                        decisive = False
+                    if int(msg[4]) != mask_bits:
+                        decisive = False
+                    break
+                if decided_value is not None:
+                    break
+            if decided_value is not None:
+                break
+            if decisive or trust_first:
+                decided_value = cand
+        # Decision reached (own or adopted): disseminate before
+        # returning, so peers still gathering consume DECIDED as this
+        # rank's next message and adopt the same value.
+        dead = world.dead_ranks
+        for i in range(self.size):
+            if i == self.rank or self.group[i] in dead:
+                continue
+            try:
+                self._ft_send(
+                    i, epoch, _FT_DECIDED, rnd, decided_value, 0
+                )
+            except RankDeadError:
+                pass
+        return decided_value
+
+    def shrink(self, timeout: float = 60.0) -> "Communicator":
+        """Build a live-members-only communicator (ULFM ``MPI_Comm_shrink``).
+
+        Revokes this communicator (idempotent), agrees on the surviving
+        membership, renumbers ranks in old-group order, and drains the
+        dead peers' orphaned queue entries.  Every survivor returns a
+        communicator with the identical (group, context) identity; a
+        repeat death during the protocol restarts the membership
+        agreement, so the result is always a membership every survivor
+        confirmed *after* it was fixed.
+        """
+        eng = self.engine
+        world = self.world
+        self.revoke()
+        deadline = time.perf_counter() + timeout
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > self.size + 2:
+                raise MPIError(
+                    f"shrink: membership did not stabilize after "
+                    f"{attempts - 1} attempts (cid {self.cid})"
+                )
+            budget = max(1.0, deadline - time.perf_counter())
+            dead = world.dead_ranks
+            my_mask = 0
+            for i in range(self.size):
+                if (
+                    self.group[i] == eng.rank
+                    or self.group[i] not in dead
+                ):
+                    my_mask |= 1 << i
+            agreed_mask = self.agree(my_mask, timeout=budget)
+            members = [
+                self.group[i]
+                for i in range(self.size)
+                if (agreed_mask >> i) & 1
+            ]
+            if eng.rank not in members:
+                raise MPIError(
+                    f"shrink: rank {eng.rank} excluded from the agreed "
+                    f"membership (marked dead by a peer)"
+                )
+            # Confirmation pass: 1 iff no agreed member has died since.
+            # Running it through agree keeps every survivor's epoch
+            # counter aligned and the verdict identical everywhere.
+            dead = world.dead_ranks
+            ok = 1 if all(
+                g == eng.rank or g not in dead for g in members
+            ) else 0
+            if self.agree(ok, timeout=budget):
+                break
+        dead_snapshot = set(world.dead_ranks)
+        new_cid = world.allocate_cid_keyed(
+            ("shrink", self.cid, self._agree_seq)
+        )
+        eng.shrink_cleanup(self.cid, dead_snapshot)
+        return Communicator(world, eng, tuple(members), new_cid)
 
     # ------------------------------------------------------- communicator algebra
 

@@ -110,6 +110,8 @@ class EnvelopeKind(Enum):
     RMA = "rma"
     #: batch of EAGER envelopes packed into one wire message
     COALESCED = "coalesced"
+    #: ULFM revoke notice: ``context_id >> 1`` names the revoked cid
+    REVOKE = "revoke"
 
 
 @dataclass(slots=True)
@@ -125,6 +127,10 @@ class Envelope:
     recv_req: "RecvRequest | None" = None  # CTS only
     rma: object | None = None  # RMA only: an RMAMessage record
     parts: "list[Envelope] | None" = None  # COALESCED only
+    #: piggybacked revoke notice: cids the *sender* knows revoked,
+    #: stamped by ``World._deliver`` so receivers learn of a revoke
+    #: from any traffic, without a side channel (DESIGN.md §15)
+    revoked: "tuple[int, ...] | None" = None
 
     def matches(self, source: int, tag: int, context_id: int) -> bool:
         """Does this (EAGER/RTS) envelope satisfy a receive's pattern?"""

@@ -52,15 +52,61 @@ class RankDeadError(MPIError):
     dead rank) and used to fail operations already pending on a rank
     when :meth:`repro.mpisim.world.World.mark_rank_dead` runs — the
     fail-stop analogue of a ULFM ``MPI_ERR_PROC_FAILED``.
+
+    Carries structured context alongside the message: ``rank`` (the
+    dead global rank, when known), ``rule_id`` (the fault rule that
+    killed it, when the death was injected), and ``cid`` (the
+    communicator the failing operation ran on, when the error surfaced
+    through one).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int | None = None,
+        rule_id: str | None = None,
+        cid: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.rank = rank
+        self.rule_id = rule_id
+        self.cid = cid
+
+
+class CommRevokedError(MPIError):
+    """The communicator has been revoked (ULFM ``MPI_ERR_REVOKED``).
+
+    Every in-flight and future operation on a revoked communicator
+    fails with this error; only the fault-management plane —
+    ``agree``/``shrink`` — keeps working, so survivors can rebuild.
+    """
+
+    def __init__(self, message: str, *, cid: int | None = None) -> None:
+        super().__init__(message)
+        self.cid = cid
 
 
 class WorldError(MPIError):
-    """A rank program raised; carries the per-rank failures."""
+    """A rank program raised; carries the per-rank failures.
+
+    Repeated deaths with the same cause are merged into one entry
+    (``ranks 0,2: ...``) so a crashed rank surfacing through several
+    survivors reads as one failure, not N.
+    """
 
     def __init__(self, failures: dict[int, BaseException]):
         self.failures = failures
-        detail = "; ".join(
-            f"rank {r}: {type(e).__name__}: {e}" for r, e in sorted(failures.items())
-        )
+        groups: dict[tuple[str, str], list[int]] = {}
+        for r, e in sorted(failures.items()):
+            groups.setdefault((type(e).__name__, str(e)), []).append(r)
+        parts = []
+        for (tname, msg), ranks in groups.items():
+            label = (
+                f"rank {ranks[0]}"
+                if len(ranks) == 1
+                else "ranks " + ",".join(str(r) for r in ranks)
+            )
+            parts.append(f"{label}: {tname}: {msg}")
+        detail = "; ".join(parts)
         super().__init__(f"{len(failures)} rank(s) failed: {detail}")

@@ -26,6 +26,7 @@ from repro.mpisim import datatypes
 from repro.mpisim.constants import DEFAULT_EAGER_THRESHOLD, PROC_NULL
 from repro.mpisim.envelope import BufferRef, Envelope, EnvelopeKind
 from repro.mpisim.exceptions import (
+    CommRevokedError,
     DatatypeMismatch,
     MPIError,
     RankDeadError,
@@ -94,6 +95,14 @@ class ProgressEngine:
         #: ranks known dead, shared across the world's engines (empty
         #: dict in normal operation: the guard is one truthiness check)
         self.dead_ranks: dict[int, BaseException] = {}
+        #: communicator ids this rank knows revoked (ULFM semantics,
+        #: DESIGN.md §15).  Empty set in normal operation — every hot
+        #: path guard is one truthiness check.
+        self._revoked: set[int] = set()
+        # --- fault-tolerance counters (DESIGN.md §15) --------------------
+        self.comm_revokes = 0
+        self.agree_rounds = 0
+        self.shrink_epochs = 0
         #: DST-only regression hook: complete zero-copy eager sends at
         #: *post* time (the pre-fix behavior) instead of at match time.
         #: Re-opens the classic zero-copy race — sender legally reuses
@@ -102,6 +111,13 @@ class ProgressEngine:
         #: regression corpus (repro.dst.targets), never by production
         #: code.
         self._unsafe_complete_eager_at_post = False
+        #: DST-only regression hook: skip the drain-time revoked check
+        #: in :meth:`_handle` (the pre-fix behavior).  Re-opens the
+        #: shrink-vs-inflight-eager race — a zero-copy eager envelope
+        #: that arrives *after* the revoke purge parks in the UMQ
+        #: forever and its sender's request never completes.  Only ever
+        #: set by the regression corpus (repro.dst.targets).
+        self._unsafe_skip_revoked_drain_check = False
 
     # -- library lock ------------------------------------------------------
 
@@ -140,12 +156,17 @@ class ProgressEngine:
         if dst == PROC_NULL:
             return CompletedRequest()
         if self.dead_ranks and dst in self.dead_ranks:
+            exc = self.dead_ranks[dst]
             raise RankDeadError(
                 f"send to rank {dst} cannot complete: rank is dead "
-                f"({self.dead_ranks[dst]})"
+                f"({exc})",
+                rank=dst,
+                rule_id=getattr(exc, "rule_id", None),
+                cid=context_id >> 1 if context_id >= 0 else None,
             )
         self._acquire()
         try:
+            self._check_revoked(context_id, f"send to rank {dst}")
             self.bytes_sent += payload.nbytes
             if payload.nbytes <= self.eager_threshold:
                 self.eager_sends += 1
@@ -217,12 +238,17 @@ class ProgressEngine:
         coalesced sends from back-to-back eager sends.
         """
         if self.dead_ranks and dst in self.dead_ranks:
+            exc = self.dead_ranks[dst]
             raise RankDeadError(
                 f"send to rank {dst} cannot complete: rank is dead "
-                f"({self.dead_ranks[dst]})"
+                f"({exc})",
+                rank=dst,
+                rule_id=getattr(exc, "rule_id", None),
+                cid=context_id >> 1 if context_id >= 0 else None,
             )
         self._acquire()
         try:
+            self._check_revoked(context_id, f"coalesced send to rank {dst}")
             zero_copy = self.zero_copy
             parts: list[Envelope] = []
             reqs: list[Request] = []
@@ -287,6 +313,7 @@ class ProgressEngine:
             return CompletedRequest(Status(PROC_NULL, tag, 0))
         self._acquire()
         try:
+            self._check_revoked(context_id, f"receive from rank {source}")
             # Drain arrivals first so the unexpected queue is current.
             self._drain_inbox()
             req = RecvRequest(self, buffer, source, tag, context_id)
@@ -298,9 +325,13 @@ class ProgressEngine:
                 ):
                     # Nothing already arrived can satisfy it and the
                     # source can never send again: fail fast.
+                    exc = self.dead_ranks[source]
                     raise RankDeadError(
                         f"receive from rank {source} cannot complete: "
-                        f"rank is dead ({self.dead_ranks[source]})"
+                        f"rank is dead ({exc})",
+                        rank=source,
+                        rule_id=getattr(exc, "rule_id", None),
+                        cid=context_id >> 1 if context_id >= 0 else None,
                     )
                 self._prq.post(req)
             else:
@@ -333,6 +364,7 @@ class ProgressEngine:
         """Nonblocking probe; also pumps progress (as real iprobe does)."""
         self._acquire()
         try:
+            self._check_revoked(context_id, f"probe of rank {source}")
             self._drain_inbox()
             self._advance_nbc()
             env = self._umq.peek(source, tag, context_id)
@@ -377,7 +409,7 @@ class ProgressEngine:
         already arrived, matching fail-stop MPI semantics for sends
         that completed before the failure.
         """
-        err = RankDeadError(f"rank {rank} died: {exc}")
+        err = _rank_dead_error(rank, exc)
         self._acquire()
         try:
             for req in self._prq.remove_where(
@@ -400,7 +432,7 @@ class ProgressEngine:
         transfers awaiting our copy (CTS in our inbox) would otherwise
         wait forever for a progress pump that will never run.
         """
-        err = RankDeadError(f"rank {self.rank} died: {exc}")
+        err = _rank_dead_error(self.rank, exc)
         self._acquire()
         try:
             while True:
@@ -428,6 +460,101 @@ class ProgressEngine:
                 req._fail(err)
         finally:
             self._release()
+
+    # -- communicator revocation (ULFM semantics, DESIGN.md §15) -----------
+
+    def _check_revoked(self, context_id: int, what: str) -> None:
+        """Fail-fast guard at every post entry point.
+
+        Negative context ids belong to the fault-management plane
+        (``Communicator.ctx_ft`` — the agreement protocol), which MUST
+        keep working on a revoked communicator so survivors can agree
+        and shrink; they bypass the guard by construction.
+        """
+        if (
+            self._revoked
+            and context_id >= 0
+            and (context_id >> 1) in self._revoked
+        ):
+            cid = context_id >> 1
+            raise CommRevokedError(
+                f"{what}: communicator {cid} has been revoked", cid=cid
+            )
+
+    def apply_revoke(self, cid: int) -> bool:
+        """Record ``cid`` revoked and poison everything queued on it.
+
+        Idempotent; returns ``True`` only on the first application (the
+        caller then propagates the revoke to peers).  Poisons, with
+        :class:`CommRevokedError`:
+
+        * every posted receive on the communicator's contexts,
+        * every unexpected envelope on them (failing the sender's
+          request where one is pending — zero-copy eager and RTS).
+
+        The fault-management context (negative id) is untouched, so
+        ``agree`` still runs on a revoked communicator.
+        """
+        if cid < 0:
+            return False
+        self._acquire()
+        try:
+            if cid in self._revoked:
+                return False
+            self._revoked.add(cid)
+            self.comm_revokes += 1
+            ctxs = (2 * cid, 2 * cid + 1)
+            err = CommRevokedError(
+                f"communicator {cid} has been revoked", cid=cid
+            )
+            for req in self._prq.remove_where(
+                lambda r: r.context_id in ctxs
+            ):
+                req._fail(err)
+            for env in self._umq.remove_where(
+                lambda e: e.context_id in ctxs
+            ):
+                self._poison_envelope(env, err)
+            return True
+        finally:
+            self._release()
+
+    def shrink_cleanup(self, cid: int, dead: set[int]) -> None:
+        """Post-shrink sweep: drop the dead peers' leftovers.
+
+        Called once per survivor after ``Communicator.shrink`` agreed
+        on the new membership: drains orphaned unexpected envelopes and
+        posted receives tied to the old communicator (its p2p/coll
+        contexts were already purged by :meth:`apply_revoke`; this
+        additionally clears the fault-management context of stale
+        agreement traffic from ranks that did not survive).
+        """
+        ctxs = (2 * cid, 2 * cid + 1, -(2 * cid + 2))
+        err = CommRevokedError(
+            f"communicator {cid} was shrunk away", cid=cid
+        )
+        self._acquire()
+        try:
+            self.shrink_epochs += 1
+            for req in self._prq.remove_where(
+                lambda r: r.context_id in ctxs and r.source in dead
+            ):
+                req._fail(err)
+            for env in self._umq.remove_where(
+                lambda e: e.context_id in ctxs and e.src in dead
+            ):
+                self._poison_envelope(env, err)
+        finally:
+            self._release()
+
+    def _poison_envelope(self, env: Envelope, err: MPIError) -> None:
+        """Terminally fail every live request an envelope references."""
+        for req in (env.send_req, env.recv_req):
+            if req is not None and not req.done:
+                req._fail(err)
+        if env.parts:
+            for part in env.parts:
+                self._poison_envelope(part, err)
 
     # -- one-sided windows -------------------------------------------------
 
@@ -498,6 +625,16 @@ class ProgressEngine:
             self.trace.append(
                 f"envelope:{env.kind.name.lower()}", rank=self.rank
             )
+        if env.revoked:
+            # Piggybacked revoke notice: the sender knew these cids
+            # were revoked when it sent — learn them before handling,
+            # so no traffic from a revoke-aware rank is ever matched
+            # on a communicator we should consider revoked.
+            for cid in env.revoked:
+                self.apply_revoke(cid)
+        if env.kind is EnvelopeKind.REVOKE:
+            self.apply_revoke(env.context_id >> 1)
+            return
         if env.kind is EnvelopeKind.CTS:
             self._handle_cts(env)
             return
@@ -510,6 +647,25 @@ class ProgressEngine:
             assert env.parts is not None
             for part in env.parts:
                 self._handle(part)
+            return
+        if (
+            self._revoked
+            and env.context_id >= 0
+            and (env.context_id >> 1) in self._revoked
+            and not self._unsafe_skip_revoked_drain_check
+        ):
+            # The cid was revoked after this envelope left its sender:
+            # without this check a zero-copy eager arrival would park
+            # in the UMQ forever (nothing can legally receive it) and
+            # its sender's request would never complete — the
+            # shrink-vs-inflight-eager race in the DST corpus.
+            cid = env.context_id >> 1
+            self._poison_envelope(
+                env,
+                CommRevokedError(
+                    f"communicator {cid} has been revoked", cid=cid
+                ),
+            )
             return
         # EAGER or RTS: try to match a posted receive.
         req = self._prq.match(env)
@@ -636,6 +792,20 @@ class ProgressEngine:
             "envelopes_handled": self.envelopes_handled,
             "payload_copies": self.payload_copies,
             "payload_zero_copy_hits": self.payload_zero_copy_hits,
+            "comm_revokes": self.comm_revokes,
+            "agree_rounds": self.agree_rounds,
+            "shrink_epochs": self.shrink_epochs,
         }
         out.update(self.pending_counts())
         return out
+
+
+def _rank_dead_error(rank: int, exc: BaseException) -> RankDeadError:
+    """Build the canonical "rank died" error, carrying structured
+    context: the dead rank and — when the death was injected by a
+    :class:`repro.faults.plan.FaultRule` — the originating rule id."""
+    rule_id = getattr(exc, "rule_id", None)
+    via = "" if rule_id is None else f" [fault-rule {rule_id}]"
+    return RankDeadError(
+        f"rank {rank} died{via}: {exc}", rank=rank, rule_id=rule_id
+    )

@@ -74,12 +74,31 @@ class World:
         #: ranks that have failed, shared with every progress engine
         self._dead_ranks: dict[int, BaseException] = {}
         self._death_lock = threading.Lock()
+        #: per-dead-rank completion flags: set once the winning
+        #: :meth:`mark_rank_dead` caller finished sweeping pending
+        #: operations, so racing callers do not return early
+        self._death_done: dict[int, threading.Event] = {}
+        #: keyed context-id allocations (see :meth:`allocate_cid_keyed`)
+        self._keyed_cids: dict[object, int] = {}
+        self._cid_key_lock = threading.Lock()
+        #: DST-only regression hook: make ``Communicator.agree`` decide
+        #: after its first round, skipping the uniform-mask check and
+        #: gather-failure retry (the pre-fix behavior).  Re-opens the
+        #: split-brain agreement race the ``agree-vs-participant-crash``
+        #: corpus target rediscovers.  Only ever set by repro.dst.targets.
+        self._unsafe_agree_trust_first_round = False
         for e in self.engines:
             e.dead_ranks = self._dead_ranks
 
     # -- routing -----------------------------------------------------------
 
     def _deliver(self, dst: int, env: Envelope) -> None:
+        src_eng = self.engines[env.src]
+        if src_eng._revoked:
+            # Piggyback the sender's revoked-cid knowledge on every
+            # outgoing envelope: receivers learn of a revoke from any
+            # traffic, no side channel needed (DESIGN.md §15).
+            env.revoked = tuple(src_eng._revoked)
         if self._dead_ranks and dst in self._dead_ranks:
             self._bounce_dead(dst, env)
             return
@@ -100,8 +119,12 @@ class World:
         """
         from repro.mpisim.exceptions import RankDeadError
 
+        exc = self._dead_ranks[dst]
         err = RankDeadError(
-            f"message to dead rank {dst} bounced ({self._dead_ranks[dst]})"
+            f"message to dead rank {dst} bounced ({exc})",
+            rank=dst,
+            rule_id=getattr(exc, "rule_id", None),
+            cid=env.context_id >> 1 if env.context_id >= 0 else None,
         )
         for req in (env.send_req, env.recv_req):
             if req is not None and not req.done:
@@ -146,15 +169,44 @@ class World:
         and makes subsequent ``post_send``/``post_recv`` against the
         rank fail fast — so no operation involving a dead rank waits
         past its next progress interaction.
+
+        Idempotent *and* synchronizing under concurrency: when two
+        threads race to mark the same rank dead, exactly one performs
+        the pending-operation sweep, and the loser blocks until that
+        sweep finished — so every caller may assume, on return, that
+        nothing is still parked on the dead rank.  (The first recorded
+        exception wins; later ones are dropped.)
         """
+        from repro.dst import hooks as _dst
+
         with self._death_lock:
-            if rank in self._dead_ranks:
-                return
-            self._dead_ranks[rank] = exc
-        self.engines[rank].fail_pending_on_death(exc)
-        for r, e in enumerate(self.engines):
-            if r != rank:
-                e.notify_rank_death(rank, exc)
+            done = self._death_done.get(rank)
+            if done is not None:
+                winner = False
+            else:
+                done = threading.Event()
+                self._death_done[rank] = done
+                self._dead_ranks[rank] = exc
+                winner = True
+        if not winner:
+            # A concurrent caller is (or was) mid-sweep; returning
+            # before it finishes would break the "nothing still parked"
+            # guarantee above.
+            if _dst.is_virtual_thread():
+                _dst.flag_wait(done.is_set)
+            else:
+                done.wait()
+            return
+        if _dst._scheduler is not None and _dst.is_virtual_thread():
+            # Expose the insert-vs-sweep window to the DST explorer.
+            _dst.yield_point("world.mark_rank_dead")
+        try:
+            self.engines[rank].fail_pending_on_death(exc)
+            for r, e in enumerate(self.engines):
+                if r != rank:
+                    e.notify_rank_death(rank, exc)
+        finally:
+            done.set()
 
     # -- context-id allocation (see Communicator.dup/split) -----------------
 
@@ -163,6 +215,29 @@ class World:
 
     def allocate_cid_block(self, n: int) -> int:
         return self._next_cid.fetch_add(n)
+
+    def allocate_cid_keyed(self, key: object) -> int:
+        """One context id per distinct ``key``, whoever asks first.
+
+        ``Communicator.shrink`` survivors cannot run an ordinary
+        root-broadcast cid agreement (the root may be the dead rank),
+        so each survivor derives the *same* key from agreed state and
+        the first asker allocates; everyone else gets the cached id.
+
+        The fresh cid is allocated *outside* the key lock:
+        ``AtomicCounter.fetch_add`` carries a DST yield point, and
+        parking a virtual thread while holding a real lock stalls
+        every concurrent caller outside the scheduler's view.  A
+        racing loser's speculative cid is simply abandoned (cid space
+        is allowed to have gaps).
+        """
+        with self._cid_key_lock:
+            cid = self._keyed_cids.get(key)
+        if cid is not None:
+            return cid
+        fresh = self.allocate_cid()
+        with self._cid_key_lock:
+            return self._keyed_cids.setdefault(key, fresh)
 
     # -- thread-level bookkeeping -------------------------------------------
 
@@ -237,7 +312,11 @@ class World:
                         f"{self.engines[r].pending_counts()}"
                     ),
                 )
-        for rank, exc in self._dead_ranks.items():
+        # Snapshot under the death lock: a straggler fault-injection
+        # thread may still be marking ranks dead while we aggregate.
+        with self._death_lock:
+            dead = dict(self._dead_ranks)
+        for rank, exc in dead.items():
             failures.setdefault(rank, exc)
         if failures:
             raise WorldError(failures)

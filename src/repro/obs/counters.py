@@ -106,6 +106,20 @@ COUNTER_GLOSSARY: dict[str, str] = {
     "duplicate_deep_copies": "borrowed zero-copy payloads a fault "
     "plan's DUPLICATE action had to materialize so the duplicate "
     "cannot alias the sender's buffer",
+    # -- fault tolerance: ULFM + checkpoint/restart (repro.ft) ----------
+    "comm_revokes": "communicators revoked on this rank (first local "
+    "application of each revoke; ULFM MPI_Comm_revoke analogue)",
+    "agree_rounds": "candidate-exchange rounds run by the "
+    "fault-tolerant agreement protocol (Communicator.agree); grows "
+    "when participants die mid-protocol and survivors re-round",
+    "shrink_epochs": "communicator shrinks completed on this rank "
+    "(orphaned queue entries drained, surviving membership renumbered)",
+    "checkpoint_bytes": "bytes committed to the checkpoint store by "
+    "the run_resilient driver (one consistent snapshot per epoch "
+    "boundary)",
+    "restarts": "recovery events where survivors shrank the world and "
+    "resumed from the last consistent checkpoint (one count per "
+    "revoke→agree→shrink→restore cycle, not per rank)",
 }
 
 

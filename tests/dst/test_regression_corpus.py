@@ -24,14 +24,16 @@ class TestCorpusRegistry:
             "shard-crash-stolen-work",
             "routing-order",
             "eager-deferred-copy",
+            "agree-participant-crash",
+            "shrink-inflight-eager",
             "queue-linearizability",
             "freelist-linearizability",
             "pool-linearizability",
         }
 
-    def test_eight_regressions_three_oracles(self):
+    def test_ten_regressions_three_oracles(self):
         regressions = [t for t in CORPUS.values() if t.regression]
-        assert len(regressions) == 8
+        assert len(regressions) == 10
         assert len(CORPUS) - len(regressions) == 3
 
     def test_oracle_targets_reject_fix_disabled(self):
@@ -142,6 +144,35 @@ class TestZeroCopySmokeRegression:
         assert Explorer(lambda: target.make(False)).replay(seed) is None
 
 
+class TestFaultToleranceSmokeRegressions:
+    """The ULFM recovery-plane races (DESIGN.md §15) rediscovered
+    within a bounded budget, clean when fixed, and replayable from the
+    single printed token."""
+
+    @pytest.mark.parametrize(
+        "name", ["agree-participant-crash", "shrink-inflight-eager"]
+    )
+    def test_ft_targets_found_and_clean(self, name):
+        broken = run_target(name, fix_disabled=True, schedules=100)
+        assert broken.result.found and broken.expected
+        assert broken.result.failure.token[0] == "random"
+        fixed = run_target(name, fix_disabled=False, schedules=50)
+        assert not fixed.result.found and fixed.expected
+
+    def test_agree_crash_token_replays_and_fix_survives(self):
+        broken = run_target(
+            "agree-participant-crash", fix_disabled=True, schedules=100
+        )
+        kind, seed = broken.result.failure.token
+        assert kind == "random"
+        target = CORPUS["agree-participant-crash"]
+        replayed = Explorer(lambda: target.make(True)).replay(seed)
+        assert replayed is not None
+        # the exact schedule that split the survivors' verdicts passes
+        # once agreement re-rounds until the live-mask is uniform
+        assert Explorer(lambda: target.make(False)).replay(seed) is None
+
+
 class TestReplayContract:
     """A failure token is a complete reproduction recipe."""
 
@@ -211,9 +242,9 @@ class TestDeepTier:
             (o.target, o.fix_disabled, o.result.found) for o in wrong
         ]
         # both directions ran: planted bugs found, fixed code clean
-        assert sum(o.fix_disabled for o in outcomes) == 8
-        assert len(outcomes) == 19
+        assert sum(o.fix_disabled for o in outcomes) == 10
+        assert len(outcomes) == 23
         snap = counters.snapshot()
         assert snap["schedules_explored"] > 0
         assert snap["lin_histories_checked"] > 0
-        assert snap["dst_violations"] == 8
+        assert snap["dst_violations"] == 10

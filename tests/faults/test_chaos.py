@@ -161,3 +161,24 @@ class TestChaosContract:
             "--op-timeout", "0.5",
         ]
         assert main(argv) == 0
+
+
+@pytest.mark.chaos
+class TestCrashSurviveContract:
+    """The ``rank-crash-survive`` profile: rank deaths mid-run must
+    end in completion, not fail-fast — with the survivors' final
+    state bitwise-identical to the fault-free reference."""
+
+    @pytest.mark.parametrize("test_seed", [0], indirect=True)
+    def test_rank_crash_survive_profile(self, test_seed):
+        report = run_chaos(
+            nranks=4,
+            seed=test_seed,
+            profile="rank-crash-survive",
+            run_timeout=120.0,
+        )
+        assert report["ok"], render_report(report)
+        for name, ft in report["ft"].items():
+            assert ft["bitwise"], (name, ft)
+            assert ft["restarts"] >= 1, (name, ft)
+            assert ft["dead"], (name, ft)

@@ -1,0 +1,150 @@
+"""``World.mark_rank_dead`` under concurrency: idempotent, and losers
+of the marking race block until the winner's sweep finished."""
+
+import threading
+import time
+
+import pytest
+
+from repro.dst.explorer import Explorer
+from repro.dst.scheduler import Scheduler
+from repro.mpisim import World
+
+pytestmark = pytest.mark.deadline(90)
+
+
+class TestConcurrentMarking:
+    def test_first_exception_wins_exactly_once(self):
+        for trial in range(20):
+            world = World(4)
+            excs = [RuntimeError(f"death #{i}") for i in range(8)]
+            barrier = threading.Barrier(len(excs))
+
+            def marker(e):
+                barrier.wait()
+                world.mark_rank_dead(2, e)
+
+            threads = [
+                threading.Thread(target=marker, args=(e,)) for e in excs
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            assert not any(t.is_alive() for t in threads)
+            recorded = world.dead_ranks
+            assert set(recorded) == {2}
+            assert recorded[2] in excs
+
+    def test_losers_wait_for_winner_sweep(self, monkeypatch):
+        """A losing caller must not return before the winner finished
+        failing pending operations — callers rely on "nothing is still
+        parked on the dead rank" as a postcondition."""
+        world = World(3)
+        sweep_done = threading.Event()
+        orig = world.engines[1].fail_pending_on_death
+
+        def slow_sweep(exc):
+            time.sleep(0.2)
+            orig(exc)
+            sweep_done.set()
+
+        monkeypatch.setattr(
+            world.engines[1], "fail_pending_on_death", slow_sweep
+        )
+        started = threading.Barrier(2)
+        observed_done = []
+
+        def winner():
+            started.wait()
+            world.mark_rank_dead(1, RuntimeError("winner"))
+
+        def loser():
+            started.wait()
+            time.sleep(0.05)  # lose the race into the critical section
+            world.mark_rank_dead(1, RuntimeError("loser"))
+            observed_done.append(sweep_done.is_set())
+
+        tw = threading.Thread(target=winner)
+        tl = threading.Thread(target=loser)
+        tw.start()
+        tl.start()
+        tw.join(10)
+        tl.join(10)
+        assert not tw.is_alive() and not tl.is_alive()
+        assert observed_done == [True]
+        assert str(world.dead_ranks[1]) == "winner"
+
+    def test_distinct_ranks_do_not_interfere(self):
+        world = World(4)
+        barrier = threading.Barrier(3)
+
+        def marker(rank):
+            barrier.wait()
+            world.mark_rank_dead(rank, RuntimeError(f"rank {rank} down"))
+
+        threads = [
+            threading.Thread(target=marker, args=(r,)) for r in (1, 2, 3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+        assert set(world.dead_ranks) == {1, 2, 3}
+
+
+class _MarkDeadRaceProgram:
+    """Two virtual threads race to mark the same rank dead.
+
+    Exercises the ``world.mark_rank_dead`` yield point: the explorer
+    can park the winner inside the insert-vs-sweep window and let the
+    loser run — the loser must still block until the sweep finished.
+    """
+
+    def __init__(self):
+        self.world = World(3)
+        self.recorded = []
+        self.swept = False
+        orig = self.world.engines[2].fail_pending_on_death
+
+        def traced_sweep(exc):
+            orig(exc)
+            self.swept = True
+
+        self.world.engines[2].fail_pending_on_death = traced_sweep
+        self.post_sweep_observed = []
+
+    def setup(self, sched: Scheduler) -> None:
+        def mark(label):
+            self.world.mark_rank_dead(2, RuntimeError(label))
+            # postcondition every caller may rely on
+            self.post_sweep_observed.append(self.swept)
+            self.recorded.append(label)
+
+        sched.spawn(mark, "a", name="marker-a")
+        sched.spawn(mark, "b", name="marker-b")
+
+    def check(self) -> None:
+        from repro.dst.explorer import InvariantViolation
+
+        if len(self.recorded) != 2:
+            return  # incomplete schedule; nothing to assert
+        if set(self.world.dead_ranks) != {2}:
+            raise InvariantViolation(
+                f"dead set wrong: {set(self.world.dead_ranks)}"
+            )
+        if str(self.world.dead_ranks[2]) not in ("a", "b"):
+            raise InvariantViolation("recorded exception is neither racer's")
+        if not all(self.post_sweep_observed):
+            raise InvariantViolation(
+                "a mark_rank_dead caller returned before the sweep ran"
+            )
+
+
+@pytest.mark.dst
+class TestMarkDeadDST:
+    def test_race_window_clean_under_exploration(self):
+        result = Explorer(
+            _MarkDeadRaceProgram, strategy="random", schedules=120
+        ).run()
+        assert not result.found, result.failure

@@ -1,0 +1,101 @@
+"""Checkpoint stores: atomic, versioned, idempotent commits."""
+
+import os
+import threading
+
+import pytest
+
+from repro.ft.checkpoint import (
+    Checkpoint,
+    DiskCheckpointStore,
+    MemoryCheckpointStore,
+)
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryCheckpointStore()
+    return DiskCheckpointStore(str(tmp_path / "ckpts"))
+
+
+class TestCommitLoadLatest:
+    def test_empty_store(self, store):
+        assert store.latest() is None
+        assert store.load(0) is None
+        assert store.epochs() == []
+
+    def test_commit_and_load(self, store):
+        assert store.commit(0, b"alpha")
+        assert store.commit(3, b"delta")
+        assert store.load(0) == Checkpoint(0, b"alpha")
+        assert store.load(3) == Checkpoint(3, b"delta")
+        assert store.epochs() == [0, 3]
+
+    def test_latest_is_newest_epoch(self, store):
+        store.commit(2, b"two")
+        store.commit(7, b"seven")
+        store.commit(4, b"four")
+        assert store.latest() == Checkpoint(7, b"seven")
+
+    def test_recommit_is_noop_first_writer_wins(self, store):
+        assert store.commit(1, b"first")
+        assert not store.commit(1, b"second")
+        assert store.load(1).blob == b"first"
+        # bytes counted exactly once
+        assert store.stats()["checkpoint_bytes"] == len(b"first")
+
+    def test_restart_counter(self, store):
+        assert store.stats().get("restarts", 0) == 0
+        store.record_restart()
+        store.record_restart()
+        assert store.stats()["restarts"] == 2
+
+    def test_racing_commits_one_winner(self, store):
+        winners = []
+        barrier = threading.Barrier(4)
+
+        def committer(i):
+            barrier.wait()
+            if store.commit(5, bytes([i]) * 8):
+                winners.append(i)
+
+        threads = [
+            threading.Thread(target=committer, args=(i,)) for i in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(winners) == 1
+        assert store.load(5).blob == bytes([winners[0]]) * 8
+        assert store.stats()["checkpoint_bytes"] == 8
+
+
+class TestDiskStore:
+    def test_persists_across_instances(self, tmp_path):
+        path = str(tmp_path / "ck")
+        DiskCheckpointStore(path).commit(4, b"state")
+        reopened = DiskCheckpointStore(path)
+        assert reopened.latest() == Checkpoint(4, b"state")
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "ck"
+        store = DiskCheckpointStore(str(path))
+        for e in range(3):
+            store.commit(e, b"x" * 64)
+        names = os.listdir(path)
+        assert sorted(names) == [
+            "ckpt_00000000.bin",
+            "ckpt_00000001.bin",
+            "ckpt_00000002.bin",
+        ]
+
+    def test_foreign_files_ignored(self, tmp_path):
+        path = tmp_path / "ck"
+        store = DiskCheckpointStore(str(path))
+        store.commit(1, b"one")
+        (path / "README.txt").write_text("not a checkpoint")
+        (path / "ckpt_garbage.bin").write_text("bad epoch")
+        assert store.epochs() == [1]
+        assert store.latest() == Checkpoint(1, b"one")
