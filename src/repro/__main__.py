@@ -124,6 +124,7 @@ def _cmd_chaos(
     as_json: bool,
     pool_size: int = 1,
     router: str | None = None,
+    workload: str = "ring",
 ) -> int:
     """Seeded chaos run; nonzero exit on any contract violation."""
     from repro.faults.chaos import render_report, run_chaos
@@ -137,6 +138,7 @@ def _cmd_chaos(
         run_timeout=run_timeout,
         pool_size=pool_size,
         router=router,
+        workload=workload,
     )
     if as_json:
         import json
@@ -145,6 +147,40 @@ def _cmd_chaos(
     else:
         print(render_report(report))
     return 0 if report["ok"] else 1
+
+
+def _cmd_serve(
+    requests: int,
+    concurrency: int,
+    mode: str,
+    seed: int,
+    pool_size: int,
+    as_json: bool,
+) -> int:
+    """One seeded loadgen run; nonzero exit on lost completions or a
+    balance violation."""
+    from dataclasses import asdict
+
+    from repro.serve import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        seed=seed,
+        mode=mode,
+        requests=requests,
+        concurrency=concurrency,
+        pool_size=pool_size,
+    )
+    report = run_loadgen(config)
+    if as_json:
+        import json
+
+        payload = asdict(report)
+        payload["lost"] = report.lost
+        payload["ok"] = report.ok
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_dst(
@@ -327,6 +363,11 @@ def main(argv: list[str] | None = None) -> int:
         help="engine shards per rank (shard-crash defaults to 4)",
     )
     cha.add_argument(
+        "--workload", default="ring", choices=["ring", "serve"],
+        help="ring point-to-point storm, or the serving front-end's "
+        "loadgen (concurrent awaiters over the asyncio bridge)",
+    )
+    cha.add_argument(
         "--router", default=None,
         choices=["dest", "comm", "rr", "thread"],
         help="pool routing policy (default: dest affinity)",
@@ -340,6 +381,22 @@ def main(argv: list[str] | None = None) -> int:
         help="hard wall-clock bound for the whole run",
     )
     cha.add_argument("--json", action="store_true")
+    srv = sub.add_parser(
+        "serve",
+        help="seeded serving loadgen over the asyncio bridge; nonzero "
+        "exit on lost completions or a balance violation",
+    )
+    srv.add_argument("--requests", type=int, default=200)
+    srv.add_argument("--concurrency", type=int, default=32)
+    srv.add_argument(
+        "--mode", default="closed", choices=["closed", "open"]
+    )
+    srv.add_argument("--seed", type=int, default=0)
+    srv.add_argument(
+        "--pool-size", type=int, default=2,
+        help="engine shards serving the loop",
+    )
+    srv.add_argument("--json", action="store_true")
     dst = sub.add_parser(
         "dst",
         help="deterministic-simulation self-check over the regression "
@@ -379,6 +436,16 @@ def main(argv: list[str] | None = None) -> int:
             args.json,
             args.pool_size,
             args.router,
+            args.workload,
+        )
+    if args.cmd == "serve":
+        return _cmd_serve(
+            args.requests,
+            args.concurrency,
+            args.mode,
+            args.seed,
+            args.pool_size,
+            args.json,
         )
     if args.cmd == "dst":
         return _cmd_dst(

@@ -1228,6 +1228,8 @@ class OffloadEngine:
             "coalesced_messages": self.coalesced_messages,
             "steals": self.steals,
             "steal_batch_hwm": self.steal_batch_hwm,
+            "continuation_fires": self.pool.continuation_fires,
+            "continuation_drops": self.pool.continuation_drops,
             # Data-plane copy accounting lives on the substrate's
             # progress engine (rank-wide, shared by every shard).
             # getattr: DST harness targets drive the engine with a

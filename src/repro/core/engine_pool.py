@@ -496,6 +496,8 @@ class EnginePool:
         # The request pool is shared: per-shard views each saw the
         # whole pool, so the sum overcounted it.
         total["pool_allocated"] = self.request_pool.allocated
+        total["continuation_fires"] = self.request_pool.continuation_fires
+        total["continuation_drops"] = self.request_pool.continuation_drops
         total["engines"] = len(self.engines)
         total["active_shards"] = self._active
         total["shard_scale_events"] = self.shard_scale_events

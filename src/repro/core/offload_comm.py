@@ -820,14 +820,46 @@ def offload_waitall(
     ``timeout`` is one overall budget for the whole set — each wait
     gets the *remaining* budget, so N requests cannot stack up to
     ``N * timeout`` of wall clock.
+
+    When an engine dies mid-wait the *engine side* fails the tail:
+    ``_fail_pending`` flags every outstanding slot typed, and any
+    registered continuations fire from there.  This function then owns
+    draining those already-failed tail handles — each one is consumed
+    (typed error observed, slot released) instead of being abandoned
+    when the first wait raises — so a waitall caller and a
+    continuation observer see the same per-request outcomes.  The
+    first error is re-raised after the sweep.
     """
-    if timeout is None:
-        return [r.wait() for r in requests]
-    deadline = time.perf_counter() + timeout
+    deadline = (
+        None if timeout is None else time.perf_counter() + timeout
+    )
+
+    def _budget() -> float | None:
+        if deadline is None:
+            return None
+        return max(0.0, deadline - time.perf_counter())
+
     out: list[Status] = []
-    for r in requests:
-        remaining = max(0.0, deadline - time.perf_counter())
-        out.append(r.wait(remaining))
+    for i, r in enumerate(requests):
+        try:
+            out.append(r.wait(_budget()))
+        except OffloadEngineDied:
+            # Sweep the tail: the dead engine's _fail_pending has (or
+            # is about to have) flagged every outstanding slot typed,
+            # so each remaining handle is consumed — typed error
+            # observed, slot released — rather than abandoned.
+            # Bounded: a slot whose flag never sets within the grace
+            # (a wedged-alive engine holding it) stays pending,
+            # exactly as before the sweep.
+            for tail in requests[i + 1 :]:
+                grace = _budget()
+                if grace is None:
+                    grace = 1.0
+                try:
+                    tail.wait(min(grace, 1.0))
+                except BaseException:
+                    pass
+            raise
     return out
 
 

@@ -19,10 +19,12 @@ import threading
 import time
 from typing import TYPE_CHECKING, Any
 
+from repro.dst import hooks as _dst
 from repro.lockfree.atomics import AtomicFlag
 from repro.lockfree.freelist import DoubleFree, FreeList, FreeListExhausted
 
 __all__ = [
+    "ContinuationError",
     "DoubleFree",
     "OffloadError",
     "OffloadEngineDied",
@@ -44,10 +46,22 @@ class OffloadEngineDied(OffloadError):
     """The offload thread terminated with pending work outstanding."""
 
 
+class ContinuationError(OffloadError):
+    """Invalid continuation registration (already registered / stale)."""
+
+
 class _Slot:
     """Backing record for one in-flight offloaded request."""
 
-    __slots__ = ("flag", "inner", "error", "generation")
+    __slots__ = (
+        "flag",
+        "inner",
+        "error",
+        "generation",
+        "cont",
+        "cont_fired",
+        "cont_lock",
+    )
 
     def __init__(self) -> None:
         self.flag = AtomicFlag()
@@ -55,11 +69,19 @@ class _Slot:
         self.error: BaseException | None = None
         #: bumped on every free; detects use of stale handles
         self.generation = 0
+        #: registered continuation (at most one per in-flight op)
+        self.cont = None
+        #: exactly-once guard: True once a delivery claimed the cont
+        self.cont_fired = False
+        #: guards cont/cont_fired; never held across a yield point
+        self.cont_lock = threading.Lock()
 
     def reset(self) -> None:
         self.flag.clear()
         self.inner = None
         self.error = None
+        self.cont = None
+        self.cont_fired = False
         self.generation += 1
 
 
@@ -88,6 +110,16 @@ class OffloadRequestPool:
         #: telemetry hook: a :class:`repro.obs.counters.Counters` the
         #: owning engine installs when telemetry is enabled (else None)
         self.telemetry = None
+        #: continuation accounting, kept even with telemetry off so the
+        #: serving tier can assert exactly-once delivery cheaply
+        self.continuation_fires = 0
+        self.continuation_drops = 0
+        # DST fix-disable hooks (set only by repro.dst.targets): the
+        # first drops the fail-path delivery (continuation-vs-crash),
+        # the second skips the exactly-once claim under cont_lock
+        # (continuation-double-fire).
+        self._unsafe_skip_fire_on_fail = False
+        self._unsafe_skip_fire_once_guard = False
 
     @property
     def capacity(self) -> int:
@@ -171,7 +203,16 @@ class OffloadRequestPool:
         self._freelist.mark_free(idx)
         if self.telemetry is not None:
             self.telemetry.inc("pool_releases")
-        self._slots[idx].reset()
+        slot = self._slots[idx]
+        with slot.cont_lock:
+            if slot.cont is not None and not slot.cont_fired:
+                # A waiter consumed the slot directly (wait/test) while
+                # a continuation was still pending: the registration is
+                # destroyed undelivered, and must be accounted, not
+                # silently lost.
+                slot.cont_fired = True
+                self._note_drop()
+        slot.reset()
         if not self._cache_size:
             self._freelist.push(idx)
             return
@@ -189,12 +230,91 @@ class OffloadRequestPool:
 
     def complete(self, idx: int, status: Status | None) -> None:
         """Engine: the operation finished; wake any waiter."""
-        self._slots[idx].flag.set(status or EMPTY_STATUS)
+        slot = self._slots[idx]
+        generation = slot.generation
+        slot.flag.set(status or EMPTY_STATUS)
+        if _dst._scheduler is not None:
+            _dst.yield_point("pool.cont.complete")
+        self._fire(slot, generation)
 
     def fail(self, idx: int, error: BaseException) -> None:
         slot = self._slots[idx]
+        generation = slot.generation
         slot.error = error
         slot.flag.set(None)
+        if self._unsafe_skip_fire_on_fail:
+            return
+        if _dst._scheduler is not None:
+            _dst.yield_point("pool.cont.complete")
+        self._fire(slot, generation)
+
+    # -- continuations ---------------------------------------------------
+
+    def register_continuation(self, idx: int, generation: int, fn) -> None:
+        """Attach ``fn()`` to run exactly once at the slot's terminal
+        state — success *or* typed failure (timeout, crash, revoke,
+        shrink all funnel through :meth:`fail`).
+
+        At most one continuation per in-flight operation; a second
+        registration raises :class:`ContinuationError`.  Registering
+        after the operation already completed fires immediately on the
+        calling thread; otherwise the completing thread (normally the
+        engine) fires it.
+        """
+        slot = self._slots[idx]
+        with slot.cont_lock:
+            if slot.generation != generation:
+                raise ContinuationError(
+                    "continuation registered on a stale request handle"
+                )
+            if slot.cont is not None:
+                raise ContinuationError(
+                    "request already has a continuation registered"
+                )
+            slot.cont = fn
+        if _dst._scheduler is not None:
+            _dst.yield_point("pool.cont.register")
+        if slot.flag.is_set():
+            # Completed before (or while) we registered: deliver from
+            # here; _fire's claim resolves the race with the completer.
+            self._fire(slot, generation)
+
+    def _fire(self, slot: _Slot, generation: int) -> bool:
+        """Deliver the slot's continuation exactly once.
+
+        The claim (``cont_fired`` flip under ``cont_lock``) is what
+        makes register-vs-complete races safe: both sides may reach
+        here, exactly one wins, the loser returns quietly — the
+        delivery *did* happen, so nothing is dropped.  (``drops``
+        count only deliveries that never happen: see :meth:`release`
+        and the bridge's closed-loop path.)  The generation check
+        keeps a delayed completer from firing a *new* owner's
+        continuation after the slot was recycled.
+        """
+        with slot.cont_lock:
+            fn = slot.cont
+            if fn is None or slot.generation != generation:
+                return False
+            if not self._unsafe_skip_fire_once_guard and slot.cont_fired:
+                return False
+            slot.cont_fired = True
+        if _dst._scheduler is not None:
+            _dst.yield_point("pool.cont.fire")
+        self.continuation_fires += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("continuation_fires")
+        try:
+            fn()
+        except BaseException:
+            # A continuation must never take down its firing thread
+            # (usually the engine loop); the callback owns its errors.
+            pass
+        return True
+
+    def _note_drop(self) -> None:
+        self.continuation_drops += 1
+        if self.telemetry is not None:
+            self.telemetry.inc("continuation_drops")
 
 
 class OffloadRequest:
@@ -243,6 +363,22 @@ class OffloadRequest:
     @property
     def done(self) -> bool:
         return self._check_fresh().flag.is_set()
+
+    def add_continuation(self, fn) -> None:
+        """Run ``fn()`` exactly once when this request reaches a
+        terminal state (completion or typed failure).
+
+        The callback receives no arguments and typically calls
+        :meth:`test` to collect the status or raise the typed error —
+        the continuation, not the registrant, then owns releasing the
+        slot.  One continuation per request; re-registration raises
+        :class:`ContinuationError`.  If the request already completed,
+        ``fn`` runs immediately on the calling thread; otherwise it
+        runs on the completing thread (the engine loop, or whichever
+        thread delivers the typed failure).
+        """
+        self._check_fresh()
+        self._pool.register_continuation(self._idx, self._generation, fn)
 
     def test(self) -> tuple[bool, Status | None]:
         """Flag check only; frees the slot on completion."""

@@ -91,6 +91,23 @@ two more:
     terminates (:attr:`ProgressEngine._unsafe_skip_revoked_drain_check`
     disables the drain-time poisoning that closes the window).
 
+The continuation-completion PR (serving front-end, DESIGN.md §16)
+added two more:
+
+``continuation-vs-crash``
+    An engine crash fails pending slots through ``pool.fail``; with
+    the fail-path delivery skipped, registered continuations never
+    fire and their asyncio awaiters hang forever
+    (:attr:`OffloadRequestPool._unsafe_skip_fire_on_fail` disables the
+    delivery).
+
+``continuation-double-fire``
+    Registration racing completion: both sides can reach the fire
+    path, and only the ``cont_fired`` claim under ``cont_lock``
+    collapses them to one delivery
+    (:attr:`OffloadRequestPool._unsafe_skip_fire_once_guard` skips the
+    claim).
+
 This module imports :mod:`repro.core` and therefore must never be
 imported from :mod:`repro.dst.hooks`'s import path (see the package
 docstring); consumers reach it via ``repro.dst.targets`` directly or
@@ -106,6 +123,7 @@ from repro.core.commands import Command, CommandKind
 from repro.core.engine import OffloadEngine
 from repro.core.request_pool import (
     OffloadEngineDied,
+    OffloadRequest,
     OffloadRequestPool,
 )
 from repro.dst import hooks as _dst
@@ -889,6 +907,177 @@ class ShrinkInflightEagerProgram:
 
 
 # ---------------------------------------------------------------------------
+# Regression races 11/12: continuation completion (serving PR)
+# ---------------------------------------------------------------------------
+
+
+class _DoneInnerRequest:
+    """Inner request that is already complete when the engine tracks
+    it: `_track` short-circuits straight into `_finish`."""
+
+    done = True
+    status = None
+    error = None
+
+
+class _ContComm:
+    """``cmd.comm`` stand-in whose isend completes immediately."""
+
+    @staticmethod
+    def isend(buf: Any, peer: int, tag: int) -> _DoneInnerRequest:
+        return _DoneInnerRequest()
+
+
+class ContinuationCrashProgram:
+    """Continuations registered on slot commands vs. an engine crash.
+
+    A producer allocates slots, registers a continuation on each
+    handle, and submits ISEND commands while a virtual engine thread
+    runs the real drain + dispatch path; the scheduler may fire the
+    ``engine.dispatch`` crash point under any command.  Invariant:
+    every accepted command's continuation fires **exactly once** —
+    success and crash (``_fail_pending`` → ``pool.fail``) are both
+    firing paths.  With the fail-path delivery disabled
+    (:attr:`OffloadRequestPool._unsafe_skip_fire_on_fail`), a crash
+    leaves continuations undelivered: the asyncio awaiters they stand
+    for would hang forever.
+    """
+
+    def __init__(self, fix_disabled: bool, n_commands: int = 4) -> None:
+        self.engine = OffloadEngine(
+            _FakeComm(),
+            pool_capacity=8,
+            queue_capacity=16,
+            telemetry=False,
+            pool_cache=0,
+        )
+        self.engine.pool._unsafe_skip_fire_on_fail = fix_disabled
+        self.n_commands = n_commands
+        #: one fire-record per accepted command
+        self.fires: list[list[int]] = []
+        self._submitted_all = False
+        self._comm = _ContComm()
+
+    def setup(self, sched: Any) -> None:
+        eng = self.engine
+        pool = eng.pool
+
+        def producer() -> None:
+            try:
+                for i in range(self.n_commands):
+                    idx = pool.alloc()
+                    handle = OffloadRequest(pool, idx)
+                    record: list[int] = []
+                    handle.add_continuation(
+                        lambda r=record: r.append(1)
+                    )
+                    cmd = Command(
+                        CommandKind.ISEND,
+                        comm=self._comm,
+                        buf=None,
+                        peer=0,
+                        tag=i,
+                        slot=idx,
+                    )
+                    try:
+                        eng.submit(cmd)
+                    except OffloadEngineDied:
+                        return
+                    self.fires.append(record)
+            finally:
+                self._submitted_all = True
+
+        def engine_thread() -> None:
+            # Same cooperative drain/dispatch loop as the
+            # mid-batch-crash target, crash handling mirroring _run.
+            try:
+                while True:
+                    batch = eng.queue.drain(eng.batch_size)
+                    if batch:
+                        eng._drained.extend(batch)
+                        eng._process_batch()
+                        continue
+                    if self._submitted_all and eng.queue.empty():
+                        return
+                    _dst.wait_until(
+                        lambda: self._submitted_all
+                        or not eng.queue.empty()
+                    )
+            except _dst.ScheduledCrash as exc:
+                died = OffloadEngineDied(
+                    f"offload thread crashed: {exc!r}"
+                )
+                died.__cause__ = exc
+                eng._dead = died
+                eng._fail_pending(died)
+
+        sched.spawn(engine_thread, name="engine")
+        sched.spawn(producer, name="producer")
+
+    def check(self) -> None:
+        for i, record in enumerate(self.fires):
+            if len(record) != 1:
+                raise InvariantViolation(
+                    f"accepted command #{i}'s continuation fired "
+                    f"{len(record)} times (expected exactly once) — "
+                    "its awaiter "
+                    + (
+                        "hangs forever"
+                        if not record
+                        else "was woken twice"
+                    )
+                )
+
+
+class ContinuationDoubleFireProgram:
+    """Registration racing completion over the exactly-once claim.
+
+    One thread registers a continuation on a live handle while another
+    completes the slot.  Both sides can legitimately reach the fire
+    path (the registrant when it observes the flag already set, the
+    completer when it observes a registered continuation); the
+    ``cont_fired`` claim under ``cont_lock`` is what collapses them to
+    one delivery.  With the claim skipped
+    (:attr:`OffloadRequestPool._unsafe_skip_fire_once_guard`), the
+    overlap window delivers twice.  Invariant: once both threads have
+    finished, the continuation fired exactly once.
+    """
+
+    def __init__(self, fix_disabled: bool) -> None:
+        self.pool = OffloadRequestPool(capacity=4, cache_size=0)
+        self.pool._unsafe_skip_fire_once_guard = fix_disabled
+        self.idx = self.pool.alloc()
+        self.handle = OffloadRequest(self.pool, self.idx)
+        self.fired: list[int] = []
+
+    def setup(self, sched: Any) -> None:
+        def registrant() -> None:
+            self.handle.add_continuation(lambda: self.fired.append(1))
+
+        def completer() -> None:
+            self.pool.complete(self.idx, None)
+
+        sched.spawn(registrant, name="registrant")
+        sched.spawn(completer, name="completer")
+
+    def check(self) -> None:
+        if len(self.fired) != 1:
+            raise InvariantViolation(
+                f"continuation fired {len(self.fired)} times (expected "
+                "exactly once: registration either beats the completer "
+                "or fires immediately on the already-set flag; the "
+                "claim must suppress the second delivery)"
+            )
+        # The delivery happened (exactly once), so nothing may be
+        # reported as dropped: the losing fire attempt is silent.
+        if self.pool.continuation_drops > 0:
+            raise InvariantViolation(
+                f"{self.pool.continuation_drops} continuation drops "
+                "recorded although the delivery happened"
+            )
+
+
+# ---------------------------------------------------------------------------
 # Linearizability targets (history-recording programs)
 # ---------------------------------------------------------------------------
 
@@ -1179,6 +1368,28 @@ CORPUS: dict[str, Target] = {
                 "the drain-time check (send request in limbo forever)"
             ),
             make=ShrinkInflightEagerProgram,
+            regression=True,
+            strategy="random",
+            schedules=300,
+        ),
+        Target(
+            name="continuation-vs-crash",
+            description=(
+                "engine crash vs the fail-path continuation delivery "
+                "(registered continuations never fire; awaiters hang)"
+            ),
+            make=ContinuationCrashProgram,
+            regression=True,
+            strategy="random",
+            schedules=400,
+        ),
+        Target(
+            name="continuation-double-fire",
+            description=(
+                "continuation registration racing completion over the "
+                "exactly-once claim (double delivery)"
+            ),
+            make=ContinuationDoubleFireProgram,
             regression=True,
             strategy="random",
             schedules=300,

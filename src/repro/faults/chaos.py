@@ -391,6 +391,103 @@ def _rank_program(
         reports.append(report)
 
 
+def run_serve_chaos(
+    rounds: int = 40,
+    seed: int = 0,
+    profile: str = "mixed",
+    op_timeout: float = 1.0,
+    run_timeout: float = 120.0,
+    pool_size: int = 1,
+    plan: FaultPlan | None = None,
+) -> dict:
+    """Chaos with the serving front-end as the workload.
+
+    Runs the seeded loadgen (closed loop, tenant mix, sharded pool)
+    on a single rank while the profile's fault plan drops, delays,
+    errors, and crashes underneath it.  The contract is the ring
+    workload's — no hang, typed failures only, balance law intact —
+    plus the serving tier's own: **zero lost completions** (every
+    admitted request reaches completed/failed/rejected) and exactly
+    one continuation fire per offloaded command.
+    """
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+    if profile == "rank-crash-survive":
+        raise ValueError(
+            "rank-crash-survive drives the resilient epoch workloads; "
+            "the serve workload has no multi-rank membership to shrink"
+        )
+    config = LoadgenConfig(
+        seed=seed,
+        requests=max(1, rounds) * 5,
+        concurrency=32,
+        pool_size=max(2, pool_size),
+        op_timeout=op_timeout,
+        run_timeout=run_timeout,
+    )
+    if plan is None:
+        plan = default_plan(1, seed=seed, profile=profile)
+    hangs: list[int] = []
+    unexpected: dict[int, str] = {}
+    report = None
+    try:
+        report = run_loadgen(config, faults=plan, recovery=True)
+    except WorldError as we:
+        for rank, exc in we.failures.items():
+            if isinstance(exc, TimeoutError):
+                hangs.append(rank)
+            else:
+                unexpected[rank] = f"{type(exc).__name__}: {exc}"
+    serve: dict[str, Any] = {}
+    typed_failures: dict[str, int] = {}
+    balance_ok, balance_detail = True, {}
+    ops = completed = 0
+    if report is not None:
+        ops = report.issued
+        completed = report.completed
+        typed_failures = dict(report.failed)
+        balance_ok, balance_detail = (
+            report.balance_ok,
+            report.balance_detail,
+        )
+        serve = {
+            "rejected": report.rejected,
+            "lost": report.lost,
+            "continuation_fires": report.continuation_fires,
+            "continuation_drops": report.continuation_drops,
+            "slo": report.slo.render(),
+            "per_tenant": report.per_tenant,
+        }
+    ok = (
+        report is not None
+        and not hangs
+        and not unexpected
+        and balance_ok
+        and report.lost == 0
+    )
+    return {
+        "ok": ok,
+        "nranks": 1,
+        "rounds": rounds,
+        "seed": seed,
+        "profile": profile,
+        "pool_size": config.pool_size,
+        "pool": {},
+        "ops": ops,
+        "completed_ok": completed,
+        "typed_failures": typed_failures,
+        "wait_timeouts": 0,
+        "hangs": sorted(hangs),
+        "unexpected_errors": unexpected,
+        "degraded_exits": [],
+        "faults": plan.stats(),
+        "recovered": {},
+        "balance": {"ok": balance_ok, **balance_detail},
+        "balance_violations": [],
+        "serve": serve,
+    }
+
+
 def run_chaos(
     nranks: int = 4,
     rounds: int = 40,
@@ -406,6 +503,7 @@ def run_chaos(
     router: str | None = None,
     steal_threshold: int | None = None,
     zero_copy: bool = False,
+    workload: str = "ring",
 ) -> dict:
     """One seeded chaos run; returns a structured verdict report.
 
@@ -425,6 +523,20 @@ def run_chaos(
     match time, so DROP/DUPLICATE rules exercise the fault hooks'
     send-request completion and deep-copy paths.
     """
+    if workload == "serve":
+        # The serving front-end as the thing the faults break: the
+        # loadgen's concurrent awaiters replace the ring storm.
+        return run_serve_chaos(
+            rounds=rounds,
+            seed=seed,
+            profile=profile,
+            op_timeout=op_timeout,
+            run_timeout=run_timeout,
+            pool_size=pool_size,
+            plan=plan,
+        )
+    if workload != "ring":
+        raise ValueError(f"unknown chaos workload {workload!r}")
     if profile == "rank-crash-survive":
         # Entirely different contract (complete + bitwise-correct
         # instead of fail-typed); delegated to the resilient driver.
@@ -571,6 +683,15 @@ def render_report(report: dict) -> str:
         lines.append(f"  UNEXPECTED: {report['unexpected_errors']}")
     if report["balance_violations"]:
         lines.append(f"  VIOLATIONS: {report['balance_violations']}")
+    serve = report.get("serve")
+    if serve:
+        lines.append(
+            f"  serve: rejected={serve['rejected']} "
+            f"lost={serve['lost']} "
+            f"fires={serve['continuation_fires']} "
+            f"drops={serve['continuation_drops']}"
+        )
+        lines.append(f"  {serve['slo']}")
     for name, d in report.get("ft", {}).items():
         lines.append(
             f"  ft[{name}]: restarts={d['restarts']} dead={d['dead']} "

@@ -120,6 +120,24 @@ COUNTER_GLOSSARY: dict[str, str] = {
     "restarts": "recovery events where survivors shrank the world and "
     "resumed from the last consistent checkpoint (one count per "
     "revoke→agree→shrink→restore cycle, not per rank)",
+    # -- continuation completion + serving front-end (repro.serve) -----
+    "continuation_fires": "continuations delivered exactly once at a "
+    "request's terminal state (success and every typed failure path: "
+    "timeout, crash, revoke, shrink)",
+    "continuation_drops": "continuation deliveries abandoned "
+    "undelivered — a direct waiter consumed the slot before the "
+    "continuation could fire, or the asyncio loop had already closed "
+    "when the completion landed (lost register-vs-complete race "
+    "attempts are silent: the winning side delivered)",
+    "serve_accepted": "serving requests admitted past admission "
+    "control into a tenant queue",
+    "serve_rejected": "serving requests refused with a typed "
+    "backpressure error (global in-flight cap or tenant queue full)",
+    "serve_completed": "serving requests that finished successfully "
+    "and recorded a latency sample",
+    "serve_failed": "serving requests that terminated with a typed "
+    "offload/MPI error (a terminal outcome: accepted = completed + "
+    "failed + still-in-flight, so nothing is ever silently lost)",
 }
 
 

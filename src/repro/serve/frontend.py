@@ -1,0 +1,325 @@
+"""Serving front-end: admission control, fair queuing, SLO reports.
+
+The front-end sits between many concurrent awaiters and one (possibly
+sharded) offload engine.  Its contract:
+
+- **Admission control / backpressure.**  Every request is either
+  admitted into its tenant's bounded queue or refused *immediately*
+  with a typed error (:class:`TenantQueueFull` for a full tenant
+  queue, :class:`ServeOverloadError` for the global backlog cap) —
+  callers never block on admission, mirroring the command ring's
+  typed ``QueueFull`` backpressure one layer down.
+- **Per-tenant fair queuing.**  A round-robin dispatcher drains one
+  request per non-empty tenant queue per turn, so a flood from one
+  tenant cannot starve the others; the global concurrency cap
+  (``max_in_flight``) bounds how many operations are outstanding on
+  the engine at once.
+- **Accounting.**  ``accepted == completed + failed + in_flight +
+  queued`` at all times — nothing is silently lost; the loadgen and
+  stress tiers assert this to zero after a drain.
+- **SLOs.**  :meth:`ServingFrontend.slo_report` folds the recorded
+  latency reservoir into p50/p99 and attaches the engine's telemetry
+  snapshot counters, so one report carries both the user-visible
+  percentiles and the engine-side evidence (continuation fires/drops,
+  pool/queue behavior) behind them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable
+
+from repro.core.request_pool import OffloadError
+from repro.serve.bridge import AsyncOffloadEngine
+
+__all__ = [
+    "SLOReport",
+    "ServeOverloadError",
+    "ServingFrontend",
+    "TenantQueueFull",
+]
+
+
+class ServeOverloadError(OffloadError):
+    """Typed backpressure: refused at admission (global backlog cap,
+    or the front-end is stopped)."""
+
+
+class TenantQueueFull(ServeOverloadError):
+    """Typed backpressure: the requesting tenant's queue is full."""
+
+
+def percentile(sorted_vals: list[float], q: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not sorted_vals:
+        return 0.0
+    rank = max(0, min(len(sorted_vals) - 1, int(q * len(sorted_vals))))
+    return sorted_vals[rank]
+
+
+@dataclass
+class SLOReport:
+    """p50/p99 service latency vs. targets, with engine evidence."""
+
+    count: int
+    p50_ms: float
+    p99_ms: float
+    target_p50_ms: float | None
+    target_p99_ms: float | None
+    met: bool
+    #: engine-side counters from the telemetry snapshot at report time
+    counters: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        def tgt(v: float | None) -> str:
+            return "-" if v is None else f"{v:.1f}"
+
+        return (
+            f"slo: n={self.count} p50={self.p50_ms:.2f}ms "
+            f"(target {tgt(self.target_p50_ms)}) "
+            f"p99={self.p99_ms:.2f}ms (target {tgt(self.target_p99_ms)}) "
+            f"fires={self.counters.get('continuation_fires', 0)} "
+            f"drops={self.counters.get('continuation_drops', 0)} "
+            + ("MET" if self.met else "MISSED")
+        )
+
+
+class _TenantState:
+    __slots__ = ("queue", "accepted", "completed", "failed", "rejected")
+
+    def __init__(self) -> None:
+        self.queue: deque = deque()
+        self.accepted = 0
+        self.completed = 0
+        self.failed = 0
+        self.rejected = 0
+
+
+class ServingFrontend:
+    """Single-loop serving front-end over an :class:`AsyncOffloadEngine`.
+
+    All methods must be called on the event-loop thread; the only
+    cross-thread traffic is the engine-side continuation handoff
+    inside the bridge.
+    """
+
+    def __init__(
+        self,
+        engine: AsyncOffloadEngine,
+        *,
+        max_in_flight: int = 64,
+        tenant_queue_depth: int = 128,
+        global_queue_depth: int | None = None,
+        slo_p50_ms: float | None = None,
+        slo_p99_ms: float | None = None,
+    ) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.engine = engine
+        self.max_in_flight = max_in_flight
+        self.tenant_queue_depth = tenant_queue_depth
+        self.global_queue_depth = global_queue_depth
+        self.slo_p50_ms = slo_p50_ms
+        self.slo_p99_ms = slo_p99_ms
+        self._tenants: dict[str, _TenantState] = {}
+        self._rr: deque[str] = deque()
+        self._queued = 0
+        self._in_flight = 0
+        self._wake = asyncio.Event()
+        self._dispatcher: asyncio.Task | None = None
+        #: strong refs: tasks with no other reference may be collected
+        self._active: set = set()
+        self._closed = False
+        self.accepted = 0
+        self.completed = 0
+        self.rejected = 0
+        self.failed: dict[str, int] = {}
+        self.latencies_s: list[float] = []
+        # serve_* telemetry lands on the engine's counter set so the
+        # front-end shows up in the same snapshot as the engine.
+        holder = getattr(engine.ocomm, "engine", None)
+        pool = getattr(holder, "pool", None)
+        self._counters = getattr(pool, "telemetry", None)
+
+    # -- lifecycle -------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = asyncio.ensure_future(self._run())
+
+    async def stop(self) -> None:
+        """Drain: dispatch everything queued, wait for in-flight."""
+        self._closed = True
+        self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+
+    # -- admission -------------------------------------------------------
+
+    def _tenant(self, tenant: str) -> _TenantState:
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState()
+            self._rr.append(tenant)
+        return state
+
+    def submit(
+        self, tenant: str, op: Callable[[], Awaitable[Any]]
+    ) -> "asyncio.Future[Any]":
+        """Admit ``op`` or raise typed backpressure; never blocks."""
+        state = self._tenant(tenant)
+        if self._closed:
+            state.rejected += 1
+            self._note_reject()
+            raise ServeOverloadError("serving front-end is stopped")
+        if (
+            self.global_queue_depth is not None
+            and self._queued >= self.global_queue_depth
+        ):
+            state.rejected += 1
+            self._note_reject()
+            raise ServeOverloadError(
+                f"global backlog full ({self._queued} queued)"
+            )
+        if len(state.queue) >= self.tenant_queue_depth:
+            state.rejected += 1
+            self._note_reject()
+            raise TenantQueueFull(
+                f"tenant {tenant!r} queue full "
+                f"({self.tenant_queue_depth} deep)"
+            )
+        fut: "asyncio.Future[Any]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        state.queue.append((op, fut, time.perf_counter(), tenant))
+        state.accepted += 1
+        self._queued += 1
+        self.accepted += 1
+        if self._counters is not None:
+            self._counters.inc("serve_accepted")
+        self._wake.set()
+        return fut
+
+    async def request(
+        self, tenant: str, op: Callable[[], Awaitable[Any]]
+    ) -> Any:
+        return await self.submit(tenant, op)
+
+    def _note_reject(self) -> None:
+        self.rejected += 1
+        if self._counters is not None:
+            self._counters.inc("serve_rejected")
+
+    # -- dispatch --------------------------------------------------------
+
+    def _next_tenant(self) -> str | None:
+        for _ in range(len(self._rr)):
+            tenant = self._rr[0]
+            self._rr.rotate(-1)
+            if self._tenants[tenant].queue:
+                return tenant
+        return None
+
+    async def _run(self) -> None:
+        while True:
+            while self._in_flight < self.max_in_flight and self._queued:
+                tenant = self._next_tenant()
+                assert tenant is not None
+                op, fut, t0, tenant = self._tenants[
+                    tenant
+                ].queue.popleft()
+                self._queued -= 1
+                self._in_flight += 1
+                task = asyncio.ensure_future(
+                    self._serve_one(op, fut, t0, tenant)
+                )
+                self._active.add(task)
+                task.add_done_callback(self._active.discard)
+            if self._closed and not self._queued and not self._in_flight:
+                return
+            self._wake.clear()
+            # Re-check after clear: a _serve_one completion between the
+            # checks above and the clear would otherwise be lost.
+            if self._queued and self._in_flight < self.max_in_flight:
+                continue
+            if self._closed and not self._queued and not self._in_flight:
+                return
+            await self._wake.wait()
+
+    async def _serve_one(self, op, fut, t0: float, tenant: str) -> None:
+        state = self._tenants[tenant]
+        try:
+            result = await op()
+        except BaseException as exc:
+            state.failed += 1
+            name = type(exc).__name__
+            self.failed[name] = self.failed.get(name, 0) + 1
+            if self._counters is not None:
+                self._counters.inc("serve_failed")
+            if not fut.cancelled():
+                fut.set_exception(exc)
+            else:  # pragma: no cover - awaiter bailed first
+                pass
+        else:
+            state.completed += 1
+            self.completed += 1
+            self.latencies_s.append(time.perf_counter() - t0)
+            if self._counters is not None:
+                self._counters.inc("serve_completed")
+            if not fut.cancelled():
+                fut.set_result(result)
+        finally:
+            self._in_flight -= 1
+            self._wake.set()
+
+    # -- reporting -------------------------------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    def per_tenant(self) -> dict[str, dict[str, int]]:
+        return {
+            t: {
+                "accepted": s.accepted,
+                "completed": s.completed,
+                "failed": s.failed,
+                "rejected": s.rejected,
+            }
+            for t, s in self._tenants.items()
+        }
+
+    def lost(self) -> int:
+        """Accepted requests with no terminal outcome and no place in
+        line — must be zero always; the stress tier asserts it."""
+        failed = sum(self.failed.values())
+        return self.accepted - (
+            self.completed + failed + self._in_flight + self._queued
+        )
+
+    def slo_report(self) -> SLOReport:
+        snap = self.engine.telemetry_snapshot()
+        counters = dict(snap.get("counters") or {})
+        lat = sorted(self.latencies_s)
+        p50_ms = percentile(lat, 0.50) * 1e3
+        p99_ms = percentile(lat, 0.99) * 1e3
+        met = (
+            self.slo_p50_ms is None or p50_ms <= self.slo_p50_ms
+        ) and (self.slo_p99_ms is None or p99_ms <= self.slo_p99_ms)
+        return SLOReport(
+            count=len(lat),
+            p50_ms=p50_ms,
+            p99_ms=p99_ms,
+            target_p50_ms=self.slo_p50_ms,
+            target_p99_ms=self.slo_p99_ms,
+            met=met,
+            counters=counters,
+        )

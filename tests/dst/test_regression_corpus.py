@@ -26,14 +26,16 @@ class TestCorpusRegistry:
             "eager-deferred-copy",
             "agree-participant-crash",
             "shrink-inflight-eager",
+            "continuation-vs-crash",
+            "continuation-double-fire",
             "queue-linearizability",
             "freelist-linearizability",
             "pool-linearizability",
         }
 
-    def test_ten_regressions_three_oracles(self):
+    def test_twelve_regressions_three_oracles(self):
         regressions = [t for t in CORPUS.values() if t.regression]
-        assert len(regressions) == 10
+        assert len(regressions) == 12
         assert len(CORPUS) - len(regressions) == 3
 
     def test_oracle_targets_reject_fix_disabled(self):
@@ -173,6 +175,39 @@ class TestFaultToleranceSmokeRegressions:
         assert Explorer(lambda: target.make(False)).replay(seed) is None
 
 
+class TestContinuationSmokeRegressions:
+    """The continuation-completion races (DESIGN.md §16) rediscovered
+    within a bounded budget, clean when fixed, and replayable from the
+    single printed token."""
+
+    @pytest.mark.parametrize(
+        "name, budget",
+        [
+            ("continuation-vs-crash", 400),
+            ("continuation-double-fire", 300),
+        ],
+    )
+    def test_continuation_targets_found_and_clean(self, name, budget):
+        broken = run_target(name, fix_disabled=True, schedules=budget)
+        assert broken.result.found and broken.expected
+        assert broken.result.failure.token[0] == "random"
+        fixed = run_target(name, fix_disabled=False, schedules=50)
+        assert not fixed.result.found and fixed.expected
+
+    def test_double_fire_token_replays_and_fix_survives(self):
+        broken = run_target(
+            "continuation-double-fire", fix_disabled=True, schedules=300
+        )
+        kind, seed = broken.result.failure.token
+        assert kind == "random"
+        target = CORPUS["continuation-double-fire"]
+        replayed = Explorer(lambda: target.make(True)).replay(seed)
+        assert replayed is not None
+        # the exact schedule that double-delivered passes once the
+        # cont_fired claim collapses the two fire attempts to one
+        assert Explorer(lambda: target.make(False)).replay(seed) is None
+
+
 class TestReplayContract:
     """A failure token is a complete reproduction recipe."""
 
@@ -242,9 +277,9 @@ class TestDeepTier:
             (o.target, o.fix_disabled, o.result.found) for o in wrong
         ]
         # both directions ran: planted bugs found, fixed code clean
-        assert sum(o.fix_disabled for o in outcomes) == 10
-        assert len(outcomes) == 23
+        assert sum(o.fix_disabled for o in outcomes) == 12
+        assert len(outcomes) == 27
         snap = counters.snapshot()
         assert snap["schedules_explored"] > 0
         assert snap["lin_histories_checked"] > 0
-        assert snap["dst_violations"] == 10
+        assert snap["dst_violations"] == 12

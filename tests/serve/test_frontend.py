@@ -1,0 +1,235 @@
+"""The serving front-end in isolation: admission control, typed
+backpressure, round-robin tenant fairness, accounting, and the SLO
+report.  Ops here are plain coroutines (no engine needed), so these
+run on a bare event loop; the bridge and loadgen tiers cover the
+engine-backed path."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    ServeOverloadError,
+    ServingFrontend,
+    TenantQueueFull,
+)
+from repro.serve.frontend import percentile
+
+pytestmark = pytest.mark.deadline(60)
+
+
+class _StubEngine:
+    """Just enough surface for the front-end: no telemetry counters."""
+
+    class _OComm:
+        engine = None
+
+    ocomm = _OComm()
+
+    def telemetry_snapshot(self) -> dict:
+        return {"counters": {}}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestAdmission:
+    def test_completes_simple_ops_and_accounts_exactly(self):
+        async def main():
+            fe = ServingFrontend(_StubEngine(), max_in_flight=4)
+            await fe.start()
+
+            async def op():
+                await asyncio.sleep(0)
+                return 42
+
+            results = await asyncio.gather(
+                *(fe.request("t", op) for _ in range(10))
+            )
+            await fe.stop()
+            assert results == [42] * 10
+            assert fe.accepted == 10 and fe.completed == 10
+            assert fe.lost() == 0
+            return True
+
+        assert run(main())
+
+    def test_tenant_queue_full_is_typed_and_immediate(self):
+        async def main():
+            fe = ServingFrontend(
+                _StubEngine(), max_in_flight=1, tenant_queue_depth=2
+            )
+            # dispatcher not started: everything stays queued
+            async def op():
+                return None
+
+            fe.submit("t", op)
+            fe.submit("t", op)
+            with pytest.raises(TenantQueueFull):
+                fe.submit("t", op)
+            # a different tenant has its own bounded queue
+            fe.submit("u", op)
+            assert fe.rejected == 1
+            assert fe.per_tenant()["t"]["rejected"] == 1
+            await fe.start()
+            await fe.stop()
+            assert fe.lost() == 0
+            return True
+
+        assert run(main())
+
+    def test_global_backlog_cap_rejects_typed(self):
+        async def main():
+            fe = ServingFrontend(
+                _StubEngine(),
+                max_in_flight=1,
+                tenant_queue_depth=100,
+                global_queue_depth=3,
+            )
+
+            async def op():
+                return None
+
+            for i in range(3):
+                fe.submit(f"t{i}", op)
+            with pytest.raises(ServeOverloadError):
+                fe.submit("t9", op)
+            await fe.start()
+            await fe.stop()
+            return True
+
+        assert run(main())
+
+    def test_stopped_frontend_rejects_typed(self):
+        async def main():
+            fe = ServingFrontend(_StubEngine())
+            await fe.start()
+            await fe.stop()
+
+            async def op():
+                return None
+
+            with pytest.raises(ServeOverloadError):
+                fe.submit("t", op)
+            return True
+
+        assert run(main())
+
+    def test_failed_op_raises_into_awaiter_and_is_counted(self):
+        async def main():
+            fe = ServingFrontend(_StubEngine())
+            await fe.start()
+
+            async def bad():
+                raise ValueError("boom")
+
+            with pytest.raises(ValueError):
+                await fe.request("t", bad)
+            await fe.stop()
+            assert fe.failed == {"ValueError": 1}
+            assert fe.per_tenant()["t"]["failed"] == 1
+            assert fe.lost() == 0
+            return True
+
+        assert run(main())
+
+
+class TestConcurrencyCapAndFairness:
+    def test_max_in_flight_is_a_hard_cap(self):
+        async def main():
+            fe = ServingFrontend(_StubEngine(), max_in_flight=3)
+            await fe.start()
+            gate = asyncio.Event()
+            peak = 0
+
+            async def op():
+                nonlocal peak
+                peak = max(peak, fe.in_flight)
+                await gate.wait()
+
+            futs = [fe.submit("t", op) for _ in range(12)]
+            await asyncio.sleep(0.05)
+            assert fe.in_flight <= 3
+            gate.set()
+            await asyncio.gather(*futs)
+            await fe.stop()
+            assert peak <= 3
+            assert fe.completed == 12
+            return True
+
+        assert run(main())
+
+    def test_round_robin_interleaves_a_flooding_tenant(self):
+        async def main():
+            fe = ServingFrontend(_StubEngine(), max_in_flight=1)
+            order: list[str] = []
+
+            def op_for(tenant: str):
+                async def op():
+                    order.append(tenant)
+
+                return op
+
+            # flood from "hog" queued first, one "mouse" request after
+            for _ in range(6):
+                fe.submit("hog", op_for("hog"))
+            fe.submit("mouse", op_for("mouse"))
+            await fe.start()
+            await fe.stop()
+            # fair dispatch: the mouse is served within the first
+            # round-robin turn, not after the entire hog backlog
+            assert "mouse" in order[:2], order
+            assert fe.completed == 7
+            return True
+
+        assert run(main())
+
+
+class TestSloReport:
+    def test_percentile_nearest_rank(self):
+        vals = [float(i) for i in range(100)]
+        assert percentile(vals, 0.50) == 50.0
+        assert percentile(vals, 0.99) == 99.0
+        assert percentile([], 0.99) == 0.0
+        assert percentile([3.0], 0.5) == 3.0
+
+    def test_report_counts_and_targets(self):
+        async def main():
+            fe = ServingFrontend(
+                _StubEngine(), slo_p50_ms=1e4, slo_p99_ms=1e4
+            )
+            await fe.start()
+
+            async def op():
+                return None
+
+            await asyncio.gather(
+                *(fe.request("t", op) for _ in range(20))
+            )
+            await fe.stop()
+            rep = fe.slo_report()
+            assert rep.count == 20
+            assert rep.met  # 10-second targets are unmissable here
+            assert rep.p50_ms <= rep.p99_ms or rep.p99_ms >= 0
+            assert "MET" in rep.render()
+            return True
+
+        assert run(main())
+
+    def test_missed_targets_reported(self):
+        async def main():
+            fe = ServingFrontend(_StubEngine(), slo_p99_ms=0.0)
+            await fe.start()
+
+            async def op():
+                await asyncio.sleep(0.001)
+
+            await fe.request("t", op)
+            await fe.stop()
+            rep = fe.slo_report()
+            assert not rep.met
+            assert "MISSED" in rep.render()
+            return True
+
+        assert run(main())

@@ -1,0 +1,144 @@
+"""Loadgen smoke + the serving stress tier.
+
+The unmarked tests are small seeded loadgen runs (CI smoke); the
+``-m stress`` test drives ~1000 concurrent awaiters through the
+sharded pool in one closed loop and asserts the zero-lost-completion
+contract, clean telemetry balance, and emits the p99 SLO report.  The
+``-m chaos`` test runs the serve workload under the fault plans."""
+
+import pytest
+
+from repro.serve import LoadgenConfig, run_loadgen
+from repro.serve.loadgen import build_schedule
+
+from tests.conftest import deadline
+
+
+class TestSchedule:
+    def test_same_seed_same_schedule(self):
+        cfg = LoadgenConfig(seed=7, requests=50, mode="open")
+        assert build_schedule(cfg) == build_schedule(cfg)
+
+    def test_different_seed_different_schedule(self):
+        a = build_schedule(LoadgenConfig(seed=1, requests=50))
+        b = build_schedule(LoadgenConfig(seed=2, requests=50))
+        assert a != b
+
+    def test_tenant_weights_shape_the_mix(self):
+        cfg = LoadgenConfig(
+            seed=0,
+            requests=300,
+            tenants={"gold": 10.0, "bronze": 1.0},
+        )
+        counts = {"gold": 0, "bronze": 0}
+        for tenant, _, _ in build_schedule(cfg):
+            counts[tenant] += 1
+        assert counts["gold"] > counts["bronze"] * 3
+
+    def test_open_mode_arrivals_monotone(self):
+        cfg = LoadgenConfig(seed=3, requests=40, mode="open", rate=500)
+        arrivals = [a for _, _, a in build_schedule(cfg)]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[-1] > 0
+
+
+class TestLoadgenSmoke:
+    @pytest.mark.deadline(120)
+    @pytest.mark.parametrize("test_seed", [0], indirect=True)
+    def test_closed_loop_zero_lost(self, test_seed):
+        report = run_loadgen(
+            LoadgenConfig(
+                seed=test_seed, requests=60, concurrency=16, pool_size=2
+            )
+        )
+        assert report.ok, report.render()
+        assert report.lost == 0
+        assert report.completed + report.rejected == report.issued == 60
+        # two offloaded commands (irecv + isend) per completed echo
+        assert report.continuation_fires >= 2 * report.completed
+        assert report.continuation_drops == 0
+        assert report.balance_ok, report.balance_detail
+
+    @pytest.mark.deadline(120)
+    @pytest.mark.parametrize("test_seed", [0], indirect=True)
+    def test_open_loop_zero_lost(self, test_seed):
+        report = run_loadgen(
+            LoadgenConfig(
+                seed=test_seed,
+                mode="open",
+                requests=80,
+                rate=4000.0,
+                pool_size=2,
+            )
+        )
+        assert report.lost == 0, report.render()
+        assert report.balance_ok, report.balance_detail
+
+    @pytest.mark.deadline(120)
+    def test_backpressure_shows_up_as_typed_rejections(self):
+        # tiny queues + big burst: some requests MUST be refused at
+        # admission, and refusals are terminal outcomes, never losses
+        report = run_loadgen(
+            LoadgenConfig(
+                seed=5,
+                mode="open",
+                requests=150,
+                rate=50000.0,
+                pool_size=2,
+                max_in_flight=2,
+                tenant_queue_depth=2,
+            )
+        )
+        assert report.rejected > 0, report.render()
+        assert report.lost == 0
+        assert report.balance_ok
+
+
+@pytest.mark.stress
+class TestServeStress:
+    """A thousand concurrent awaiters over the sharded pool."""
+
+    @pytest.mark.deadline(300)
+    @pytest.mark.parametrize("test_seed", [0], indirect=True)
+    def test_thousand_awaiters_zero_lost(self, test_seed):
+        with deadline(280, "serve stress"):
+            report = run_loadgen(
+                LoadgenConfig(
+                    seed=test_seed,
+                    requests=1000,
+                    concurrency=1000,
+                    pool_size=4,
+                    max_in_flight=256,
+                    tenant_queue_depth=1024,
+                    slo_p50_ms=500.0,
+                    slo_p99_ms=5000.0,
+                    op_timeout=30.0,
+                    run_timeout=280.0,
+                )
+            )
+        print(report.render())
+        assert report.lost == 0, report.render()
+        assert report.balance_ok, report.balance_detail
+        assert report.completed + report.rejected == 1000
+        assert report.continuation_drops == 0
+        # the SLO report is the deliverable: p99 present and sane
+        assert report.slo.count == report.completed
+        assert report.slo.p99_ms >= report.slo.p50_ms >= 0.0
+
+
+@pytest.mark.chaos
+class TestServeChaos:
+    @pytest.mark.deadline(300)
+    @pytest.mark.parametrize("profile", ["messages", "crash"])
+    def test_serve_workload_survives_faults(self, profile):
+        from repro.faults.chaos import run_chaos
+
+        report = run_chaos(
+            rounds=10,
+            seed=3,
+            profile=profile,
+            pool_size=2,
+            workload="serve",
+        )
+        assert report["ok"], report
+        assert report["serve"]["lost"] == 0
